@@ -1,0 +1,271 @@
+package cord
+
+// The benchmark harness regenerates every table and figure of the paper's
+// evaluation (§3.1, §5, §6) as Go benchmarks — one per figure/table — and
+// reports the headline comparison each one makes as custom benchmark
+// metrics. The full sweeps are heavy (the Fig. 7/13 suites run all ten
+// applications under four protocols on two fabrics); run with
+//
+//	go test -bench=. -benchmem -benchtime=1x
+//
+// to regenerate everything once, or use cmd/cordbench for table output.
+
+import (
+	"testing"
+
+	"cord/internal/energy"
+	"cord/internal/exp"
+	"cord/internal/graph"
+	"cord/internal/litmus"
+	"cord/internal/proto"
+	"cord/internal/workload"
+)
+
+// BenchmarkFig2_SourceOrderingOverheads measures §3.1's motivation: the
+// share of execution time and traffic source ordering spends on
+// write-through acknowledgments across the ten applications.
+func BenchmarkFig2_SourceOrderingOverheads(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows, err := exp.Fig2()
+		if err != nil {
+			b.Fatal(err)
+		}
+		var tp, bp float64
+		for _, r := range rows {
+			if r.Fabric == exp.CXL {
+				tp += r.TimePct
+				bp += r.TrafficPct
+			}
+		}
+		b.ReportMetric(tp/10, "avg-ack-time-%")
+		b.ReportMetric(bp/10, "avg-ack-traffic-%")
+	}
+}
+
+// BenchmarkFig7_EndToEndRC regenerates the release-consistency end-to-end
+// comparison (performance and traffic, MP/CORD/SO/WB, CXL and UPI).
+func BenchmarkFig7_EndToEndRC(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		cells, err := exp.Fig7()
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(exp.GeoMeanRatio(cells, exp.SchemeSO, exp.CXL, false), "SOvCORD-time-CXL")
+		b.ReportMetric(exp.GeoMeanRatio(cells, exp.SchemeSO, exp.UPI, false), "SOvCORD-time-UPI")
+		b.ReportMetric(exp.GeoMeanRatio(cells, exp.SchemeMP, exp.CXL, false), "MPvCORD-time-CXL")
+		b.ReportMetric(exp.GeoMeanRatio(cells, exp.SchemeSO, exp.CXL, true), "SOvCORD-traffic-CXL")
+	}
+}
+
+// BenchmarkFig8_Sensitivity sweeps store granularity, synchronization
+// granularity and communication fan-out (§5.3).
+func BenchmarkFig8_Sensitivity(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		pts, err := exp.Fig8()
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, p := range pts {
+			if p.Panel == "store" && p.X == 4096 && p.Fabric == exp.CXL {
+				b.ReportMetric(p.Time[exp.SchemeSO]/p.Time[exp.SchemeCORD], "SOvCORD@4KBstores")
+			}
+		}
+	}
+}
+
+// BenchmarkFig9_LatencySweep sweeps the inter-PU directory access latency
+// from 100 to 400 ns under nine application-parameter variants.
+func BenchmarkFig9_LatencySweep(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		pts, err := exp.Fig9()
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, p := range pts {
+			if p.Panel == "fanout" && p.Param == 1 && p.LatencyNs == 400 {
+				b.ReportMetric(p.TimeRatio, "SOvCORD@400ns")
+			}
+		}
+	}
+}
+
+// BenchmarkFig10_BitWidth compares CORD's decoupled epoch/store-counter
+// encoding against monolithic SEQ-8/SEQ-40 sequence numbers.
+func BenchmarkFig10_BitWidth(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		pts, err := exp.Fig10()
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, p := range pts {
+			if p.Panel == "cnt" && p.Bits == 32 && p.Fabric == exp.CXL {
+				b.ReportMetric(p.Seq8Time/p.CordTime, "SEQ8vCORD-time")
+				b.ReportMetric(p.Seq40Bytes/p.CordBytes, "SEQ40vCORD-traffic")
+			}
+		}
+	}
+}
+
+// BenchmarkFig11_Storage measures the peak processor and directory table
+// bytes of the storage-hungriest workloads at 2/4/8 hosts.
+func BenchmarkFig11_Storage(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows, err := exp.Fig11()
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, r := range rows {
+			if r.App == "ATA" && r.Hosts == 8 && r.Fabric == exp.CXL {
+				b.ReportMetric(float64(r.ProcBytes), "ATA-proc-bytes")
+				b.ReportMetric(float64(r.DirBytes), "ATA-dir-bytes")
+			}
+		}
+	}
+}
+
+// BenchmarkFig12_StorageBreakdown splits ATA's storage into counters,
+// look-up tables and network buffers.
+func BenchmarkFig12_StorageBreakdown(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows, err := exp.Fig11()
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, r := range exp.Fig12(rows) {
+			if r.Hosts == 8 && r.Fabric == exp.CXL {
+				b.ReportMetric(float64(r.DirNetBuf), "dir-netbuf-bytes")
+				b.ReportMetric(float64(r.DirTables), "dir-tables-bytes")
+			}
+		}
+	}
+}
+
+// BenchmarkFig13_TSO regenerates the §6 TSO study.
+func BenchmarkFig13_TSO(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		cells, err := exp.Fig13()
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(exp.GeoMeanRatio(cells, exp.SchemeSO, exp.CXL, false), "SOvCORD-time-CXL")
+		b.ReportMetric(exp.GeoMeanRatio(cells, exp.SchemeSO, exp.CXL, true), "SOvCORD-traffic-CXL")
+	}
+}
+
+// BenchmarkTable3_AreaPower evaluates the CACTI-calibrated silicon model on
+// CORD's deployed look-up tables.
+func BenchmarkTable3_AreaPower(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		tech := energy.CACTI22nm()
+		_, dir := energy.CordTables(16)
+		s := tech.Summarize(dir)
+		b.ReportMetric(s.TotalArea, "dir-area-mm2")
+		b.ReportMetric(s.TotalPow, "dir-power-mW")
+	}
+}
+
+// --- protocol-level micro-benchmarks (simulator throughput) ----------------
+
+func benchProtocol(b *testing.B, s exp.Scheme) {
+	p := workload.Micro(64, 4096, 3, 50)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		r, err := exp.RunScheme(p, s, exp.CXL, proto.RC)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if r.Time == 0 {
+			b.Fatal("empty run")
+		}
+	}
+}
+
+// BenchmarkProtocolCORD measures simulator throughput for the CORD model.
+func BenchmarkProtocolCORD(b *testing.B) { benchProtocol(b, exp.SchemeCORD) }
+
+// BenchmarkProtocolSO measures simulator throughput for source ordering.
+func BenchmarkProtocolSO(b *testing.B) { benchProtocol(b, exp.SchemeSO) }
+
+// BenchmarkProtocolMP measures simulator throughput for message passing.
+func BenchmarkProtocolMP(b *testing.B) { benchProtocol(b, exp.SchemeMP) }
+
+// BenchmarkProtocolWB measures simulator throughput for write-back MESI.
+func BenchmarkProtocolWB(b *testing.B) { benchProtocol(b, exp.SchemeWB) }
+
+// BenchmarkLitmusISA2 measures the model checker on the ISA2 state space.
+func BenchmarkLitmusISA2(b *testing.B) {
+	var isa2 litmus.Test
+	for _, t := range litmus.BaseTests() {
+		if t.Name == "ISA2" {
+			isa2 = t
+		}
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		r, err := litmus.Check(isa2, litmus.DefaultConfig())
+		if err != nil {
+			b.Fatal(err)
+		}
+		if !r.Pass() {
+			b.Fatal("ISA2 failed")
+		}
+	}
+}
+
+// --- ablations (design-choice benchmarks called out in DESIGN.md) ----------
+
+// BenchmarkAblationNotifications quantifies §4.2's inter-directory
+// notification mechanism by disabling it: cross-directory Releases fall
+// back to source-ordered draining.
+func BenchmarkAblationNotifications(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		pts, err := exp.AblationNotifications()
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, p := range pts {
+			if p.Name == "micro/s64/y4096/f7" {
+				b.ReportMetric(p.Time, "slowdown-without-notify@fan7")
+			}
+		}
+	}
+}
+
+// BenchmarkAblationTableCap sweeps the unacknowledged-epoch table capacity
+// (§4.3's provisioning trade-off) on a Release burst.
+func BenchmarkAblationTableCap(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		pts, err := exp.AblationTableCap()
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(pts[0].Time, "slowdown@cap1")
+		b.ReportMetric(pts[len(pts)-1].Time, "slowdown@cap16")
+	}
+}
+
+// BenchmarkGraphPageRank runs the algorithm-derived PageRank workload (a
+// push-style kernel over a power-law graph) under CORD.
+func BenchmarkGraphPageRank(b *testing.B) {
+	g, err := graph.NewPowerLaw(4096, 8, 5)
+	if err != nil {
+		b.Fatal(err)
+	}
+	nc := exp.NetConfig(exp.CXL)
+	app := graph.App{Kernel: graph.PageRank, G: g, Hosts: 8, Iters: 4, ComputePerEdge: 2, Seed: 1}
+	tr, err := app.Trace(nc)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sys := proto.NewSystem(5, nc, proto.RC)
+		r, err := proto.Exec(sys, exp.Builder(exp.SchemeCORD), tr.Cores, tr.Progs)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(r.ExecNanos(), "sim-ns")
+	}
+}

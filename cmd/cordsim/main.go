@@ -1,0 +1,227 @@
+// Command cordsim runs a single workload under one protocol on the
+// simulated multi-PU system and prints its measurements.
+//
+// Examples:
+//
+//	cordsim -workload MOCFE -proto CORD -fabric CXL
+//	cordsim -workload micro -store 64 -sync 4096 -fanout 3 -proto SO
+//	cordsim -workload PR -proto CORD -tso
+//	cordsim -workload ATA -proto CORD -compare
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+	"strings"
+
+	"cord"
+)
+
+func main() {
+	var (
+		name    = flag.String("workload", "micro", "application name (PR, SSSP, PAD, TQH, HSTI, TRNS, MOCFE, CMC-2D, BigFFT, CR, ATA) or 'micro'")
+		protoF  = flag.String("proto", "CORD", "protocol: CORD, SO, MP, WB")
+		fabric  = flag.String("fabric", "CXL", "interconnect: CXL or UPI")
+		tso     = flag.Bool("tso", false, "enforce TSO instead of release consistency")
+		compare = flag.Bool("compare", false, "run all protocols and print a comparison")
+		store   = flag.Int("store", 64, "micro: relaxed store granularity (bytes)")
+		sync    = flag.Int("sync", 4096, "micro: synchronization granularity (bytes)")
+		fanout  = flag.Int("fanout", 1, "micro: communication fan-out (hosts)")
+		rounds  = flag.Int("rounds", 100, "micro/ATA: rounds; graph: iterations")
+		verts   = flag.Int("vertices", 4096, "graph-pr/graph-sssp: vertex count")
+		degree  = flag.Int("degree", 8, "graph-pr/graph-sssp: average out-degree")
+		seed    = flag.Int64("seed", 42, "simulation seed")
+		dump    = flag.String("dump-trace", "", "write the workload's trace to this file and exit")
+		from    = flag.String("from-trace", "", "replay a cordtrace file instead of a named workload")
+		char    = flag.Bool("characterize", false, "print Table 2-style workload statistics and exit")
+	)
+	flag.Parse()
+
+	sys := cord.CXLSystem()
+	if strings.EqualFold(*fabric, "UPI") {
+		sys = cord.UPISystem()
+	}
+	sys.Seed = *seed
+	if *tso {
+		sys.Model = cord.TotalStoreOrder
+	}
+
+	if k := strings.ToLower(*name); k == "graph-pr" || k == "graph-sssp" {
+		runGraph(k, *verts, *degree, *rounds, *seed,
+			cord.Protocol(strings.ToUpper(*protoF)), sys, *char)
+		return
+	}
+
+	var w cord.Workload
+	switch strings.ToLower(*name) {
+	case "micro":
+		w = cord.Microbench(*store, *sync, *fanout, *rounds)
+	case "ata":
+		w = cord.Alltoall(sys.Hosts, *rounds)
+	default:
+		var err error
+		w, err = cord.App(*name)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+	}
+
+	if *from != "" {
+		runTrace(*from, cord.Protocol(strings.ToUpper(*protoF)), sys)
+		return
+	}
+	if *dump != "" || *char {
+		tr, err := cord.RecordTrace(w, sys)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		if *char {
+			s := cord.CharacterizeTrace(tr)
+			fmt.Printf("workload           %s\n", w.Name)
+			fmt.Printf("cores              %d\n", s.Cores)
+			fmt.Printf("ops                %d\n", s.Ops)
+			fmt.Printf("relaxed stores     %d (mean %.1f B)\n", s.RelaxedStores, s.RelaxedBytes)
+			fmt.Printf("releases           %d (mean %.0f B/release)\n", s.Releases, s.ReleaseGranBytes)
+			fmt.Printf("acquires           %d\n", s.Acquires)
+			fmt.Printf("mean comm. fanout  %.1f hosts\n", s.Fanout)
+		}
+		if *dump != "" {
+			f, err := os.Create(*dump)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(1)
+			}
+			if err := cord.WriteTrace(f, tr); err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(1)
+			}
+			f.Close()
+			fmt.Printf("trace written to %s\n", *dump)
+		}
+		return
+	}
+
+	if *compare {
+		rs, err := cord.Compare(w, sys)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		ps := make([]cord.Protocol, 0, len(rs))
+		for p := range rs {
+			ps = append(ps, p)
+		}
+		sort.Slice(ps, func(i, j int) bool { return ps[i] < ps[j] })
+		base := rs[cord.CORD]
+		fmt.Printf("%-6s %14s %14s %10s %10s\n", "proto", "time(ns)", "traffic(B)", "t/CORD", "B/CORD")
+		for _, p := range ps {
+			r := rs[p]
+			fmt.Printf("%-6s %14.0f %14d %10.3f %10.3f\n", p, r.ExecNanos(), r.InterHostBytes(),
+				r.ExecNanos()/base.ExecNanos(),
+				float64(r.InterHostBytes())/float64(base.InterHostBytes()))
+		}
+		return
+	}
+
+	r, err := cord.Simulate(w, cord.Protocol(strings.ToUpper(*protoF)), sys)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	fmt.Printf("workload          %s\n", w.Name)
+	fmt.Printf("protocol          %s (%s, %s)\n", strings.ToUpper(*protoF), *fabric, model(*tso))
+	fmt.Printf("execution time    %.0f ns\n", r.ExecNanos())
+	fmt.Printf("inter-PU traffic  %d B\n", r.InterHostBytes())
+	fmt.Printf("ack traffic       %d B\n", r.AckBytes())
+	fmt.Printf("notifications     %d B\n", r.NotificationBytes())
+	fmt.Printf("ack stall         %.1f%% of execution\n", 100*r.AckStallFraction())
+	if mean, p50, p99 := r.ReleaseLatencyNanos(); mean > 0 {
+		fmt.Printf("release latency   mean %.0f ns, p50 %.0f ns, p99 %.0f ns\n", mean, p50, p99)
+	}
+	if p := r.PeakProcTableBytes(); p > 0 {
+		fmt.Printf("peak proc tables  %d B\n", p)
+		fmt.Printf("peak dir tables   %d B\n", r.PeakDirTableBytes())
+	}
+}
+
+func model(tso bool) string {
+	if tso {
+		return "TSO"
+	}
+	return "RC"
+}
+
+// runGraph lowers an algorithm-derived graph workload and simulates it.
+func runGraph(kind string, verts, degree, iters int, seed int64,
+	p cord.Protocol, sys cord.System, characterize bool) {
+	iterations := iters
+	if iterations > 20 {
+		iterations = 5 // the -rounds default is tuned for the microbench
+	}
+	cfg := cord.GraphConfig{
+		Vertices: verts, AvgDegree: degree, PowerLaw: true,
+		Partitions: sys.Hosts, Iterations: iterations,
+		ComputePerEdge: 2, Seed: seed,
+	}
+	var (
+		tr  *cord.Trace
+		err error
+	)
+	if kind == "graph-sssp" {
+		tr, err = cfg.SSSPTrace(sys)
+	} else {
+		tr, err = cfg.PageRankTrace(sys)
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	if characterize {
+		s := cord.CharacterizeTrace(tr)
+		fmt.Printf("workload           %s (%d vertices, deg %d, %d iters)\n", kind, verts, degree, iterations)
+		fmt.Printf("relaxed stores     %d (mean %.1f B)\n", s.RelaxedStores, s.RelaxedBytes)
+		fmt.Printf("releases           %d (mean %.0f B/release)\n", s.Releases, s.ReleaseGranBytes)
+		fmt.Printf("mean comm. fanout  %.1f hosts\n", s.Fanout)
+		return
+	}
+	r, err := cord.SimulateTrace(tr, p, sys)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	fmt.Printf("workload          %s (%d vertices, deg %d, %d iters)\n", kind, verts, degree, iterations)
+	fmt.Printf("protocol          %s\n", p)
+	fmt.Printf("execution time    %.0f ns\n", r.ExecNanos())
+	fmt.Printf("inter-PU traffic  %d B\n", r.InterHostBytes())
+	if mean, p50, p99 := r.ReleaseLatencyNanos(); mean > 0 {
+		fmt.Printf("release latency   mean %.0f ns, p50 %.0f ns, p99 %.0f ns\n", mean, p50, p99)
+	}
+}
+
+// runTrace replays a recorded trace file.
+func runTrace(path string, p cord.Protocol, sys cord.System) {
+	f, err := os.Open(path)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	defer f.Close()
+	tr, err := cord.ReadTrace(f)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	r, err := cord.SimulateTrace(tr, p, sys)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	fmt.Printf("trace             %s (%d cores)\n", path, len(tr.Cores))
+	fmt.Printf("protocol          %s\n", p)
+	fmt.Printf("execution time    %.0f ns\n", r.ExecNanos())
+	fmt.Printf("inter-PU traffic  %d B\n", r.InterHostBytes())
+}

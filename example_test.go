@@ -1,0 +1,75 @@
+package cord_test
+
+import (
+	"fmt"
+
+	"cord"
+)
+
+// The godoc examples double as end-to-end checks of the public API: they
+// run the deterministic simulator, so their outputs are stable.
+
+func ExampleSimulate() {
+	w := cord.Microbench(64, 4096, 1, 10)
+	r, err := cord.Simulate(w, cord.CORD, cord.CXLSystem())
+	if err != nil {
+		panic(err)
+	}
+	s, _ := cord.Simulate(w, cord.SO, cord.CXLSystem())
+	fmt.Printf("CORD acks: %d bytes\n", r.AckBytes())
+	fmt.Printf("SO acks:   %d bytes\n", s.AckBytes())
+	fmt.Printf("CORD is faster: %v\n", r.ExecNanos() < s.ExecNanos())
+	// Output:
+	// CORD acks: 160 bytes
+	// SO acks:   10400 bytes
+	// CORD is faster: true
+}
+
+func ExampleVerify() {
+	var isa2 cord.LitmusTest
+	for _, t := range cord.LitmusSuite() {
+		if t.Name == "ISA2" {
+			isa2 = t
+		}
+	}
+	c, _ := cord.Verify(isa2, cord.CORD)
+	m, _ := cord.Verify(isa2, cord.MP)
+	fmt.Printf("CORD forbids ISA2's outcome: %v\n", !c.ForbiddenReachable)
+	fmt.Printf("MP violates it: %v\n", m.ForbiddenReachable)
+	// Output:
+	// CORD forbids ISA2's outcome: true
+	// MP violates it: true
+}
+
+func ExampleCompare() {
+	w := cord.Microbench(64, 2048, 3, 20)
+	rs, err := cord.Compare(w, cord.CXLSystem())
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("protocols compared: %d\n", len(rs))
+	fmt.Printf("SO slower than CORD: %v\n",
+		rs[cord.SO].ExecNanos() > rs[cord.CORD].ExecNanos())
+	// Output:
+	// protocols compared: 4
+	// SO slower than CORD: true
+}
+
+func ExampleSimulateProgram() {
+	flag := cord.ComposeAddr(1, 0, 0)
+	progs := map[cord.CoreRef]cord.Program{
+		{Host: 0, Core: 0}: {
+			cord.StoreRelaxed(cord.ComposeAddr(1, 0, 64), 64),
+			cord.FetchAddOp(flag, 1, cord.OrdRelease),
+			cord.FullBarrier(),
+		},
+		{Host: 1, Core: 0}: {cord.AcquireLoad(flag, 1)},
+	}
+	r, err := cord.SimulateProgram(progs, cord.CORD, cord.CXLSystem())
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("completed: %v\n", r.ExecNanos() > 0)
+	// Output:
+	// completed: true
+}

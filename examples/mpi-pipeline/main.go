@@ -1,0 +1,62 @@
+// mpi-pipeline runs the DOE MOCFE mini-app trace — a neutron-transport
+// pipeline that exchanges very fine-grained (8-256 B) messages with six
+// partner hosts per sweep — under all four coherence schemes on CXL and UPI,
+// reproducing the per-application view of the paper's Fig. 7.
+//
+// MOCFE is the kind of workload CORD was designed for: its communication-
+// to-computation ratio is high and its synchronization is fine-grained, so
+// source ordering's acknowledgment stalls dominate; but its fan-out is also
+// high, so it is one of the few workloads where CORD pays measurable
+// inter-directory notification traffic.
+package main
+
+import (
+	"fmt"
+	"log"
+	"sort"
+
+	"cord"
+)
+
+func main() {
+	app, err := cord.App("MOCFE")
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	for _, sys := range []struct {
+		name string
+		cfg  cord.System
+	}{
+		{"CXL (150ns inter-host)", cord.CXLSystem()},
+		{"UPI (50ns inter-host)", cord.UPISystem()},
+	} {
+		results, err := cord.Compare(app, sys.cfg)
+		if err != nil {
+			log.Fatal(err)
+		}
+		base := results[cord.CORD]
+		fmt.Printf("== MOCFE on %s ==\n", sys.name)
+		fmt.Printf("%-6s %12s %12s %9s %9s %14s\n",
+			"proto", "time(ns)", "traffic(B)", "t/CORD", "B/CORD", "notify bytes")
+		protos := make([]cord.Protocol, 0, len(results))
+		for p := range results {
+			protos = append(protos, p)
+		}
+		sort.Slice(protos, func(i, j int) bool { return protos[i] < protos[j] })
+		for _, p := range protos {
+			r := results[p]
+			fmt.Printf("%-6s %12.0f %12d %9.3f %9.3f %14d\n",
+				p, r.ExecNanos(), r.InterHostBytes(),
+				r.ExecNanos()/base.ExecNanos(),
+				float64(r.InterHostBytes())/float64(base.InterHostBytes()),
+				r.NotificationBytes())
+		}
+		fmt.Println()
+	}
+
+	fmt.Println("Note how CORD approaches MP's performance while preserving")
+	fmt.Println("system-wide release consistency, and how its notification")
+	fmt.Println("traffic (absent in every other scheme) is the price of scaling")
+	fmt.Println("directory ordering across six partner directories.")
+}

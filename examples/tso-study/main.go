@@ -1,0 +1,63 @@
+// tso-study reproduces the spirit of §6: what happens to the write-through
+// coherence schemes when the memory model tightens from release consistency
+// to x86-style Total Store Ordering, where *every* store must be ordered.
+//
+// Under RC only Releases need ordering; under TSO source ordering must
+// acknowledge and serialize every write-through store, while CORD orders
+// them at the directory through the Release-Release mechanism — paying acks
+// and notifications on the wire but never stalling issue.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"cord"
+)
+
+func main() {
+	app, err := cord.App("PAD")
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Println("Chai PAD under both memory models (CXL fabric):")
+	fmt.Printf("%-22s %12s %12s %12s\n", "", "CORD", "SO", "SO/CORD")
+	for _, m := range []struct {
+		name  string
+		model cord.Consistency
+	}{
+		{"release consistency", cord.ReleaseConsistency},
+		{"total store order", cord.TotalStoreOrder},
+	} {
+		sys := cord.CXLSystem()
+		sys.Model = m.model
+		co, err := cord.Simulate(app, cord.CORD, sys)
+		if err != nil {
+			log.Fatal(err)
+		}
+		so, err := cord.Simulate(app, cord.SO, sys)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%-22s %10.0fns %10.0fns %11.2fx\n",
+			m.name, co.ExecNanos(), so.ExecNanos(), so.ExecNanos()/co.ExecNanos())
+	}
+
+	fmt.Println()
+	fmt.Println("Traffic under TSO (CORD must acknowledge every store and fan out")
+	fmt.Println("notifications, so its wire cost rises while its latency does not):")
+	sys := cord.CXLSystem()
+	sys.Model = cord.TotalStoreOrder
+	co, err := cord.Simulate(app, cord.CORD, sys)
+	if err != nil {
+		log.Fatal(err)
+	}
+	so, err := cord.Simulate(app, cord.SO, sys)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("  CORD: %8d B total, %7d B acks, %7d B notifications\n",
+		co.InterHostBytes(), co.AckBytes(), co.NotificationBytes())
+	fmt.Printf("  SO:   %8d B total, %7d B acks\n", so.InterHostBytes(), so.AckBytes())
+}

@@ -1,0 +1,70 @@
+package cord
+
+import (
+	"fmt"
+
+	"cord/internal/graph"
+)
+
+// Algorithm-derived graph workloads: where App("PR")/App("SSSP") reproduce
+// the Pannotia workloads' Table 2 characteristics with parameterized
+// generators, these lower an actual push-style PageRank or SSSP over a
+// synthetic partitioned graph into a trace — communication volume, fan-out
+// and write locality all fall out of the graph's cut structure.
+
+// GraphConfig describes a synthetic graph workload.
+type GraphConfig struct {
+	// Vertices and AvgDegree shape the graph.
+	Vertices  int
+	AvgDegree int
+	// PowerLaw picks a preferential-attachment (hub-heavy) graph instead of
+	// a uniform random one.
+	PowerLaw bool
+	// Partitions is the number of hosts the graph is block-partitioned
+	// across (>= 2, <= the system's hosts).
+	Partitions int
+	// Iterations is the number of bulk-synchronous rounds.
+	Iterations int
+	// ComputePerEdge is the local work per relaxed edge, in cycles.
+	ComputePerEdge int
+	// Seed drives graph generation and SSSP frontier sampling.
+	Seed int64
+}
+
+func (c GraphConfig) build() (*graph.Graph, error) {
+	if c.PowerLaw {
+		return graph.NewPowerLaw(c.Vertices, c.AvgDegree, c.Seed)
+	}
+	return graph.NewUniform(c.Vertices, c.AvgDegree, c.Seed)
+}
+
+func (c GraphConfig) trace(kernel graph.Kernel, s System) (*Trace, error) {
+	g, err := c.build()
+	if err != nil {
+		return nil, err
+	}
+	nc, err := s.netConfig()
+	if err != nil {
+		return nil, err
+	}
+	app := graph.App{
+		Kernel: kernel, G: g, Hosts: c.Partitions, Iters: c.Iterations,
+		ComputePerEdge: c.ComputePerEdge, Seed: c.Seed,
+	}
+	tr, err := app.Trace(nc)
+	if err != nil {
+		return nil, fmt.Errorf("cord: %v workload: %w", kernel, err)
+	}
+	return tr, nil
+}
+
+// PageRankTrace lowers a push-style PageRank over the configured graph into
+// a replayable trace for the given system.
+func (c GraphConfig) PageRankTrace(s System) (*Trace, error) {
+	return c.trace(graph.PageRank, s)
+}
+
+// SSSPTrace lowers a frontier-based SSSP over the configured graph.
+func (c GraphConfig) SSSPTrace(s System) (*Trace, error) {
+	return c.trace(graph.SSSP, s)
+}

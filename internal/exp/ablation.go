@@ -1,0 +1,122 @@
+package exp
+
+import (
+	"cord/internal/memsys"
+	"cord/internal/noc"
+	"cord/internal/proto"
+	"cord/internal/proto/cord"
+	"cord/internal/workload"
+)
+
+// Ablations quantify the design choices DESIGN.md calls out: the
+// inter-directory notification mechanism (§4.2) and the look-up table
+// provisioning level (§4.3).
+
+// AblationPoint compares full CORD against a variant at one workload.
+type AblationPoint struct {
+	Name    string
+	Variant string
+	// Time and Bytes are the variant's measurements normalized to full
+	// CORD on the same workload.
+	Time  float64
+	Bytes float64
+}
+
+// AblationNotifications measures CORD without inter-directory notifications
+// (cross-directory Releases fall back to source-ordered draining) across
+// communication fan-outs. Fan-out 1 should show no difference; higher
+// fan-outs expose the mechanism's stall savings.
+func AblationNotifications() ([]AblationPoint, error) {
+	var pts []AblationPoint
+	for _, fan := range []int{1, 3, 7} {
+		w := workload.Micro(64, 4096, fan, 60)
+		base, err := Run(w, Builder(SchemeCORD), NetConfig(CXL), proto.RC, 42)
+		if err != nil {
+			return nil, err
+		}
+		cfg := cord.DefaultConfig()
+		cfg.NoNotifications = true
+		ab, err := Run(w, &cord.Protocol{Cfg: cfg}, NetConfig(CXL), proto.RC, 42)
+		if err != nil {
+			return nil, err
+		}
+		pts = append(pts, AblationPoint{
+			Name:    w.Name,
+			Variant: "no-notifications",
+			Time:    ab.ExecNanos() / base.ExecNanos(),
+			Bytes:   float64(ab.Traffic.TotalInter()) / float64(base.Traffic.TotalInter()),
+		})
+	}
+	return pts, nil
+}
+
+// tableCapProgram is a release burst: 200 fine-grained Releases spread over
+// host 1's slices with no intervening waits, so the in-flight Release count
+// is limited only by the provisioned tables.
+func tableCapProgram() ([]noc.NodeID, []proto.Program) {
+	var p proto.Program
+	for i := 0; i < 200; i++ {
+		p = append(p, proto.StoreRelease(memsys.Compose(1, i%8, uint64(i/8)<<12), 8, uint64(i+1)))
+	}
+	p = append(p, proto.Barrier(proto.SeqCst))
+	return []noc.NodeID{noc.CoreID(0, 0)}, []proto.Program{p}
+}
+
+// AblationTableCap measures the effect of the unacknowledged-epoch table
+// capacity (§4.3's provisioning) on a Release burst whose in-flight count
+// exceeds small tables.
+func AblationTableCap() ([]AblationPoint, error) {
+	run := func(cap int) (*proto.System, float64, float64, error) {
+		cfg := cord.DefaultConfig()
+		cfg.ProcUnackedCap = cap
+		if cfg.DirCntCapPerProc < cap {
+			cfg.DirCntCapPerProc = cap
+		}
+		if cfg.DirNotiCapPerProc < cap {
+			cfg.DirNotiCapPerProc = cap
+		}
+		cores, progs := tableCapProgram()
+		sys := proto.NewSystem(42, NetConfig(CXL), proto.RC)
+		r, err := proto.Exec(sys, &cord.Protocol{Cfg: cfg}, cores, progs)
+		if err != nil {
+			return nil, 0, 0, err
+		}
+		return sys, r.ExecNanos(), float64(r.Traffic.TotalInter()), nil
+	}
+	_, baseT, baseB, err := run(cord.DefaultConfig().ProcUnackedCap)
+	if err != nil {
+		return nil, err
+	}
+	var pts []AblationPoint
+	for _, cap := range []int{1, 2, 4, 8, 16} {
+		_, t, b, err := run(cap)
+		if err != nil {
+			return nil, err
+		}
+		pts = append(pts, AblationPoint{
+			Name:    "release-burst",
+			Variant: variantName("unacked-cap", cap),
+			Time:    t / baseT,
+			Bytes:   b / baseB,
+		})
+	}
+	return pts, nil
+}
+
+func variantName(prefix string, v int) string {
+	return prefix + "-" + itoa(v)
+}
+
+func itoa(v int) string {
+	if v == 0 {
+		return "0"
+	}
+	var b [8]byte
+	i := len(b)
+	for v > 0 {
+		i--
+		b[i] = byte('0' + v%10)
+		v /= 10
+	}
+	return string(b[i:])
+}

@@ -1,0 +1,99 @@
+package exp
+
+import (
+	"strings"
+	"testing"
+
+	"cord/internal/memsys"
+	"cord/internal/noc"
+	"cord/internal/proto"
+	"cord/internal/proto/cord"
+)
+
+func TestAblationNotifications(t *testing.T) {
+	pts, err := AblationNotifications()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pts) != 3 {
+		t.Fatalf("points = %d, want 3", len(pts))
+	}
+	// Fan-out 1: no cross-directory epochs, so the ablation is a no-op.
+	if p := pts[0]; p.Time < 0.99 || p.Time > 1.01 {
+		t.Errorf("fanout 1: no-notification time ratio %.3f, want ~1", p.Time)
+	}
+	// Fan-out 7: source-ordered draining must cost real time.
+	if p := pts[2]; p.Time < 1.10 {
+		t.Errorf("fanout 7: no-notification time ratio %.3f, want > 1.10", p.Time)
+	}
+	// Every multi-directory fan-out pays (the per-round cost is one drain
+	// round trip; its relative weight depends on the round length).
+	if pts[1].Time < 1.10 {
+		t.Errorf("fanout 3: no-notification time ratio %.3f, want > 1.10", pts[1].Time)
+	}
+}
+
+func TestAblationNotificationsCorrectness(t *testing.T) {
+	// The ablated protocol must still enforce ordering: relaxed data to one
+	// directory, release flag at another, consumer checks both.
+	cfg := cord.DefaultConfig()
+	cfg.NoNotifications = true
+	nc := NetConfig(CXL)
+	nc.Hosts = 4
+	nc.TilesPerHost = 4
+	nc.JitterCycles = 32
+	data := memsys.Compose(1, 0, 0)
+	flag := memsys.Compose(2, 0, 0)
+	prod := proto.Program{
+		proto.Op{Kind: proto.OpStoreWT, Ord: proto.Relaxed, Addr: data, Size: 64, Value: 9},
+		proto.StoreRelease(flag, 8, 1),
+	}
+	cons := proto.Program{
+		proto.AcquireLoad(flag, 1),
+		proto.AcquireLoad(data, 9),
+	}
+	sys := proto.NewSystem(3, nc, proto.RC)
+	r, err := proto.Exec(sys, &cord.Protocol{Cfg: cfg},
+		[]noc.NodeID{noc.CoreID(0, 0), noc.CoreID(3, 0)}, []proto.Program{prod, cons})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Procs[1].Finished == 0 {
+		t.Fatal("consumer never finished")
+	}
+	// No notification messages in the ablated protocol.
+	if got := r.Traffic.InterMsgs[4] + r.Traffic.InterMsgs[3]; got != 0 { // notify + req-notify
+		t.Fatalf("ablation sent %d notification messages", got)
+	}
+}
+
+func TestAblationTableCap(t *testing.T) {
+	pts, err := AblationTableCap()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pts) != 5 {
+		t.Fatalf("points = %d, want 5", len(pts))
+	}
+	// Single-entry tables throttle fine-grained synchronization hard.
+	if pts[0].Time < 1.5 {
+		t.Errorf("cap=1 time ratio %.3f, want heavy throttling (> 1.5)", pts[0].Time)
+	}
+	// Provisioning converges: cap 8 matches the default (ratio ~1).
+	last := pts[len(pts)-2] // cap 8 = the default config
+	if last.Time < 0.99 || last.Time > 1.01 {
+		t.Errorf("cap=8 time ratio %.3f, want ~1 (default provisioning)", last.Time)
+	}
+	// Monotone improvement with capacity.
+	for i := 1; i < len(pts); i++ {
+		if pts[i].Time > pts[i-1].Time*1.01 {
+			t.Errorf("capacity %s slower than %s (%.3f vs %.3f)",
+				pts[i].Variant, pts[i-1].Variant, pts[i].Time, pts[i-1].Time)
+		}
+	}
+	for _, p := range pts {
+		if !strings.HasPrefix(p.Variant, "unacked-cap-") {
+			t.Errorf("bad variant name %q", p.Variant)
+		}
+	}
+}

@@ -1,0 +1,21 @@
+package exp
+
+import (
+	"math"
+
+	"cord/internal/proto"
+	"cord/internal/proto/cord"
+)
+
+// seqBuilder returns the SEQ-N monolithic sequence-number baseline.
+func seqBuilder(bits int) proto.Builder { return cord.NewSeq(bits) }
+
+// cordBits returns CORD with custom epoch/counter widths (Fig. 10 sweeps).
+func cordBits(epochBits, cntBits int) proto.Builder {
+	cfg := cord.DefaultConfig()
+	cfg.EpochBits = epochBits
+	cfg.CntBits = cntBits
+	return &cord.Protocol{Cfg: cfg}
+}
+
+func mathPow(x, y float64) float64 { return math.Pow(x, y) }

@@ -1,0 +1,64 @@
+package exp
+
+import (
+	"fmt"
+	"os"
+	"testing"
+	"time"
+
+	"cord/internal/proto"
+	"cord/internal/stats"
+	"cord/internal/workload"
+)
+
+// TestCalibrationReport prints the end-to-end shape of every app under all
+// four schemes. It is the tuning loop for the workload parameters; run with
+// CORD_CALIBRATE=1 to see the full report.
+func TestCalibrationReport(t *testing.T) {
+	if os.Getenv("CORD_CALIBRATE") == "" {
+		t.Skip("set CORD_CALIBRATE=1 for the calibration report")
+	}
+	for _, ic := range Interconnects() {
+		fmt.Printf("=== %s ===\n", ic)
+		fmt.Printf("%-8s %10s %10s %10s %10s | %8s %8s %8s | %6s %6s\n",
+			"app", "MP(ns)", "CORD(ns)", "SO(ns)", "WB(ns)", "tMP", "tSO", "tWB", "ack%t", "ack%b")
+		for _, app := range workload.Apps() {
+			var cells []Cell
+			var soRun *stats.Run
+			for _, s := range Schemes() {
+				if s == SchemeMP && app.MPIncompatible {
+					cells = append(cells, Cell{App: app.Name, Scheme: s, Fabric: ic, Skipped: true})
+					continue
+				}
+				start := time.Now()
+				r, err := RunScheme(app, s, ic, proto.RC)
+				if err != nil {
+					t.Fatalf("%s/%s: %v", app.Name, s, err)
+				}
+				if s == SchemeSO {
+					soRun = r
+				}
+				cells = append(cells, Cell{App: app.Name, Scheme: s, Fabric: ic,
+					Time: r.ExecNanos(), Traffic: float64(r.Traffic.TotalInter())})
+				_ = start
+			}
+			get := func(s Scheme) Cell {
+				for _, c := range cells {
+					if c.Scheme == s {
+						return c
+					}
+				}
+				return Cell{}
+			}
+			mpC, cordC, soC, wbC := get(SchemeMP), get(SchemeCORD), get(SchemeSO), get(SchemeWB)
+			ackTime := soRun.StallFraction(stats.StallAckWait)
+			ackBytes := soRun.AckTrafficFraction()
+			fmt.Printf("%-8s %10.0f %10.0f %10.0f %10.0f | %8.3f %8.3f %8.3f | %5.1f%% %5.1f%%\n",
+				app.Name, mpC.Time, cordC.Time, soC.Time, wbC.Time,
+				Norm(cells, mpC, true), Norm(cells, soC, true), Norm(cells, wbC, true),
+				ackTime*100, ackBytes*100)
+			fmt.Printf("%-8s time ratios: MP %.3f SO %.3f WB %.3f\n", "",
+				Norm(cells, mpC, false), Norm(cells, soC, false), Norm(cells, wbC, false))
+		}
+	}
+}

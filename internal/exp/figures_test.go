@@ -1,0 +1,465 @@
+package exp
+
+import (
+	"testing"
+
+	"cord/internal/proto"
+	"cord/internal/workload"
+)
+
+// These tests assert the qualitative *shapes* of the paper's figures — who
+// wins, roughly by what factor, where the crossovers fall — which is the
+// reproduction contract (absolute values differ from gem5's).
+
+func cellOf(cells []Cell, app string, s Scheme, ic Interconnect) Cell {
+	for _, c := range cells {
+		if c.App == app && c.Scheme == s && c.Fabric == ic {
+			return c
+		}
+	}
+	return Cell{}
+}
+
+func TestFig2Shapes(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full end-to-end sweep")
+	}
+	rows, err := Fig2()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 20 {
+		t.Fatalf("rows = %d, want 10 apps x 2 fabrics", len(rows))
+	}
+	byApp := map[string]map[Interconnect]Fig2Row{}
+	for _, r := range rows {
+		if byApp[r.App] == nil {
+			byApp[r.App] = map[Interconnect]Fig2Row{}
+		}
+		byApp[r.App][r.Fabric] = r
+	}
+	for app, m := range byApp {
+		cxl, upi := m[CXL], m[UPI]
+		// Every app shows measurable overhead; none exceeds ~55%.
+		if cxl.TimePct < 2 || cxl.TimePct > 55 {
+			t.Errorf("%s CXL time overhead %.1f%% out of Fig. 2's range", app, cxl.TimePct)
+		}
+		// UPI's shorter latency lowers the stall share (Fig. 2 right).
+		if upi.TimePct >= cxl.TimePct {
+			t.Errorf("%s: UPI stall %.1f%% should be below CXL %.1f%%", app, upi.TimePct, cxl.TimePct)
+		}
+		if cxl.TrafficPct < 5 || cxl.TrafficPct > 50 {
+			t.Errorf("%s ack traffic %.1f%% out of range", app, cxl.TrafficPct)
+		}
+	}
+	// PR has the largest ack-traffic share (word-granular stores).
+	maxApp, maxV := "", 0.0
+	for app, m := range byApp {
+		if v := m[CXL].TrafficPct; v > maxV {
+			maxApp, maxV = app, v
+		}
+	}
+	if maxApp != "PR" && maxApp != "SSSP" {
+		t.Errorf("largest ack traffic share is %s (%.1f%%), expected a word-granular app", maxApp, maxV)
+	}
+	// TQH has the smallest time overhead of the Chai apps (paper: < 10%).
+	if byApp["TQH"][CXL].TimePct > 10 {
+		t.Errorf("TQH CXL overhead %.1f%%, want < 10%%", byApp["TQH"][CXL].TimePct)
+	}
+}
+
+func TestFig7Shapes(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full end-to-end sweep")
+	}
+	cells, err := Fig7()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, ic := range Interconnects() {
+		for _, app := range workload.AppNames() {
+			so := Norm(cells, cellOf(cells, app, SchemeSO, ic), false)
+			if so <= 1.0 {
+				t.Errorf("%s/%s: SO time ratio %.3f — CORD must outperform SO", app, ic, so)
+			}
+			if app != "TQH" {
+				mp := Norm(cells, cellOf(cells, app, SchemeMP, ic), false)
+				if mp < 0.85 {
+					t.Errorf("%s/%s: CORD is %.1f%% slower than MP, want < 15%%", app, ic, 100*(1/mp-1))
+				}
+			}
+			wbT := Norm(cells, cellOf(cells, app, SchemeWB, ic), false)
+			if app != "PR" && wbT <= 1.0 {
+				t.Errorf("%s/%s: WB time ratio %.3f — only PR may beat CORD", app, ic, wbT)
+			}
+			soB := Norm(cells, cellOf(cells, app, SchemeSO, ic), true)
+			switch app {
+			case "TRNS", "MOCFE":
+				if soB > 1.05 {
+					t.Errorf("%s/%s: SO traffic ratio %.3f — CORD should cost extra traffic here", app, ic, soB)
+				}
+			default:
+				if soB <= 1.0 {
+					t.Errorf("%s/%s: SO traffic ratio %.3f — CORD must reduce traffic", app, ic, soB)
+				}
+			}
+			wbB := Norm(cells, cellOf(cells, app, SchemeWB, ic), true)
+			switch app {
+			case "SSSP":
+				if wbB >= 1.0 {
+					t.Errorf("SSSP/%s: WB traffic ratio %.3f — SSSP is WB's only traffic win", ic, wbB)
+				}
+			case "TRNS": // borderline tie in the model
+			default:
+				if wbB < 0.98 {
+					t.Errorf("%s/%s: WB traffic ratio %.3f — WB should cost more traffic", app, ic, wbB)
+				}
+			}
+		}
+	}
+	// PR is WB's only performance win (paper §5.2).
+	if wbPR := Norm(cells, cellOf(cells, "PR", SchemeWB, CXL), false); wbPR > 1.05 {
+		t.Errorf("PR/CXL: WB time ratio %.3f, expected ~<= 1", wbPR)
+	}
+	// Averages: CORD's win over SO is larger on CXL than UPI (higher
+	// latency exposes more acknowledgment cost), in the tens of percent.
+	soCXL := GeoMeanRatio(cells, SchemeSO, CXL, false)
+	soUPI := GeoMeanRatio(cells, SchemeSO, UPI, false)
+	if soCXL <= soUPI {
+		t.Errorf("SO/CORD gmean: CXL %.3f should exceed UPI %.3f", soCXL, soUPI)
+	}
+	if soCXL < 1.15 || soCXL > 1.6 {
+		t.Errorf("SO/CORD gmean CXL = %.3f, want tens of percent (paper: 1.28)", soCXL)
+	}
+	mpCXL := GeoMeanRatio(cells, SchemeMP, CXL, false)
+	if mpCXL < 0.90 {
+		t.Errorf("MP/CORD gmean CXL = %.3f, CORD should be within ~10%% of MP (paper: 4%%)", mpCXL)
+	}
+	// Traffic: CORD reduces SO traffic on average.
+	if g := GeoMeanRatio(cells, SchemeSO, CXL, true); g <= 1.05 {
+		t.Errorf("SO/CORD traffic gmean CXL = %.3f, want > 1.05 (paper: 1.12)", g)
+	}
+}
+
+func TestFig8Shapes(t *testing.T) {
+	if testing.Short() {
+		t.Skip("sensitivity sweep")
+	}
+	pts, err := Fig8()
+	if err != nil {
+		t.Fatal(err)
+	}
+	find := func(panel string, x int, ic Interconnect) SensPoint {
+		for _, p := range pts {
+			if p.Panel == panel && p.X == x && p.Fabric == ic {
+				return p
+			}
+		}
+		t.Fatalf("missing point %s/%d/%s", panel, x, ic)
+		return SensPoint{}
+	}
+	for _, ic := range Interconnects() {
+		// Store granularity: CORD's time benefit over SO grows with size...
+		small := find("store", 8, ic)
+		big := find("store", 4096, ic)
+		rSmall := small.Time[SchemeSO] / small.Time[SchemeCORD]
+		rBig := big.Time[SchemeSO] / big.Time[SchemeCORD]
+		if rBig <= rSmall {
+			t.Errorf("%s: SO/CORD time at 4KB (%.2f) should exceed 8B (%.2f)", ic, rBig, rSmall)
+		}
+		// ...while the traffic saving shrinks.
+		bSmall := small.Bytes[SchemeSO] / small.Bytes[SchemeCORD]
+		bBig := big.Bytes[SchemeSO] / big.Bytes[SchemeCORD]
+		if bBig >= bSmall {
+			t.Errorf("%s: SO/CORD traffic at 4KB (%.2f) should be below 8B (%.2f)", ic, bBig, bSmall)
+		}
+		if bBig > 1.10 {
+			t.Errorf("%s: traffic saving at 4KB stores should be < 10%% (got ratio %.2f)", ic, bBig)
+		}
+		// Sync granularity: benefit decreases with size.
+		fine := find("sync", 64, ic)
+		coarse := find("sync", 2*1024*1024, ic)
+		if rc, rf := coarse.Time[SchemeSO]/coarse.Time[SchemeCORD],
+			fine.Time[SchemeSO]/fine.Time[SchemeCORD]; rc >= rf {
+			t.Errorf("%s: SO/CORD time at 2MB sync (%.2f) should be below 64B (%.2f)", ic, rc, rf)
+		}
+		// Fan-out 1: no notifications, so CORD matches MP.
+		f1 := find("fanout", 1, ic)
+		if gap := f1.Time[SchemeCORD] / f1.Time[SchemeMP]; gap > 1.03 {
+			t.Errorf("%s: CORD %.1f%% slower than MP at fanout 1, want ~0", ic, 100*(gap-1))
+		}
+		if gapB := f1.Bytes[SchemeCORD] / f1.Bytes[SchemeMP]; gapB > 1.03 {
+			t.Errorf("%s: CORD traffic %.1f%% above MP at fanout 1, want ~0", ic, 100*(gapB-1))
+		}
+		// Fan-out 7: CORD still beats SO but trails MP.
+		f7 := find("fanout", 7, ic)
+		if r := f7.Time[SchemeSO] / f7.Time[SchemeCORD]; r <= 1.0 {
+			t.Errorf("%s: CORD must beat SO at fanout 7 (ratio %.2f)", ic, r)
+		}
+		if gap := f7.Time[SchemeCORD] / f7.Time[SchemeMP]; gap < 1.0 {
+			t.Errorf("%s: MP should win at fanout 7 (CORD/MP = %.2f)", ic, gap)
+		}
+	}
+}
+
+func TestFig9Shapes(t *testing.T) {
+	if testing.Short() {
+		t.Skip("latency sweep")
+	}
+	pts, err := Fig9()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Group by (panel, param): time ratio must grow with latency; byte
+	// ratio must stay ~constant.
+	type key struct {
+		panel string
+		param int
+	}
+	series := map[key]map[int]Fig9Point{}
+	for _, p := range pts {
+		k := key{p.Panel, p.Param}
+		if series[k] == nil {
+			series[k] = map[int]Fig9Point{}
+		}
+		series[k][p.LatencyNs] = p
+	}
+	for k, m := range series {
+		lo, hi := m[100], m[400]
+		if hi.TimeRatio <= lo.TimeRatio {
+			t.Errorf("%s/%d: SO/CORD time at 400ns (%.2f) should exceed 100ns (%.2f)",
+				k.panel, k.param, hi.TimeRatio, lo.TimeRatio)
+		}
+		if d := hi.ByteRatio / lo.ByteRatio; d < 0.95 || d > 1.05 {
+			t.Errorf("%s/%d: traffic ratio should not depend on latency (%.2f vs %.2f)",
+				k.panel, k.param, hi.ByteRatio, lo.ByteRatio)
+		}
+		if lo.TimeRatio <= 1.0 {
+			t.Errorf("%s/%d: CORD must beat SO even at 100ns (%.2f)", k.panel, k.param, lo.TimeRatio)
+		}
+	}
+}
+
+func TestFig10Shapes(t *testing.T) {
+	if testing.Short() {
+		t.Skip("bit-width sweep")
+	}
+	pts, err := Fig10()
+	if err != nil {
+		t.Fatal(err)
+	}
+	find := func(panel string, bits int, ic Interconnect) Fig10Point {
+		for _, p := range pts {
+			if p.Panel == panel && p.Bits == bits && p.Fabric == ic {
+				return p
+			}
+		}
+		t.Fatalf("missing %s/%d/%s", panel, bits, ic)
+		return Fig10Point{}
+	}
+	for _, ic := range Interconnects() {
+		// Narrow store counters stall on overflow: slower than wide ones.
+		c8, c32 := find("cnt", 8, ic), find("cnt", 32, ic)
+		if c8.CordTime <= c32.CordTime*1.05 {
+			t.Errorf("%s: 8-bit counters (%.0f ns) should be > 5%% slower than 32-bit (%.0f ns)",
+				ic, c8.CordTime, c32.CordTime)
+		}
+		// CORD(8,32) matches SEQ-40's performance and SEQ-8's traffic.
+		def := find("epoch", 8, ic)
+		if def.CordTime > def.Seq40Time*1.05 {
+			t.Errorf("%s: CORD time %.0f should match SEQ-40 %.0f", ic, def.CordTime, def.Seq40Time)
+		}
+		if def.CordTime > def.Seq8Time {
+			t.Errorf("%s: CORD must beat SEQ-8's time", ic)
+		}
+		if def.CordBytes > def.Seq8Bytes*1.02 {
+			t.Errorf("%s: CORD bytes %.0f should match SEQ-8 %.0f", ic, def.CordBytes, def.Seq8Bytes)
+		}
+		if def.Seq40Bytes <= def.CordBytes {
+			t.Errorf("%s: SEQ-40 must carry more traffic than CORD", ic)
+		}
+		// Wider epochs inflate Relaxed stores.
+		e8, e16 := find("epoch", 8, ic), find("epoch", 16, ic)
+		if e16.CordBytes <= e8.CordBytes {
+			t.Errorf("%s: 16-bit epochs should inflate traffic", ic)
+		}
+	}
+}
+
+func TestFig11And12Shapes(t *testing.T) {
+	if testing.Short() {
+		t.Skip("storage sweep")
+	}
+	rows, err := Fig11()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range rows {
+		// Processor storage is negligible (tens of bytes, Fig. 11).
+		if r.ProcBytes > 64 {
+			t.Errorf("%s h=%d %s: proc storage %dB, want tens of bytes", r.App, r.Hosts, r.Fabric, r.ProcBytes)
+		}
+		// Directory storage stays under ~2 KB even for ATA.
+		if r.DirBytes > 2048 {
+			t.Errorf("%s h=%d %s: dir storage %dB, want < 2KB", r.App, r.Hosts, r.Fabric, r.DirBytes)
+		}
+		if r.ProcCounters+r.ProcOther != r.ProcBytes {
+			// Per-instance maxima may come from different instances, so the
+			// sum can exceed the combined peak but never undershoot it.
+			if r.ProcCounters+r.ProcOther < r.ProcBytes {
+				t.Errorf("%s: breakdown %d+%d < total %d", r.App, r.ProcCounters, r.ProcOther, r.ProcBytes)
+			}
+		}
+	}
+	// ATA consumes the most directory storage at 8 hosts.
+	var ata8, others8 int
+	for _, r := range rows {
+		if r.Hosts != 8 || r.Fabric != CXL {
+			continue
+		}
+		if r.App == "ATA" {
+			ata8 = r.DirBytes
+		} else if r.DirBytes > others8 {
+			others8 = r.DirBytes
+		}
+	}
+	if ata8 <= others8 {
+		t.Errorf("ATA dir storage (%dB) should exceed the real apps' max (%dB)", ata8, others8)
+	}
+	// Storage grows with host count for ATA (Fig. 11/12).
+	get := func(hosts int) int {
+		for _, r := range rows {
+			if r.App == "ATA" && r.Hosts == hosts && r.Fabric == CXL {
+				return r.DirBytes
+			}
+		}
+		return 0
+	}
+	if !(get(2) <= get(4) && get(4) <= get(8)) {
+		t.Errorf("ATA dir storage not monotone: %d, %d, %d", get(2), get(4), get(8))
+	}
+	if len(Fig12(rows)) == 0 {
+		t.Error("Fig12 found no ATA rows")
+	}
+}
+
+func TestTable3Rows(t *testing.T) {
+	rows := Table3()
+	if len(rows) != 7 {
+		t.Fatalf("rows = %d, want 2 totals + 5 components", len(rows))
+	}
+	var totals int
+	for _, r := range rows {
+		if r.Total {
+			totals++
+			continue
+		}
+		if r.AreaMM2 <= 0 || r.PowerMW <= 0 || r.ReadNJ <= 0 || r.WriteNJ <= 0 {
+			t.Errorf("%s has non-positive cost", r.Component)
+		}
+	}
+	if totals != 2 {
+		t.Fatalf("totals = %d, want 2", totals)
+	}
+}
+
+func TestRunSchemeSmoke(t *testing.T) {
+	p := workload.Micro(64, 1024, 1, 4)
+	r, err := RunScheme(p, SchemeCORD, CXL, proto.RC)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Time == 0 || r.Traffic.TotalInter() == 0 {
+		t.Fatal("empty run")
+	}
+}
+
+func TestNormAndGeoMean(t *testing.T) {
+	cells := []Cell{
+		{App: "a", Scheme: SchemeCORD, Fabric: CXL, Time: 100, Traffic: 1000},
+		{App: "a", Scheme: SchemeSO, Fabric: CXL, Time: 150, Traffic: 1100},
+	}
+	if got := Norm(cells, cells[1], false); got != 1.5 {
+		t.Fatalf("Norm time = %v, want 1.5", got)
+	}
+	if got := Norm(cells, cells[1], true); got != 1.1 {
+		t.Fatalf("Norm traffic = %v, want 1.1", got)
+	}
+	if got := GeoMeanRatio(cells, SchemeSO, CXL, false); got != 1.5 {
+		t.Fatalf("GeoMean = %v, want 1.5", got)
+	}
+}
+
+func TestFig13TSOShapes(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full TSO sweep")
+	}
+	cells, err := Fig13()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, ic := range Interconnects() {
+		// CORD's advantage over SO is much larger under TSO than under RC:
+		// every write-through store needs ordering (paper: 102% / 73%).
+		g := GeoMeanRatio(cells, SchemeSO, ic, false)
+		if g < 1.5 {
+			t.Errorf("%s: SO/CORD TSO gmean = %.2f, want well above RC's ~1.3", ic, g)
+		}
+		for _, app := range workload.AppNames() {
+			so := Norm(cells, cellOf(cells, app, SchemeSO, ic), false)
+			// Compute-dominated TQH is a tie at UPI latency.
+			if so < 0.99 {
+				t.Errorf("%s/%s TSO: SO time ratio %.2f, CORD must win", app, ic, so)
+			}
+			// Under TSO CORD adds acknowledgments and notifications, so its
+			// traffic is at least SO's for most apps (paper: +8%/+6% inflation).
+			soB := Norm(cells, cellOf(cells, app, SchemeSO, ic), true)
+			if soB > 1.05 {
+				t.Errorf("%s/%s TSO: SO traffic ratio %.2f — CORD should not undercut SO by >5%% under TSO", app, ic, soB)
+			}
+			// MP (totally-ordered upper bound) is leanest on the wire.
+			if app != "TQH" {
+				mpB := Norm(cells, cellOf(cells, app, SchemeMP, ic), true)
+				if mpB >= 1.0 {
+					t.Errorf("%s/%s TSO: MP traffic ratio %.2f, MP must be leanest", app, ic, mpB)
+				}
+			}
+		}
+	}
+	// The CXL advantage exceeds the UPI advantage.
+	if cx, up := GeoMeanRatio(cells, SchemeSO, CXL, false), GeoMeanRatio(cells, SchemeSO, UPI, false); cx <= up {
+		t.Errorf("SO/CORD TSO gmean: CXL %.2f should exceed UPI %.2f", cx, up)
+	}
+}
+
+func TestTable2MatchesPaperCharacterization(t *testing.T) {
+	rows, err := Table2()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 10 {
+		t.Fatalf("rows = %d, want 10", len(rows))
+	}
+	// Table 2's fan-out classes.
+	wantClass := map[string]string{
+		"PR": "High", "SSSP": "High", "PAD": "Medium", "TQH": "Low",
+		"HSTI": "Medium", "TRNS": "High", "MOCFE": "High", "CMC-2D": "High",
+		"BigFFT": "Low", "CR": "Low",
+	}
+	for _, r := range rows {
+		if wantClass[r.App] != r.FanoutClass {
+			t.Errorf("%s: fanout class %s, Table 2 says %s", r.App, r.FanoutClass, wantClass[r.App])
+		}
+		// Word vs line Relaxed granularity.
+		word := map[string]bool{"PR": true, "SSSP": true, "MOCFE": true, "BigFFT": true}
+		if word[r.App] && r.RelaxedGran > 8 {
+			t.Errorf("%s: relaxed gran %.0fB, Table 2 says word", r.App, r.RelaxedGran)
+		}
+		if !word[r.App] && r.RelaxedGran != 64 {
+			t.Errorf("%s: relaxed gran %.0fB, Table 2 says line", r.App, r.RelaxedGran)
+		}
+		if r.App == "TQH" && r.MPCompatible {
+			t.Error("TQH must be MP-incompatible")
+		}
+	}
+}

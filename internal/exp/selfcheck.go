@@ -1,0 +1,109 @@
+package exp
+
+import (
+	"fmt"
+
+	"cord/internal/litmus"
+	"cord/internal/workload"
+)
+
+// SelfCheck runs the headline end-to-end experiments and the litmus suite
+// and verifies the paper's central claims hold in this build — the
+// repository's equivalent of the paper artifact's evaluation script
+// (Appendix A). It returns one line per claim; lines begin with "PASS" or
+// "FAIL".
+func SelfCheck() ([]string, bool, error) {
+	var out []string
+	ok := true
+	check := func(cond bool, format string, args ...any) {
+		verdict := "PASS"
+		if !cond {
+			verdict = "FAIL"
+			ok = false
+		}
+		out = append(out, fmt.Sprintf("%s  %s", verdict, fmt.Sprintf(format, args...)))
+	}
+
+	cells, err := Fig7()
+	if err != nil {
+		return nil, false, err
+	}
+	soCXL := GeoMeanRatio(cells, SchemeSO, CXL, false)
+	soUPI := GeoMeanRatio(cells, SchemeSO, UPI, false)
+	mpCXL := GeoMeanRatio(cells, SchemeMP, CXL, false)
+	soTraf := GeoMeanRatio(cells, SchemeSO, CXL, true)
+	check(soCXL > 1.15, "CORD outperforms SO end-to-end on CXL (SO/CORD gmean %.2f; paper 1.28)", soCXL)
+	check(soCXL > soUPI && soUPI > 1.05, "the advantage shrinks but persists on UPI (%.2f vs %.2f)", soCXL, soUPI)
+	check(mpCXL > 0.90, "CORD stays within ~10%% of message passing (MP/CORD gmean %.2f; paper 0.96)", mpCXL)
+	check(soTraf > 1.05, "CORD reduces inter-PU traffic vs SO (SO/CORD gmean %.2f; paper 1.12)", soTraf)
+
+	perApp := func(app string, s Scheme, traffic bool) float64 {
+		return Norm(cells, cellOfCells(cells, app, s, CXL), traffic)
+	}
+	trns, mocfe := perApp("TRNS", SchemeSO, true), perApp("MOCFE", SchemeSO, true)
+	check(trns <= 1.05 && mocfe <= 1.05,
+		"CORD costs extra traffic exactly for TRNS (%.2f) and MOCFE (%.2f), as in the paper", trns, mocfe)
+	othersOK := true
+	for _, app := range workload.AppNames() {
+		if app == "TRNS" || app == "MOCFE" {
+			continue
+		}
+		if perApp(app, SchemeSO, true) <= 1.0 {
+			othersOK = false
+		}
+	}
+	check(othersOK, "every other application saves traffic under CORD")
+	wbPR := perApp("PR", SchemeWB, false)
+	check(wbPR <= 1.05, "write-back beats CORD's time only around PR (WB/CORD %.2f)", wbPR)
+	wbSSSP := perApp("SSSP", SchemeWB, true)
+	check(wbSSSP < 1.0, "write-back beats CORD's traffic only for SSSP (WB/CORD %.2f)", wbSSSP)
+
+	// TSO study.
+	tso, err := Fig13()
+	if err != nil {
+		return nil, false, err
+	}
+	soTSO := GeoMeanRatio(tso, SchemeSO, CXL, false)
+	check(soTSO > 1.5, "under TSO the gap widens (SO/CORD gmean %.2f; paper 2.02)", soTSO)
+
+	// Verification.
+	suite := litmus.FullCordSuite()
+	total, passed := 0, 0
+	for _, cv := range litmus.CordConfigs() {
+		sr, err := litmus.RunSuite(suite, cv.Cfg)
+		if err != nil {
+			return nil, false, err
+		}
+		total += sr.Total
+		passed += sr.Passed
+	}
+	check(passed == total, "litmus + deadlock checks: %d/%d instances pass", passed, total)
+
+	mpCfg := litmus.DefaultConfig()
+	mpCfg.Protos = []litmus.ProtoKind{litmus.MPP}
+	isa2Violated := false
+	for _, b := range litmus.BaseTests() {
+		if b.Name != "ISA2" {
+			continue
+		}
+		r, err := litmus.Check(b, mpCfg)
+		if err != nil {
+			return nil, false, err
+		}
+		isa2Violated = r.Forbidden
+	}
+	check(isa2Violated, "message passing reaches ISA2's forbidden outcome (Fig. 3)")
+
+	return out, ok, nil
+}
+
+// cellOfCells is Norm's lookup helper (kept package-private to the tests'
+// twin in figures_test.go).
+func cellOfCells(cells []Cell, app string, s Scheme, ic Interconnect) Cell {
+	for _, c := range cells {
+		if c.App == app && c.Scheme == s && c.Fabric == ic {
+			return c
+		}
+	}
+	return Cell{}
+}

@@ -1,0 +1,138 @@
+package exp
+
+import (
+	"math/rand"
+	"testing"
+
+	"cord/internal/memsys"
+	"cord/internal/proto"
+	"cord/internal/proto/cord"
+	"cord/internal/workload"
+)
+
+// randomPattern draws a valid workload from the full parameter space.
+func randomPattern(rng *rand.Rand) workload.Pattern {
+	grans := []int{4, 8, 64, 256}
+	g := grans[rng.Intn(len(grans))]
+	hosts := 2 + rng.Intn(7) // 2..8
+	sync := []int{8, 64, 512, 4096, 16384}[rng.Intn(5)]
+	if sync < g {
+		sync = g
+	}
+	lineUtil := memsys.LineBytes
+	if g < memsys.LineBytes && rng.Intn(2) == 0 {
+		lineUtil = g << uint(rng.Intn(3))
+	}
+	p := workload.Pattern{
+		Name:               "fuzz",
+		Hosts:              hosts,
+		Rounds:             1 + rng.Intn(10),
+		RelaxedBytes:       g,
+		SyncBytes:          sync,
+		Fanout:             1 + rng.Intn(hosts-1),
+		ComputeCycles:      0,
+		Rewrite:            1 + rng.Intn(3),
+		RewriteInterleaved: rng.Intn(2) == 0,
+		LineUtil:           lineUtil,
+		ProducerOnly:       rng.Intn(3) == 0,
+		TightEvery:         rng.Intn(4), // 0 disables
+		Seed:               rng.Int63(),
+	}
+	if rng.Intn(2) == 0 {
+		p.SyncBytesMax = p.SyncBytes * (2 + rng.Intn(8))
+	}
+	return p
+}
+
+// TestRandomWorkloadsAllProtocolsComplete fuzzes the whole stack: random
+// workloads on random system shapes must complete (no deadlock, no panic)
+// under every protocol, with and without network jitter, and the
+// simulation must stay deterministic.
+func TestRandomWorkloadsAllProtocolsComplete(t *testing.T) {
+	iters := 25
+	if testing.Short() {
+		iters = 5
+	}
+	rng := rand.New(rand.NewSource(2024))
+	for i := 0; i < iters; i++ {
+		p := randomPattern(rng)
+		nc := NetConfig(CXL)
+		nc.Hosts = p.Hosts
+		nc.JitterCycles = rng.Intn(40)
+		if rng.Intn(2) == 0 {
+			nc.InterHostNs = 50
+		}
+		mode := proto.RC
+		if rng.Intn(4) == 0 {
+			mode = proto.TSO
+		}
+		for _, s := range Schemes() {
+			if s == SchemeMP && p.MPIncompatible {
+				continue
+			}
+			r1, err := Run(p, Builder(s), nc, mode, 7)
+			if err != nil {
+				t.Fatalf("iter %d %s/%v: %v (pattern %+v)", i, s, mode, err, p)
+			}
+			r2, err := Run(p, Builder(s), nc, mode, 7)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if r1.Time != r2.Time || r1.Traffic.TotalInter() != r2.Traffic.TotalInter() {
+				t.Fatalf("iter %d %s: nondeterministic (%d/%d vs %d/%d)",
+					i, s, r1.Time, r1.Traffic.TotalInter(), r2.Time, r2.Traffic.TotalInter())
+			}
+		}
+	}
+}
+
+// TestRandomWorkloadsUnderProvisionedCORD fuzzes CORD with adversarial
+// provisioning: tiny bit-widths and single-entry tables must never deadlock
+// or corrupt ordering (the consumer acquires still complete).
+func TestRandomWorkloadsUnderProvisionedCORD(t *testing.T) {
+	iters := 20
+	if testing.Short() {
+		iters = 4
+	}
+	rng := rand.New(rand.NewSource(77))
+	for i := 0; i < iters; i++ {
+		p := randomPattern(rng)
+		nc := NetConfig(CXL)
+		nc.Hosts = p.Hosts
+		nc.JitterCycles = 64 // aggressive reordering
+		cfg := cord.DefaultConfig()
+		cfg.EpochBits = 2 + rng.Intn(3)
+		cfg.CntBits = 2 + rng.Intn(5)
+		cfg.ProcUnackedCap = 1 + rng.Intn(3)
+		cfg.ProcCntCap = 1 + rng.Intn(3)
+		cfg.DirCntCapPerProc = cfg.ProcUnackedCap
+		cfg.DirNotiCapPerProc = cfg.ProcUnackedCap
+		if rng.Intn(3) == 0 {
+			cfg.NoNotifications = true
+		}
+		r, err := Run(p, &cord.Protocol{Cfg: cfg}, nc, proto.RC, int64(i))
+		if err != nil {
+			t.Fatalf("iter %d: %v (cfg %+v, pattern %+v)", i, err, cfg, p)
+		}
+		for j := range r.Procs {
+			if r.Procs[j].Finished == 0 && r.Procs[j].Ops > 0 {
+				t.Fatalf("iter %d: rank %d never finished", i, j)
+			}
+		}
+	}
+}
+
+// TestRandomWorkloadsSEQModes fuzzes the SEQ-N baseline, whose wrap-flush
+// path is otherwise only lightly exercised.
+func TestRandomWorkloadsSEQModes(t *testing.T) {
+	rng := rand.New(rand.NewSource(99))
+	for i := 0; i < 8; i++ {
+		p := randomPattern(rng)
+		nc := NetConfig(CXL)
+		nc.Hosts = p.Hosts
+		bits := []int{3, 8, 40}[rng.Intn(3)]
+		if _, err := Run(p, seqBuilder(bits), nc, proto.RC, 3); err != nil {
+			t.Fatalf("iter %d SEQ-%d: %v", i, bits, err)
+		}
+	}
+}

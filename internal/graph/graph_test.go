@@ -1,0 +1,193 @@
+package graph
+
+import (
+	"testing"
+
+	"cord/internal/noc"
+	"cord/internal/proto"
+	"cord/internal/proto/cord"
+	"cord/internal/proto/so"
+	"cord/internal/trace"
+)
+
+func nc() noc.Config {
+	c := noc.CXLConfig()
+	c.Hosts = 4
+	c.TilesPerHost = 4
+	c.JitterCycles = 0
+	return c
+}
+
+func TestUniformGraphShape(t *testing.T) {
+	g, err := NewUniform(200, 8, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.N != 200 {
+		t.Fatalf("N = %d", g.N)
+	}
+	if g.M() < 200*4 || g.M() > 200*13 {
+		t.Fatalf("M = %d, want near 200*8", g.M())
+	}
+	for u := 0; u < g.N; u++ {
+		for _, v := range g.Edges(u) {
+			if int(v) == u {
+				t.Fatal("self loop")
+			}
+			if v < 0 || int(v) >= g.N {
+				t.Fatal("edge out of range")
+			}
+		}
+	}
+}
+
+func TestGeneratorsDeterministic(t *testing.T) {
+	a, _ := NewPowerLaw(300, 6, 9)
+	b, _ := NewPowerLaw(300, 6, 9)
+	if a.M() != b.M() {
+		t.Fatal("power-law generator not deterministic")
+	}
+	for u := 0; u < a.N; u++ {
+		ae, be := a.Edges(u), b.Edges(u)
+		for i := range ae {
+			if ae[i] != be[i] {
+				t.Fatal("edge mismatch")
+			}
+		}
+	}
+}
+
+func TestPowerLawHasHubs(t *testing.T) {
+	// In-degree skew: the hottest vertex should absorb far more than the
+	// average in-degree.
+	g, err := NewPowerLaw(500, 6, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	in := make([]int, g.N)
+	for u := 0; u < g.N; u++ {
+		for _, v := range g.Edges(u) {
+			in[v]++
+		}
+	}
+	max, avg := 0, g.M()/g.N
+	for _, d := range in {
+		if d > max {
+			max = d
+		}
+	}
+	if max < 5*avg {
+		t.Fatalf("max in-degree %d vs avg %d: no hubs", max, avg)
+	}
+}
+
+func TestPartitionAndCut(t *testing.T) {
+	g, _ := NewUniform(100, 5, 2)
+	owner := g.Partition(4)
+	counts := make([]int, 4)
+	for _, o := range owner {
+		counts[o]++
+	}
+	for p, n := range counts {
+		if n == 0 {
+			t.Fatalf("partition %d empty", p)
+		}
+	}
+	cut := g.CutMatrix(owner, 4)
+	total := 0
+	for i := range cut {
+		if cut[i][i] != 0 {
+			t.Fatal("diagonal should be zero")
+		}
+		for _, n := range cut[i] {
+			total += n
+		}
+	}
+	if total == 0 || total > g.M() {
+		t.Fatalf("cut edges = %d of %d", total, g.M())
+	}
+}
+
+func TestBadParametersRejected(t *testing.T) {
+	if _, err := NewUniform(1, 1, 1); err == nil {
+		t.Fatal("n=1 accepted")
+	}
+	if _, err := NewPowerLaw(10, 20, 1); err == nil {
+		t.Fatal("deg>n accepted")
+	}
+	app := App{Kernel: PageRank, Hosts: 0}
+	if _, err := app.Trace(nc()); err == nil {
+		t.Fatal("bad app accepted")
+	}
+}
+
+func mkApp(t *testing.T, k Kernel) *trace.Trace {
+	t.Helper()
+	g, err := NewPowerLaw(400, 6, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	app := App{Kernel: k, G: g, Hosts: 4, Iters: 4, ComputePerEdge: 2, Seed: 11}
+	tr, err := app.Trace(nc())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tr
+}
+
+func TestTraceValidAndCharacterizable(t *testing.T) {
+	for _, k := range []Kernel{PageRank, SSSP} {
+		tr := mkApp(t, k)
+		for i, p := range tr.Progs {
+			if err := p.Validate(); err != nil {
+				t.Fatalf("%v rank %d: %v", k, i, err)
+			}
+		}
+		s := trace.Characterize(tr)
+		if s.RelaxedStores == 0 || s.Releases == 0 {
+			t.Fatalf("%v: empty communication (%+v)", k, s)
+		}
+		if s.RelaxedBytes != 4 {
+			t.Fatalf("%v: relaxed gran %.1f, want 4 (word pushes)", k, s.RelaxedBytes)
+		}
+		if s.Fanout < 1 || s.Fanout > 3 {
+			t.Fatalf("%v: fanout %.1f out of range for 4 partitions", k, s.Fanout)
+		}
+	}
+}
+
+func TestSSSPSparserThanPageRank(t *testing.T) {
+	pr := trace.Characterize(mkApp(t, PageRank))
+	ss := trace.Characterize(mkApp(t, SSSP))
+	if ss.RelaxedStores >= pr.RelaxedStores {
+		t.Fatalf("SSSP (%d stores) should be sparser than PageRank (%d)",
+			ss.RelaxedStores, pr.RelaxedStores)
+	}
+}
+
+func TestGraphTraceRunsAndCORDWins(t *testing.T) {
+	tr := mkApp(t, PageRank)
+	run := func(b proto.Builder) float64 {
+		sys := proto.NewSystem(5, nc(), proto.RC)
+		r, err := proto.Exec(sys, b, tr.Cores, tr.Progs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return r.ExecNanos()
+	}
+	co := run(cord.New())
+	soT := run(so.New())
+	if soT <= co {
+		t.Fatalf("SO (%.0f) should be slower than CORD (%.0f) on algorithm-derived PageRank", soT, co)
+	}
+}
+
+func TestGraphTraceDeterministic(t *testing.T) {
+	a := mkApp(t, SSSP)
+	b := mkApp(t, SSSP)
+	for i := range a.Progs {
+		if len(a.Progs[i]) != len(b.Progs[i]) {
+			t.Fatal("trace generation not deterministic")
+		}
+	}
+}

@@ -1,0 +1,150 @@
+package graph
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+
+	"cord/internal/memsys"
+	"cord/internal/noc"
+	"cord/internal/proto"
+	"cord/internal/sim"
+	"cord/internal/trace"
+)
+
+// Kernel selects the graph algorithm whose communication is emitted.
+type Kernel int
+
+const (
+	// PageRank pushes a rank contribution along every out-edge each
+	// iteration (dense rounds, high rewrite on hub targets).
+	PageRank Kernel = iota
+	// SSSP relaxes edges only from the current frontier (sparse, variable
+	// rounds — the paper's wing-style behaviour).
+	SSSP
+)
+
+func (k Kernel) String() string {
+	if k == SSSP {
+		return "sssp"
+	}
+	return "pagerank"
+}
+
+// App describes a graph workload to lower into a trace.
+type App struct {
+	Kernel Kernel
+	G      *Graph
+	Hosts  int
+	Iters  int
+	// ComputePerEdge is the local work per relaxed edge (cycles).
+	ComputePerEdge int
+	// Seed drives SSSP's frontier sampling.
+	Seed int64
+}
+
+// remoteSlot maps a destination vertex to a stable 4-byte slot in the
+// (src partition, dst partition) communication buffer. Hub vertices reuse
+// their slot every iteration, giving write-back caches their reuse and the
+// write-combining buffer nothing (pushes to a hub interleave with others).
+func remoteSlot(v int32) uint64 { return uint64(v%4096) * 4 }
+
+// bufBase returns the base address of partition src's push buffer at dst's
+// host; flags live above the buffers.
+func bufBase(src, dst, tiles int) memsys.Addr {
+	return memsys.Compose(dst, src%tiles, uint64(src)<<22)
+}
+
+func flagOf(src, dst, tiles int) memsys.Addr {
+	return memsys.Compose(dst, src%tiles, uint64(src)<<22|1<<21)
+}
+
+// Trace lowers the app into a per-core trace for the given system shape.
+// Rank h runs on core 0 of host h; communication follows the graph's real
+// cut structure (a rank only synchronizes with partitions it shares edges
+// with).
+func (a App) Trace(nc noc.Config) (*trace.Trace, error) {
+	if a.G == nil || a.Hosts < 2 || a.Hosts > nc.Hosts || a.Iters < 1 {
+		return nil, fmt.Errorf("graph: bad app (hosts=%d iters=%d)", a.Hosts, a.Iters)
+	}
+	tiles := nc.TilesPerHost
+	owner := a.G.Partition(a.Hosts)
+	cut := a.G.CutMatrix(owner, a.Hosts)
+
+	// Static neighbor sets from the cut structure.
+	outN := make([][]int, a.Hosts)
+	inN := make([][]int, a.Hosts)
+	for i := 0; i < a.Hosts; i++ {
+		for j := 0; j < a.Hosts; j++ {
+			if i != j && cut[i][j] > 0 {
+				outN[i] = append(outN[i], j)
+				inN[j] = append(inN[j], i)
+			}
+		}
+	}
+
+	// Per-partition vertex ranges (block partition).
+	per := (a.G.N + a.Hosts - 1) / a.Hosts
+
+	cores := make([]noc.NodeID, a.Hosts)
+	progs := make([]proto.Program, a.Hosts)
+	for h := 0; h < a.Hosts; h++ {
+		cores[h] = noc.CoreID(h, 0)
+		rng := rand.New(rand.NewSource(a.Seed + int64(h)*7919))
+		var p proto.Program
+		lo, hi := h*per, (h+1)*per
+		if hi > a.G.N {
+			hi = a.G.N
+		}
+		for it := 1; it <= a.Iters; it++ {
+			touched := map[int]bool{}
+			var compute sim.Time
+			for u := lo; u < hi; u++ {
+				if a.Kernel == SSSP && rng.Intn(4) != 0 {
+					continue // not on this round's frontier
+				}
+				for _, v := range a.G.Edges(u) {
+					compute += sim.Time(a.ComputePerEdge)
+					dst := owner[int(v)]
+					if dst == h {
+						continue // local relaxation: compute only
+					}
+					if compute > 0 {
+						p = append(p, proto.Compute(compute))
+						compute = 0
+					}
+					p = append(p, proto.Op{
+						Kind: proto.OpStoreWT, Ord: proto.Relaxed,
+						Addr: bufBase(h, dst, tiles) + memsys.Addr(remoteSlot(v)),
+						Size: 4, Value: uint64(it),
+					})
+					touched[dst] = true
+				}
+			}
+			if compute > 0 {
+				p = append(p, proto.Compute(compute))
+			}
+			// Publish along the real cut: flags only to touched partners
+			// (every static partner still gets one so consumers make
+			// progress on frontier-less rounds).
+			dsts := append([]int(nil), outN[h]...)
+			sort.Ints(dsts)
+			for _, dst := range dsts {
+				_ = touched
+				p = append(p, proto.StoreRelease(flagOf(h, dst, tiles), 8, uint64(it)))
+			}
+			// Split-phase acquires of the previous iteration.
+			if it > 1 {
+				for _, src := range inN[h] {
+					p = append(p, proto.AcquireLoad(flagOf(src, h, tiles), uint64(it-1)))
+				}
+			}
+		}
+		for _, src := range inN[h] {
+			p = append(p, proto.AcquireLoad(flagOf(src, h, tiles), uint64(a.Iters)))
+		}
+		p = append(p, proto.Barrier(proto.SeqCst))
+		progs[h] = p
+	}
+	return &trace.Trace{Cores: cores, Progs: progs}, nil
+}

@@ -1,0 +1,123 @@
+package litmus
+
+import "fmt"
+
+// checker binds a test and configuration during exploration.
+type checker struct {
+	t   Test
+	cfg Config
+}
+
+// Check exhaustively explores every interleaving of processor steps and
+// message deliveries and returns the reachable terminal outcomes plus the
+// safety verdicts.
+func Check(t Test, cfg Config) (Result, error) {
+	if err := t.Validate(); err != nil {
+		return Result{}, err
+	}
+	maxStates := cfg.MaxStates
+	if maxStates == 0 {
+		maxStates = 4_000_000
+	}
+	c := &checker{t: t, cfg: cfg}
+	res := Result{Test: t, Config: cfg, Outcomes: make(map[string]Outcome)}
+
+	start := newWorld(t)
+	visited := map[string]bool{start.key(): true}
+	stack := []*world{start}
+	for len(stack) > 0 {
+		w := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		res.States++
+		if res.States > maxStates {
+			return res, fmt.Errorf("litmus %s: state budget %d exceeded", t.Name, maxStates)
+		}
+		if viol := c.windowViolated(w); viol {
+			res.WindowViolated = true
+		}
+		succ := c.successors(w)
+		if len(succ) == 0 {
+			if c.terminal(w) {
+				var out Outcome
+				for p := range w.procs {
+					out.Regs[p] = w.procs[p].regs
+				}
+				for a := 0; a < MaxAddrs; a++ {
+					out.Mem[a] = w.dirs[c.t.Home[min(a, len(c.t.Home)-1)]].mem[a]
+				}
+				res.Outcomes[out.String()] = out
+				if t.Forbidden(out) {
+					res.Forbidden = true
+				}
+				if t.MustReach != nil && t.MustReach(out) {
+					res.Reached = true
+				}
+			} else {
+				res.Deadlock = true
+			}
+			continue
+		}
+		for _, s := range succ {
+			k := s.key()
+			if !visited[k] {
+				visited[k] = true
+				stack = append(stack, s)
+			}
+		}
+	}
+	return res, nil
+}
+
+// terminal: all programs retired, no in-flight or buffered work.
+func (c *checker) terminal(w *world) bool {
+	for p := range w.procs {
+		if w.procs[p].pc < len(c.t.Progs[p]) || w.procs[p].flushWait >= 0 {
+			return false
+		}
+	}
+	if len(w.net) > 0 {
+		return false
+	}
+	for d := range w.dirs {
+		if len(w.dirs[d].pendingRel)+len(w.dirs[d].pendingReq)+
+			len(w.dirs[d].mpPend)+len(w.dirs[d].mpFlushes) > 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// windowViolated checks the invariant that makes CORD's truncated wire
+// epochs unambiguous: a processor's in-flight epochs must span less than
+// the wire window. The processor-side stall is supposed to guarantee it.
+func (c *checker) windowViolated(w *world) bool {
+	win := c.cfg.epochWindow()
+	for p := range w.procs {
+		if oldest, any := w.procs[p].oldestUnacked(); any {
+			if w.procs[p].ep-oldest > win {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// successors generates every enabled transition's resulting state.
+func (c *checker) successors(w *world) []*world {
+	var out []*world
+	// Processor steps.
+	for p := range w.procs {
+		if s := c.stepProc(w, p); s != nil {
+			out = append(out, s)
+		}
+	}
+	// Message deliveries (unordered network: any in-flight message).
+	for i := range w.net {
+		s := w.clone()
+		m := s.net[i]
+		s.net = append(s.net[:i], s.net[i+1:]...)
+		c.deliver(s, m)
+		out = append(out, s)
+	}
+	return out
+}

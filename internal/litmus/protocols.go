@@ -1,0 +1,516 @@
+package litmus
+
+import "fmt"
+
+// home returns the directory owning an address under the test's placement.
+func (c *checker) home(a Addr) int { return c.t.Home[a] }
+
+// stepProc attempts to execute processor p's next action and returns the
+// successor state, or nil if p is done or blocked (stalled on protocol
+// conditions — it unblocks via a future delivery transition).
+func (c *checker) stepProc(w *world, p int) *world {
+	ps := &w.procs[p]
+	if ps.flushWait >= 0 {
+		return nil // stalled on an injected overflow flush
+	}
+	if ps.atomWait {
+		return nil // blocked on a far atomic's value response
+	}
+	if ps.pc >= len(c.t.Progs[p]) {
+		return nil
+	}
+	op := c.t.Progs[p][ps.pc]
+	if op.Kind == OpBar {
+		return c.stepBarrier(w, p)
+	}
+	if op.Kind == OpAt {
+		return c.stepAtomic(w, p, op)
+	}
+	if op.Kind == OpLd {
+		// Loads read the home directory's committed value. Modeling the
+		// read as atomic-at-home matches non-caching write-through
+		// consumers; acquire ordering is enforced by in-order issue.
+		s := w.clone()
+		s.procs[p].regs[op.Reg] = s.dirs[c.home(op.Addr)].mem[op.Addr]
+		s.procs[p].pc++
+		return s
+	}
+	switch c.cfg.protoFor(p) {
+	case CORDP:
+		return c.stepCORD(w, p, op)
+	case SOP:
+		return c.stepSO(w, p, op)
+	case MPP:
+		return c.stepMP(w, p, op)
+	}
+	panic("litmus: unknown protocol")
+}
+
+// --- CORD processor (Alg. 1) ------------------------------------------------
+
+// cordProvisioned applies the §4.3 pre-issue checks for a Release to dir d.
+func (c *checker) cordProvisioned(ps *procState, d int) bool {
+	if len(ps.unacked) >= c.cfg.ProcUnackedCap {
+		return false
+	}
+	if oldest, any := ps.oldestUnacked(); any && ps.ep-oldest >= c.cfg.epochWindow() {
+		return false
+	}
+	if ps.unackedCount(d) >= c.cfg.DirCapPerProc {
+		return false
+	}
+	return true
+}
+
+func (c *checker) stepCORD(w *world, p int, op Op) *world {
+	d := c.home(op.Addr)
+	ps := &w.procs[p]
+	if op.Ord == Rel {
+		if !c.cordProvisioned(ps, d) {
+			return nil // stall (table full / window) until an ack arrives
+		}
+		s := w.clone()
+		c.cordIssueRelease(s, p, d, op.Addr, op.Val, false)
+		s.procs[p].pc++
+		return s
+	}
+	// Relaxed store. Counter overflow (§4.1): inject an empty flush Release
+	// to d and stall until it is acknowledged, then retry this op.
+	if int(ps.cnt[d]) >= c.cfg.CntMax {
+		if !c.cordProvisioned(ps, d) {
+			return nil
+		}
+		s := w.clone()
+		ep := s.procs[p].ep
+		c.cordIssueRelease(s, p, d, 0, 0, true)
+		s.procs[p].flushWait = int64(ep)
+		return s // pc unchanged: the relaxed store retries after the ack
+	}
+	s := w.clone()
+	sp := &s.procs[p]
+	sp.cnt[d]++
+	s.net = append(s.net, msg{kind: mRelaxed, src: p, dir: d, addr: op.Addr, val: op.Val, ep: sp.ep})
+	sp.pc++
+	return s
+}
+
+// cordIssueReleaseMsg issues a Release fetch-add through the full Release
+// path.
+func (c *checker) cordIssueReleaseMsg(s *world, p, d int, op Op, atomic bool) {
+	c.cordIssueReleaseFull(s, p, d, op.Addr, op.Val, false, atomic, op.Reg)
+}
+
+// cordIssueRelease performs Alg. 1 lines 5-13 on s in place.
+func (c *checker) cordIssueRelease(s *world, p, d int, a Addr, v int, flush bool) {
+	c.cordIssueReleaseFull(s, p, d, a, v, flush, false, 0)
+}
+
+func (c *checker) cordIssueReleaseFull(s *world, p, d int, a Addr, v int, flush, atomic bool, reg int) {
+	sp := &s.procs[p]
+	// Pending directories: Relaxed stores this epoch or unacked Releases.
+	var pend []int
+	for dir := 0; dir < MaxDirs; dir++ {
+		if dir == d {
+			continue
+		}
+		if sp.cnt[dir] > 0 || sp.unackedCount(dir) > 0 {
+			pend = append(pend, dir)
+		}
+	}
+	for _, pd := range pend {
+		s.net = append(s.net, msg{
+			kind: mReqNotify, src: p, dir: pd, ep: sp.ep,
+			cnt: sp.cnt[pd], prev: sp.lastUnackedFor(pd), dst: d,
+		})
+	}
+	s.net = append(s.net, msg{
+		kind: mRelease, src: p, dir: d, addr: a, val: v, ep: sp.ep,
+		cnt: sp.cnt[d], prev: sp.lastUnackedFor(d), noti: len(pend), flag: flush,
+		atom: atomic, reg: reg,
+	})
+	sp.unacked = append(sp.unacked, unackedEntry{ep: sp.ep, dir: d})
+	sp.ep++
+	for dir := range sp.cnt {
+		sp.cnt[dir] = 0
+	}
+}
+
+// --- barriers (§4.4) ---------------------------------------------------------
+
+// stepBarrier executes a Release/SC barrier. CORD: if the epoch holds
+// Relaxed stores, broadcast empty directory-ordered Releases to their
+// directories (one step), then stall until every Release is acknowledged.
+// SO: stall until all acks. MP: issue flushing reads to every posted-to
+// destination once, then stall until they all respond.
+func (c *checker) stepBarrier(w *world, p int) *world {
+	ps := &w.procs[p]
+	switch c.cfg.protoFor(p) {
+	case CORDP:
+		dirty := false
+		for _, n := range ps.cnt {
+			if n > 0 {
+				dirty = true
+			}
+		}
+		if dirty {
+			// Broadcast the barrier epoch's empty Releases; the pc stays at
+			// the barrier, whose next attempt takes the waiting path.
+			s := w.clone()
+			sp := &s.procs[p]
+			ep := sp.ep
+			issued := false
+			for d := 0; d < MaxDirs; d++ {
+				if sp.cnt[d] == 0 {
+					continue
+				}
+				if !c.cordProvisioned(sp, d) {
+					return nil // stall for table space first
+				}
+				s.net = append(s.net, msg{
+					kind: mRelease, src: p, dir: d, ep: ep,
+					cnt: sp.cnt[d], prev: sp.lastUnackedFor(d), flag: true,
+				})
+				sp.unacked = append(sp.unacked, unackedEntry{ep: ep, dir: d})
+				issued = true
+			}
+			if issued {
+				sp.ep++
+				for d := range sp.cnt {
+					sp.cnt[d] = 0
+				}
+			}
+			return s
+		}
+		if len(ps.unacked) > 0 {
+			return nil // wait for outstanding acknowledgments
+		}
+		s := w.clone()
+		s.procs[p].pc++
+		return s
+	case SOP:
+		if ps.pendingAcks > 0 {
+			return nil
+		}
+		s := w.clone()
+		s.procs[p].pc++
+		return s
+	case MPP:
+		if !ps.barIssued {
+			s := w.clone()
+			sp := &s.procs[p]
+			for d := 0; d < MaxDirs; d++ {
+				if sp.seq[d] == 0 {
+					continue
+				}
+				s.net = append(s.net, msg{kind: mMPFlush, src: p, dir: d, seq: sp.seq[d] - 1})
+				sp.mpFlushPending++
+			}
+			sp.barIssued = true
+			return s
+		}
+		if ps.mpFlushPending > 0 {
+			return nil
+		}
+		s := w.clone()
+		s.procs[p].barIssued = false
+		s.procs[p].pc++
+		return s
+	}
+	panic("litmus: unknown protocol")
+}
+
+// --- atomics -------------------------------------------------------------------
+
+// stepAtomic issues a far fetch-add. It is ordered exactly like the
+// corresponding store under each protocol, and the processor blocks until
+// the value response (atomWait).
+func (c *checker) stepAtomic(w *world, p int, op Op) *world {
+	d := c.home(op.Addr)
+	ps := &w.procs[p]
+	switch c.cfg.protoFor(p) {
+	case CORDP:
+		if op.Ord == Rel {
+			if !c.cordProvisioned(ps, d) {
+				return nil
+			}
+			s := w.clone()
+			c.cordIssueReleaseMsg(s, p, d, op, true)
+			s.procs[p].atomWait = true
+			s.procs[p].pc++
+			return s
+		}
+		if int(ps.cnt[d]) >= c.cfg.CntMax {
+			if !c.cordProvisioned(ps, d) {
+				return nil
+			}
+			s := w.clone()
+			ep := s.procs[p].ep
+			c.cordIssueRelease(s, p, d, 0, 0, true)
+			s.procs[p].flushWait = int64(ep)
+			return s
+		}
+		s := w.clone()
+		sp := &s.procs[p]
+		sp.cnt[d]++
+		s.net = append(s.net, msg{kind: mRelaxed, src: p, dir: d, addr: op.Addr,
+			val: op.Val, ep: sp.ep, atom: true, reg: op.Reg})
+		sp.atomWait = true
+		sp.pc++
+		return s
+	case SOP:
+		if op.Ord == Rel && ps.pendingAcks > 0 {
+			return nil
+		}
+		s := w.clone()
+		sp := &s.procs[p]
+		sp.pendingAcks++
+		s.net = append(s.net, msg{kind: mSOStore, src: p, dir: d, addr: op.Addr,
+			val: op.Val, flag: op.Ord == Rel, atom: true, reg: op.Reg})
+		sp.atomWait = true
+		sp.pc++
+		return s
+	case MPP:
+		s := w.clone()
+		sp := &s.procs[p]
+		s.net = append(s.net, msg{kind: mMPStore, src: p, dir: d, addr: op.Addr,
+			val: op.Val, seq: sp.seq[d], atom: true, reg: op.Reg})
+		sp.seq[d]++
+		sp.atomWait = true
+		sp.pc++
+		return s
+	}
+	panic("litmus: unknown protocol")
+}
+
+// --- SO processor ------------------------------------------------------------
+
+func (c *checker) stepSO(w *world, p int, op Op) *world {
+	d := c.home(op.Addr)
+	ps := &w.procs[p]
+	if op.Ord == Rel && ps.pendingAcks > 0 {
+		return nil // source ordering: wait for all prior acks
+	}
+	s := w.clone()
+	sp := &s.procs[p]
+	sp.pendingAcks++
+	s.net = append(s.net, msg{kind: mSOStore, src: p, dir: d, addr: op.Addr, val: op.Val,
+		flag: op.Ord == Rel})
+	sp.pc++
+	return s
+}
+
+// --- MP processor ------------------------------------------------------------
+
+func (c *checker) stepMP(w *world, p int, op Op) *world {
+	d := c.home(op.Addr)
+	s := w.clone()
+	sp := &s.procs[p]
+	s.net = append(s.net, msg{kind: mMPStore, src: p, dir: d, addr: op.Addr, val: op.Val,
+		seq: sp.seq[d]})
+	sp.seq[d]++
+	sp.pc++
+	return s
+}
+
+// --- delivery ----------------------------------------------------------------
+
+// deliver mutates s by handling m at its destination.
+func (c *checker) deliver(s *world, m msg) {
+	switch m.kind {
+	case mRelaxed:
+		ds := &s.dirs[m.dir]
+		if m.atom {
+			old := ds.mem[m.addr]
+			ds.mem[m.addr] = old + m.val
+			s.net = append(s.net, msg{kind: mAtResp, src: m.src, val: old, reg: m.reg})
+		} else {
+			ds.mem[m.addr] = m.val
+		}
+		ds.cnt = peAdd(ds.cnt, m.src, m.ep, 1)
+		c.reeval(s, m.dir)
+	case mRelease:
+		ds := &s.dirs[m.dir]
+		if c.relEligible(ds, m) {
+			c.commitRelease(s, m.dir, m)
+		} else {
+			ds.pendingRel = append(ds.pendingRel, m)
+		}
+	case mReqNotify:
+		ds := &s.dirs[m.dir]
+		if c.reqEligible(ds, m) {
+			c.sendNotify(s, m.dir, m)
+		} else {
+			ds.pendingReq = append(ds.pendingReq, m)
+		}
+	case mNotify:
+		ds := &s.dirs[m.dir]
+		ds.noti = peAdd(ds.noti, m.src, m.ep, 1)
+		c.reeval(s, m.dir)
+	case mAck:
+		ps := &s.procs[m.src]
+		ps.dropUnacked(m.ep, m.dir)
+		if ps.flushWait >= 0 && uint64(ps.flushWait) == m.ep {
+			ps.flushWait = -1 // the stalled relaxed store may retry
+		}
+	case mSOStore:
+		if m.atom {
+			old := s.dirs[m.dir].mem[m.addr]
+			s.dirs[m.dir].mem[m.addr] = old + m.val
+			s.net = append(s.net, msg{kind: mSOAck, src: m.src, dir: m.dir,
+				atom: true, reg: m.reg, val: old})
+		} else {
+			s.dirs[m.dir].mem[m.addr] = m.val
+			s.net = append(s.net, msg{kind: mSOAck, src: m.src, dir: m.dir})
+		}
+	case mSOAck:
+		if s.procs[m.src].pendingAcks == 0 {
+			panic("litmus: spurious SO ack")
+		}
+		s.procs[m.src].pendingAcks--
+		if m.atom {
+			s.procs[m.src].regs[m.reg] = m.val
+			s.procs[m.src].atomWait = false
+		}
+	case mAtResp:
+		s.procs[m.src].regs[m.reg] = m.val
+		s.procs[m.src].atomWait = false
+	case mMPStore:
+		c.mpSubmit(s, m)
+	case mMPFlush:
+		ds := &s.dirs[m.dir]
+		if ds.mpNext[m.src] > m.seq {
+			s.net = append(s.net, msg{kind: mMPFlushOK, src: m.src, dir: m.dir})
+		} else {
+			ds.mpFlushes = append(ds.mpFlushes, m)
+		}
+	case mMPFlushOK:
+		if s.procs[m.src].mpFlushPending == 0 {
+			panic("litmus: spurious MP flush response")
+		}
+		s.procs[m.src].mpFlushPending--
+	default:
+		panic(fmt.Sprintf("litmus: unknown message kind %d", m.kind))
+	}
+}
+
+func (c *checker) relEligible(ds *dirState, m msg) bool {
+	if peGet(ds.cnt, m.src, m.ep) < int(m.cnt) {
+		return false
+	}
+	if m.prev >= 0 && (!ds.hasLargest[m.src] || ds.largest[m.src] < m.prev) {
+		return false
+	}
+	return peGet(ds.noti, m.src, m.ep) >= m.noti
+}
+
+func (c *checker) reqEligible(ds *dirState, m msg) bool {
+	if peGet(ds.cnt, m.src, m.ep) < int(m.cnt) {
+		return false
+	}
+	return m.prev < 0 || (ds.hasLargest[m.src] && ds.largest[m.src] >= m.prev)
+}
+
+func (c *checker) commitRelease(s *world, d int, m msg) {
+	ds := &s.dirs[d]
+	switch {
+	case m.atom:
+		old := ds.mem[m.addr]
+		ds.mem[m.addr] = old + m.val
+		s.net = append(s.net, msg{kind: mAtResp, src: m.src, val: old, reg: m.reg})
+	case !m.flag:
+		ds.mem[m.addr] = m.val
+	}
+	if !ds.hasLargest[m.src] || int64(m.ep) > ds.largest[m.src] {
+		ds.largest[m.src] = int64(m.ep)
+		ds.hasLargest[m.src] = true
+	}
+	ds.cnt = peDrop(ds.cnt, m.src, m.ep)
+	ds.noti = peDrop(ds.noti, m.src, m.ep)
+	s.net = append(s.net, msg{kind: mAck, src: m.src, dir: d, ep: m.ep})
+	c.reeval(s, d)
+}
+
+func (c *checker) sendNotify(s *world, d int, m msg) {
+	ds := &s.dirs[d]
+	ds.cnt = peDrop(ds.cnt, m.src, m.ep)
+	if m.dst == d {
+		ds.noti = peAdd(ds.noti, m.src, m.ep, 1)
+		c.reeval(s, d)
+		return
+	}
+	s.net = append(s.net, msg{kind: mNotify, src: m.src, dir: m.dst, ep: m.ep})
+}
+
+// reeval drains newly eligible buffered messages at dir d to a fixpoint.
+func (c *checker) reeval(s *world, d int) {
+	for progress := true; progress; {
+		progress = false
+		ds := &s.dirs[d]
+		for i := 0; i < len(ds.pendingRel); i++ {
+			if c.relEligible(ds, ds.pendingRel[i]) {
+				m := ds.pendingRel[i]
+				ds.pendingRel = append(ds.pendingRel[:i], ds.pendingRel[i+1:]...)
+				c.commitRelease(s, d, m)
+				progress = true
+				break
+			}
+		}
+		ds = &s.dirs[d]
+		for i := 0; i < len(ds.pendingReq); i++ {
+			if c.reqEligible(ds, ds.pendingReq[i]) {
+				m := ds.pendingReq[i]
+				ds.pendingReq = append(ds.pendingReq[:i], ds.pendingReq[i+1:]...)
+				c.sendNotify(s, d, m)
+				progress = true
+				break
+			}
+		}
+	}
+}
+
+// mpCommit applies one posted write (or far atomic) at its ordering slot.
+func (c *checker) mpCommit(s *world, d int, m msg) {
+	ds := &s.dirs[d]
+	if m.atom {
+		old := ds.mem[m.addr]
+		ds.mem[m.addr] = old + m.val
+		s.net = append(s.net, msg{kind: mAtResp, src: m.src, val: old, reg: m.reg})
+		return
+	}
+	ds.mem[m.addr] = m.val
+}
+
+// mpSubmit implements the MP destination ordering point: per (source,
+// directory) FIFO commit, buffering early arrivals.
+func (c *checker) mpSubmit(s *world, m msg) {
+	ds := &s.dirs[m.dir]
+	if m.seq != ds.mpNext[m.src] {
+		ds.mpPend = append(ds.mpPend, m)
+		return
+	}
+	c.mpCommit(s, m.dir, m)
+	ds.mpNext[m.src]++
+	// Drain consecutive buffered successors.
+	for again := true; again; {
+		again = false
+		for i, pm := range ds.mpPend {
+			if pm.src == m.src && pm.seq == ds.mpNext[m.src] {
+				c.mpCommit(s, m.dir, pm)
+				ds.mpNext[m.src]++
+				ds.mpPend = append(ds.mpPend[:i], ds.mpPend[i+1:]...)
+				again = true
+				break
+			}
+		}
+	}
+	// Serve parked flushing reads that are now satisfied.
+	keep := ds.mpFlushes[:0]
+	for _, f := range ds.mpFlushes {
+		if f.src == m.src && ds.mpNext[f.src] > f.seq {
+			s.net = append(s.net, msg{kind: mMPFlushOK, src: f.src, dir: m.dir})
+		} else {
+			keep = append(keep, f)
+		}
+	}
+	ds.mpFlushes = keep
+}

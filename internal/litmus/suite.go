@@ -1,0 +1,321 @@
+package litmus
+
+import "fmt"
+
+// Canonical addresses.
+const (
+	X Addr = 0
+	Y Addr = 1
+	Z Addr = 2
+	W Addr = 3
+)
+
+// BaseTests returns the classic release-consistency litmus shapes with
+// their canonical (cross-directory) placements. Together with the placement
+// and configuration products of Variants/Configs, they form the suite that
+// stands in for the paper's 122 herd-generated + 180 customized tests.
+func BaseTests() []Test {
+	return []Test{
+		{
+			// Message-passing shape: the Fig. 4 (left) Relaxed-Release pair.
+			Name: "MP",
+			Progs: [][]Op{
+				{St(X, 1), StRel(Y, 1)},
+				{LdAcq(Y, 0), Ld(X, 1)},
+			},
+			Home: []int{0, 1},
+			Forbidden: func(o Outcome) bool {
+				return o.Regs[1][0] == 1 && o.Regs[1][1] == 0
+			},
+			MustReach: func(o Outcome) bool { // fully stale read is fine
+				return o.Regs[1][0] == 0
+			},
+		},
+		{
+			// Release-Release ordering (Fig. 4 middle): two Releases from
+			// one core must commit in program order.
+			Name: "RelRel",
+			Progs: [][]Op{
+				{StRel(X, 1), StRel(Y, 1)},
+				{LdAcq(Y, 0), Ld(X, 1)},
+			},
+			Home: []int{0, 1},
+			Forbidden: func(o Outcome) bool {
+				return o.Regs[1][0] == 1 && o.Regs[1][1] == 0
+			},
+		},
+		{
+			// ISA2 (Fig. 3): transitive synchronization through a third
+			// party. Y lives in T1's memory; X and Z in T2's.
+			Name: "ISA2",
+			Progs: [][]Op{
+				{St(X, 1), StRel(Y, 1)},
+				{LdAcq(Y, 0), StRel(Z, 1)},
+				{LdAcq(Z, 1), Ld(X, 2)},
+			},
+			Home: []int{2, 1, 2},
+			Forbidden: func(o Outcome) bool {
+				return o.Regs[1][0] == 1 && o.Regs[2][1] == 1 && o.Regs[2][2] == 0
+			},
+		},
+		{
+			// WRC: write-to-read causality across three processors.
+			Name: "WRC",
+			Progs: [][]Op{
+				{StRel(X, 1)},
+				{LdAcq(X, 0), StRel(Y, 1)},
+				{LdAcq(Y, 1), Ld(X, 2)},
+			},
+			Home: []int{0, 1},
+			Forbidden: func(o Outcome) bool {
+				return o.Regs[1][0] == 1 && o.Regs[2][1] == 1 && o.Regs[2][2] == 0
+			},
+		},
+		{
+			// S: a Relaxed store racing a Release chain; the final value of
+			// X may be either, but observing Y=1 implies X's Relaxed store
+			// from P0 is committed.
+			Name: "S",
+			Progs: [][]Op{
+				{St(X, 2), StRel(Y, 1)},
+				{LdAcq(Y, 0), Ld(X, 1)},
+			},
+			Home: []int{1, 2},
+			Forbidden: func(o Outcome) bool {
+				return o.Regs[1][0] == 1 && o.Regs[1][1] == 0
+			},
+		},
+		{
+			// 2+2W with releases: the final memory state must be consistent
+			// with *some* interleaving of the two release chains — each
+			// location's final value is the later release in that order, so
+			// (X,Y) = (1,1) (both "first" stores last) is forbidden because
+			// each core's second Release overwrites the other's first only
+			// if ordering is broken somewhere.
+			Name: "2+2W",
+			Progs: [][]Op{
+				{StRel(X, 1), StRel(Y, 2)},
+				{StRel(Y, 1), StRel(X, 2)},
+			},
+			Home: []int{0, 1},
+			Forbidden: func(o Outcome) bool {
+				return o.Mem[X] == 1 && o.Mem[Y] == 1
+			},
+			MustReach: func(o Outcome) bool { // a racy-but-legal outcome
+				return o.Mem[X] == 2 && o.Mem[Y] == 2
+			},
+		},
+		{
+			// SB with release/acquire: both loads reading 0 is ALLOWED
+			// under release consistency (no SC fence) — the model must be
+			// able to produce it, guarding against over-synchronization.
+			Name: "SB",
+			Progs: [][]Op{
+				{StRel(X, 1), LdAcq(Y, 0)},
+				{StRel(Y, 1), LdAcq(X, 0)},
+			},
+			Home: []int{0, 1},
+			Forbidden: func(o Outcome) bool { return false },
+			MustReach: func(o Outcome) bool {
+				return o.Regs[0][0] == 0 && o.Regs[1][0] == 0
+			},
+		},
+		{
+			// IRIW with acquire loads: forbidden in multicopy-atomic systems
+			// (Armv8); write-through commitment at a single home directory
+			// makes it structurally unreachable.
+			Name: "IRIW",
+			Progs: [][]Op{
+				{StRel(X, 1)},
+				{StRel(Y, 1)},
+				{LdAcq(X, 0), LdAcq(Y, 1)},
+				{LdAcq(Y, 0), LdAcq(X, 1)},
+			},
+			Home: []int{0, 1},
+			Forbidden: func(o Outcome) bool {
+				return o.Regs[2][0] == 1 && o.Regs[2][1] == 0 &&
+					o.Regs[3][0] == 1 && o.Regs[3][1] == 0
+			},
+		},
+		{
+			// MP3: a three-directory Relaxed burst before one Release —
+			// exercises multi-directory notification (Fig. 4 right).
+			Name: "MP3",
+			Progs: [][]Op{
+				{St(X, 1), St(Y, 1), St(Z, 1), StRel(W, 1)},
+				{LdAcq(W, 0), Ld(X, 1), Ld(Y, 2), Ld(Z, 3)},
+			},
+			Home: []int{0, 1, 2, 2},
+			Forbidden: func(o Outcome) bool {
+				return o.Regs[1][0] == 1 &&
+					(o.Regs[1][1] == 0 || o.Regs[1][2] == 0 || o.Regs[1][3] == 0)
+			},
+		},
+		{
+			// MP with a release *barrier* instead of a release store: the
+			// barrier must order the Relaxed X before the Relaxed Y (§4.4's
+			// barrier handling — CORD broadcasts empty Releases and waits).
+			Name: "MP+bar",
+			Progs: [][]Op{
+				{St(X, 1), BarRel(), St(Y, 1)},
+				{LdAcq(Y, 0), Ld(X, 1)},
+			},
+			Home: []int{0, 1},
+			Forbidden: func(o Outcome) bool {
+				return o.Regs[1][0] == 1 && o.Regs[1][1] == 0
+			},
+		},
+		{
+			// SB with full barriers: the barrier makes each store globally
+			// visible before the following load, restoring sequential
+			// consistency for the store-buffering shape — both-zero becomes
+			// forbidden (it is allowed without the barriers; see SB).
+			Name: "SB+bars",
+			Progs: [][]Op{
+				{StRel(X, 1), BarRel(), LdAcq(Y, 0)},
+				{StRel(Y, 1), BarRel(), LdAcq(X, 0)},
+			},
+			Home: []int{0, 1},
+			Forbidden: func(o Outcome) bool {
+				return o.Regs[0][0] == 0 && o.Regs[1][0] == 0
+			},
+			MustReach: func(o Outcome) bool { // one-sided staleness is legal
+				return o.Regs[0][0] == 0 && o.Regs[1][0] == 1
+			},
+		},
+		{
+			// LB: load buffering with acquire/release — forbidden under RC
+			// (in-order cores cannot manufacture values from the future).
+			Name: "LB",
+			Progs: [][]Op{
+				{LdAcq(X, 0), StRel(Y, 1)},
+				{LdAcq(Y, 0), StRel(X, 1)},
+			},
+			Home: []int{0, 1},
+			Forbidden: func(o Outcome) bool {
+				return o.Regs[0][0] == 1 && o.Regs[1][0] == 1
+			},
+			MustReach: func(o Outcome) bool {
+				return o.Regs[0][0] == 0 && o.Regs[1][0] == 0
+			},
+		},
+		{
+			// CoRR1: read-read coherence — two acquires of the same flag by
+			// the same observer must not see the value go backwards (the
+			// single home directory makes regression structurally
+			// impossible; values are set by distinct Releases 1 then 2).
+			Name: "CoRR1",
+			Progs: [][]Op{
+				{StRel(X, 1), StRel(X, 2)},
+				{LdAcq(X, 0), LdAcq(X, 1)},
+			},
+			Home: []int{0},
+			Forbidden: func(o Outcome) bool {
+				return o.Regs[1][0] == 2 && o.Regs[1][1] < 2
+			},
+		},
+		{
+			// RelChain: three Releases in program order across three
+			// directories; observing the last implies the first.
+			Name: "RelChain",
+			Progs: [][]Op{
+				{StRel(X, 1), StRel(Y, 1), StRel(Z, 1)},
+				{LdAcq(Z, 0), Ld(Y, 1), Ld(X, 2)},
+			},
+			Home: []int{0, 1, 2},
+			Forbidden: func(o Outcome) bool {
+				return o.Regs[1][0] == 1 && (o.Regs[1][1] == 0 || o.Regs[1][2] == 0)
+			},
+		},
+	}
+}
+
+// Variants instantiates a test shape across every placement of its
+// addresses onto directories (MaxDirs^addrs variants), mirroring the paper's
+// systematic coverage of single- and multi-directory scenarios.
+func Variants(t Test) []Test {
+	n := len(t.Home)
+	total := 1
+	for i := 0; i < n; i++ {
+		total *= MaxDirs
+	}
+	out := make([]Test, 0, total)
+	for v := 0; v < total; v++ {
+		home := make([]int, n)
+		x := v
+		for i := 0; i < n; i++ {
+			home[i] = x % MaxDirs
+			x /= MaxDirs
+		}
+		nt := t
+		nt.Home = home
+		nt.Name = fmt.Sprintf("%s/place%v", t.Name, home)
+		out = append(out, nt)
+	}
+	return out
+}
+
+// ConfigVariant names one protocol configuration of the customized suite.
+type ConfigVariant struct {
+	Name string
+	Cfg  Config
+}
+
+// CordConfigs returns the configurations the CORD side of the suite runs
+// under: the deployed provisioning, the §4.5 stress cases (tiny widths and
+// single-entry tables, which force every overflow/stall path), and mixed
+// CORD/SO systems.
+func CordConfigs() []ConfigVariant {
+	tinyMixed := TinyConfig()
+	tinyMixed.Protos = []ProtoKind{CORDP, SOP, CORDP, SOP}
+	return []ConfigVariant{
+		{Name: "default", Cfg: DefaultConfig()},
+		{Name: "tiny", Cfg: TinyConfig()},
+		{Name: "mixed-cord-so", Cfg: Config{
+			Protos:         []ProtoKind{CORDP, SOP, CORDP, SOP},
+			EpochBits:      8,
+			CntMax:         255,
+			ProcUnackedCap: 8,
+			DirCapPerProc:  8,
+		}},
+		{Name: "tiny-mixed", Cfg: tinyMixed},
+	}
+}
+
+// SuiteResult summarizes a suite run.
+type SuiteResult struct {
+	Total   int
+	Passed  int
+	States  int
+	Failed  []string
+}
+
+// RunSuite checks every test under cfg and requires Pass() for each.
+func RunSuite(tests []Test, cfg Config) (SuiteResult, error) {
+	var sr SuiteResult
+	for _, t := range tests {
+		r, err := Check(t, cfg)
+		if err != nil {
+			return sr, err
+		}
+		sr.Total++
+		sr.States += r.States
+		if r.Pass() {
+			sr.Passed++
+		} else {
+			sr.Failed = append(sr.Failed, fmt.Sprintf("%s (forbidden=%t deadlock=%t window=%t reached=%t)",
+				t.Name, r.Forbidden, r.Deadlock, r.WindowViolated, r.Reached))
+		}
+	}
+	return sr, nil
+}
+
+// FullCordSuite returns every (shape x placement) variant — the complete
+// release-consistency validation input for CORD and SO.
+func FullCordSuite() []Test {
+	var all []Test
+	for _, base := range BaseTests() {
+		all = append(all, Variants(base)...)
+	}
+	return all
+}

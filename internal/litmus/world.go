@@ -1,0 +1,280 @@
+package litmus
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// msgKind enumerates the wire messages of all three protocol models.
+type msgKind int
+
+const (
+	mRelaxed msgKind = iota // CORD Relaxed store
+	mRelease                // CORD Release store (or injected flush)
+	mReqNotify
+	mNotify
+	mAck     // CORD Release acknowledgment
+	mSOStore // SO write-through store (relaxed or release)
+	mSOAck
+	mMPStore   // MP posted write
+	mMPFlush   // MP flushing read (barrier)
+	mMPFlushOK // flushing-read response
+	mAtResp    // far-atomic value response (all protocols)
+)
+
+// msg is one in-flight message. Fields are used per kind; unused fields stay
+// zero so the canonical encoding is stable.
+type msg struct {
+	kind msgKind
+	src  int // issuing processor
+	dir  int // destination (or origin, for acks) directory
+	addr Addr
+	val  int
+	ep   uint64
+	cnt  uint64 // release: expected relaxed count; reqNotify: same
+	prev int64  // last unacked epoch for this dir (-1 = none)
+	noti int    // release: required notifications
+	dst  int    // reqNotify: directory to notify
+	seq  uint64 // MP sequence / SO tag
+	flag bool   // release: injected flush (no data); SO store: release
+	// atom marks a far fetch-add; reg receives the old value.
+	atom bool
+	reg  int
+}
+
+func (m msg) key() string {
+	return fmt.Sprintf("%d:%d:%d:%d:%d:%d:%d:%d:%d:%d:%d:%t:%t:%d",
+		m.kind, m.src, m.dir, m.addr, m.val, m.ep, m.cnt, m.prev, m.noti, m.dst, m.seq, m.flag,
+		m.atom, m.reg)
+}
+
+// unackedEntry tracks one outstanding Release epoch at a processor.
+type unackedEntry struct {
+	ep  uint64
+	dir int
+}
+
+// procState is a processor's model state.
+type procState struct {
+	pc   int
+	regs [MaxRegs]int
+
+	// CORD (Alg. 1).
+	ep      uint64
+	cnt     [MaxDirs]uint64 // Relaxed stores per dir in the current epoch
+	unacked []unackedEntry  // ascending by ep
+	// flushWait, when >= 0, is the epoch of an injected overflow flush the
+	// processor is stalled on (the pending Relaxed store retries after).
+	flushWait int64
+
+	// SO.
+	pendingAcks int
+
+	// MP.
+	seq [MaxDirs]uint64
+	// mpFlushPending counts outstanding flushing-read responses; barIssued
+	// marks that the current barrier op already sent its flushes.
+	mpFlushPending int
+	barIssued      bool
+	// atomWait blocks the processor until a far atomic's value response.
+	atomWait bool
+}
+
+// peEntry is a directory (processor, epoch) table row.
+type peEntry struct {
+	pid int
+	ep  uint64
+	n   int
+}
+
+// dirState is a directory's model state.
+type dirState struct {
+	mem [MaxAddrs]int
+
+	// CORD (Alg. 2).
+	cnt        []peEntry // committed Relaxed counts
+	noti       []peEntry // received notifications
+	largest    [MaxProcs]int64
+	hasLargest [MaxProcs]bool
+	pendingRel []msg
+	pendingReq []msg
+
+	// MP destination ordering.
+	mpNext    [MaxProcs]uint64
+	mpPend    []msg
+	mpFlushes []msg // parked flushing reads
+}
+
+// world is the full model state.
+type world struct {
+	procs []procState
+	dirs  []dirState
+	net   []msg
+}
+
+func newWorld(t Test) *world {
+	w := &world{
+		procs: make([]procState, len(t.Progs)),
+		dirs:  make([]dirState, MaxDirs),
+	}
+	for p := range w.procs {
+		w.procs[p].flushWait = -1
+	}
+	for d := range w.dirs {
+		for p := 0; p < MaxProcs; p++ {
+			w.dirs[d].largest[p] = -1
+		}
+	}
+	return w
+}
+
+func (w *world) clone() *world {
+	c := &world{
+		procs: make([]procState, len(w.procs)),
+		dirs:  make([]dirState, len(w.dirs)),
+		net:   append([]msg(nil), w.net...),
+	}
+	for i := range w.procs {
+		c.procs[i] = w.procs[i]
+		c.procs[i].unacked = append([]unackedEntry(nil), w.procs[i].unacked...)
+	}
+	for i := range w.dirs {
+		c.dirs[i] = w.dirs[i]
+		c.dirs[i].cnt = append([]peEntry(nil), w.dirs[i].cnt...)
+		c.dirs[i].noti = append([]peEntry(nil), w.dirs[i].noti...)
+		c.dirs[i].pendingRel = append([]msg(nil), w.dirs[i].pendingRel...)
+		c.dirs[i].pendingReq = append([]msg(nil), w.dirs[i].pendingReq...)
+		c.dirs[i].mpPend = append([]msg(nil), w.dirs[i].mpPend...)
+		c.dirs[i].mpFlushes = append([]msg(nil), w.dirs[i].mpFlushes...)
+	}
+	return c
+}
+
+// key returns a canonical encoding: in-flight and buffered message
+// multisets and directory tables are sorted so logically identical states
+// collide.
+func (w *world) key() string {
+	var b strings.Builder
+	for i := range w.procs {
+		p := &w.procs[i]
+		fmt.Fprintf(&b, "P%d|%d|%v|%d|%v|%d|%d|%v|%d|%t|%t;",
+			i, p.pc, p.regs, p.ep, p.cnt, p.flushWait, p.pendingAcks, p.seq,
+			p.mpFlushPending, p.barIssued, p.atomWait)
+		for _, u := range p.unacked {
+			fmt.Fprintf(&b, "u%d@%d,", u.ep, u.dir)
+		}
+	}
+	for i := range w.dirs {
+		d := &w.dirs[i]
+		fmt.Fprintf(&b, "D%d|%v|%v|%v|%v;", i, d.mem, d.largest, d.hasLargest, d.mpNext)
+		b.WriteString(sortedPE(d.cnt))
+		b.WriteByte('#')
+		b.WriteString(sortedPE(d.noti))
+		b.WriteByte('#')
+		b.WriteString(sortedMsgs(d.pendingRel))
+		b.WriteByte('#')
+		b.WriteString(sortedMsgs(d.pendingReq))
+		b.WriteByte('#')
+		b.WriteString(sortedMsgs(d.mpPend))
+		b.WriteByte('#')
+		b.WriteString(sortedMsgs(d.mpFlushes))
+		b.WriteByte(';')
+	}
+	b.WriteString("N:")
+	b.WriteString(sortedMsgs(w.net))
+	return b.String()
+}
+
+func sortedPE(es []peEntry) string {
+	ss := make([]string, len(es))
+	for i, e := range es {
+		ss[i] = fmt.Sprintf("%d/%d=%d", e.pid, e.ep, e.n)
+	}
+	sort.Strings(ss)
+	return strings.Join(ss, ",")
+}
+
+func sortedMsgs(ms []msg) string {
+	ss := make([]string, len(ms))
+	for i, m := range ms {
+		ss[i] = m.key()
+	}
+	sort.Strings(ss)
+	return strings.Join(ss, ",")
+}
+
+// --- small table helpers ---------------------------------------------------
+
+func peGet(es []peEntry, pid int, ep uint64) int {
+	for _, e := range es {
+		if e.pid == pid && e.ep == ep {
+			return e.n
+		}
+	}
+	return 0
+}
+
+func peAdd(es []peEntry, pid int, ep uint64, delta int) []peEntry {
+	for i := range es {
+		if es[i].pid == pid && es[i].ep == ep {
+			es[i].n += delta
+			return es
+		}
+	}
+	return append(es, peEntry{pid: pid, ep: ep, n: delta})
+}
+
+func peDrop(es []peEntry, pid int, ep uint64) []peEntry {
+	for i := range es {
+		if es[i].pid == pid && es[i].ep == ep {
+			return append(es[:i], es[i+1:]...)
+		}
+	}
+	return es
+}
+
+// lastUnackedFor returns the newest unacked epoch whose Release targeted
+// dir, or -1.
+func (p *procState) lastUnackedFor(dir int) int64 {
+	last := int64(-1)
+	for _, u := range p.unacked {
+		if u.dir == dir && int64(u.ep) > last {
+			last = int64(u.ep)
+		}
+	}
+	return last
+}
+
+// unackedCount returns outstanding Releases bound for dir.
+func (p *procState) unackedCount(dir int) int {
+	n := 0
+	for _, u := range p.unacked {
+		if u.dir == dir {
+			n++
+		}
+	}
+	return n
+}
+
+func (p *procState) oldestUnacked() (uint64, bool) {
+	if len(p.unacked) == 0 {
+		return 0, false
+	}
+	min := p.unacked[0].ep
+	for _, u := range p.unacked {
+		if u.ep < min {
+			min = u.ep
+		}
+	}
+	return min, true
+}
+
+func (p *procState) dropUnacked(ep uint64, dir int) {
+	for i, u := range p.unacked {
+		if u.ep == ep && u.dir == dir {
+			p.unacked = append(p.unacked[:i], p.unacked[i+1:]...)
+			return
+		}
+	}
+}

@@ -1,0 +1,83 @@
+package memsys
+
+import (
+	"testing"
+	"testing/quick"
+
+	"cord/internal/noc"
+)
+
+func TestComposeRoundTrip(t *testing.T) {
+	f := func(host uint8, slice uint8, off uint32) bool {
+		a := Compose(int(host), int(slice), uint64(off))
+		return a.Host() == int(host) && a.Slice() == int(slice) && a.Offset() == uint64(off)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestComposeRejectsBadComponents(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("oversized slice did not panic")
+		}
+	}()
+	Compose(0, 300, 0)
+}
+
+func TestLine(t *testing.T) {
+	a := Compose(1, 2, 130)
+	if a.Line().Offset() != 128 {
+		t.Fatalf("Line offset = %d, want 128", a.Line().Offset())
+	}
+	if a.Line().Host() != 1 || a.Line().Slice() != 2 {
+		t.Fatal("Line changed home")
+	}
+}
+
+func TestHomeOf(t *testing.T) {
+	m := NewMap(8, 8)
+	a := Compose(3, 5, 64)
+	if got := m.HomeOf(a); got != noc.DirID(3, 5) {
+		t.Fatalf("HomeOf = %v, want dir[h3.t5]", got)
+	}
+}
+
+func TestHomeOfWraps(t *testing.T) {
+	m := NewMap(2, 4)
+	a := Compose(5, 6, 0)
+	got := m.HomeOf(a)
+	if got != noc.DirID(1, 2) {
+		t.Fatalf("HomeOf wrap = %v, want dir[h1.t2]", got)
+	}
+}
+
+func TestStoreReadWrite(t *testing.T) {
+	s := NewStore()
+	a := Compose(0, 0, 8)
+	if s.Read(a) != 0 {
+		t.Fatal("unwritten cell should read 0")
+	}
+	s.Write(a, 42)
+	if s.Read(a) != 42 {
+		t.Fatal("write not visible")
+	}
+}
+
+func TestTiming(t *testing.T) {
+	tm := DefaultTiming()
+	if tm.CommitLatency() != tm.DirCycles+tm.LLCCycles {
+		t.Fatal("CommitLatency mismatch")
+	}
+	if tm.CommitLatency() == 0 {
+		t.Fatal("default commit latency should be positive")
+	}
+}
+
+func TestAddrString(t *testing.T) {
+	a := Compose(2, 3, 16)
+	if a.String() != "h2.s3+0x10" {
+		t.Fatalf("String = %q", a.String())
+	}
+}

@@ -1,0 +1,284 @@
+// Package noc models the multi-PU interconnect of the simulated system:
+// a 2x4 mesh inside each CPU host and a single switch between hosts, matching
+// Table 1 of the paper. It provides latency (per-hop mesh latency, inter-host
+// link latency), bandwidth (serialization on the inter-host ports), optional
+// delivery jitter (to exercise out-of-order arrival handling in protocols),
+// and per-class traffic accounting.
+package noc
+
+import (
+	"fmt"
+	"sort"
+
+	"cord/internal/sim"
+	"cord/internal/stats"
+)
+
+// NodeKind distinguishes processor cores from directory/LLC slices.
+type NodeKind int
+
+const (
+	// Core is a processor core node.
+	Core NodeKind = iota
+	// Dir is a directory + LLC-slice node.
+	Dir
+)
+
+func (k NodeKind) String() string {
+	if k == Core {
+		return "core"
+	}
+	return "dir"
+}
+
+// NodeID identifies an endpoint: a core or a directory slice on a tile of a
+// host's mesh. A core and the directory slice with the same Host/Tile are
+// co-located (same mesh tile), as in the paper's architecture (Fig. 6 right).
+type NodeID struct {
+	Host int
+	Tile int
+	Kind NodeKind
+}
+
+func (n NodeID) String() string {
+	return fmt.Sprintf("%s[h%d.t%d]", n.Kind, n.Host, n.Tile)
+}
+
+// CoreID and DirID are convenience constructors.
+func CoreID(host, tile int) NodeID { return NodeID{Host: host, Tile: tile, Kind: Core} }
+
+// DirID returns the NodeID of directory slice tile on host.
+func DirID(host, tile int) NodeID { return NodeID{Host: host, Tile: tile, Kind: Dir} }
+
+// InterTopo selects the inter-host topology.
+type InterTopo int
+
+const (
+	// Switch is the paper's single-switch star (Table 1): every host pair
+	// is one switch traversal apart.
+	Switch InterTopo = iota
+	// Ring connects hosts in a bidirectional ring; the inter-host latency
+	// is per link, so distant hosts pay multiple traversals. Models the
+	// "increasingly complex interconnect topologies" §3.2 anticipates.
+	Ring
+)
+
+func (t InterTopo) String() string {
+	if t == Ring {
+		return "ring"
+	}
+	return "switch"
+}
+
+// Config describes the interconnect geometry and timing.
+type Config struct {
+	Hosts        int      // number of CPU hosts
+	TilesPerHost int      // cores (= directory slices) per host
+	MeshCols     int      // mesh width (2x4 mesh: Cols=4, Rows=2)
+	HopCycles    sim.Time // per-mesh-hop latency (Table 1: 10 cycles)
+	// Topology is the inter-host topology (default: single switch).
+	Topology InterTopo
+	// InterHostNs is the one-way inter-host ("inter-PU directory access")
+	// latency in nanoseconds: 150 for CXL, 50 for UPI (Table 1).
+	InterHostNs float64
+	// LinkBytesPerCycle is the bandwidth of each directional inter-host port
+	// (Table 1: 64 GB/s = 32 B/ns = 16 B per 0.5ns cycle... expressed here in
+	// bytes per cycle at the 2 GHz core clock: 64 GB/s -> 32 B/cycle).
+	LinkBytesPerCycle float64
+	// JitterCycles adds a uniformly random [0, JitterCycles] delivery skew to
+	// model adaptive routing / multipath reordering. 0 disables jitter.
+	JitterCycles int
+	// PortTile is the mesh tile that hosts the inter-host port (CXL/UPI
+	// port in Fig. 6); traffic leaving/entering the host crosses it.
+	PortTile int
+}
+
+// CXLConfig returns the paper's CXL system configuration (Table 1).
+func CXLConfig() Config {
+	return Config{
+		Hosts: 8, TilesPerHost: 8, MeshCols: 4,
+		HopCycles:         10,
+		InterHostNs:       150,
+		LinkBytesPerCycle: 32,
+		JitterCycles:      4,
+	}
+}
+
+// UPIConfig returns the paper's UPI configuration: same system, 50 ns links.
+func UPIConfig() Config {
+	c := CXLConfig()
+	c.InterHostNs = 50
+	return c
+}
+
+// Validate reports configuration errors.
+func (c Config) Validate() error {
+	switch {
+	case c.Hosts < 1:
+		return fmt.Errorf("noc: Hosts = %d, need >= 1", c.Hosts)
+	case c.TilesPerHost < 1:
+		return fmt.Errorf("noc: TilesPerHost = %d, need >= 1", c.TilesPerHost)
+	case c.MeshCols < 1:
+		return fmt.Errorf("noc: MeshCols = %d, need >= 1", c.MeshCols)
+	case c.TilesPerHost%c.MeshCols != 0:
+		return fmt.Errorf("noc: TilesPerHost %d not divisible by MeshCols %d", c.TilesPerHost, c.MeshCols)
+	case c.LinkBytesPerCycle <= 0:
+		return fmt.Errorf("noc: LinkBytesPerCycle must be positive")
+	case c.PortTile < 0 || c.PortTile >= c.TilesPerHost:
+		return fmt.Errorf("noc: PortTile %d out of range", c.PortTile)
+	}
+	return nil
+}
+
+// meshHops returns the Manhattan distance between two tiles of a host mesh.
+func (c Config) meshHops(a, b int) int {
+	ax, ay := a%c.MeshCols, a/c.MeshCols
+	bx, by := b%c.MeshCols, b/c.MeshCols
+	dx, dy := ax-bx, ay-by
+	if dx < 0 {
+		dx = -dx
+	}
+	if dy < 0 {
+		dy = -dy
+	}
+	return dx + dy
+}
+
+// link models a directional inter-host port with finite bandwidth: messages
+// serialize one after another.
+type link struct {
+	nextFree sim.Time
+}
+
+// Handler receives delivered messages at a node.
+type Handler func(src NodeID, payload any)
+
+// Network connects cores and directories. Handlers are registered per node;
+// Send computes delay (mesh hops, serialization, inter-host latency, jitter),
+// accounts traffic, and schedules the destination handler.
+type Network struct {
+	eng     *sim.Engine
+	cfg     Config
+	traffic *stats.Traffic
+	// egress[h] / ingress[h] are host h's directional switch ports.
+	egress   []link
+	ingress  []link
+	handlers map[NodeID]Handler
+}
+
+// New creates a network. It panics on invalid configuration, which is a
+// programming error in experiment setup, not a runtime condition.
+func New(eng *sim.Engine, cfg Config, traffic *stats.Traffic) *Network {
+	if err := cfg.Validate(); err != nil {
+		panic(err)
+	}
+	return &Network{
+		eng:      eng,
+		cfg:      cfg,
+		traffic:  traffic,
+		egress:   make([]link, cfg.Hosts),
+		ingress:  make([]link, cfg.Hosts),
+		handlers: make(map[NodeID]Handler),
+	}
+}
+
+// Config returns the network configuration.
+func (n *Network) Config() Config { return n.cfg }
+
+// Register installs the delivery handler for node id.
+func (n *Network) Register(id NodeID, h Handler) {
+	if _, dup := n.handlers[id]; dup {
+		panic(fmt.Sprintf("noc: duplicate handler for %v", id))
+	}
+	n.handlers[id] = h
+}
+
+// interHostOneWay is the inter-host traversal latency in cycles: one link
+// for the switch star, the minimum ring distance times the link latency for
+// the ring.
+func (n *Network) interHostOneWay(src, dst int) sim.Time {
+	link := sim.FromNanos(n.cfg.InterHostNs)
+	if n.cfg.Topology != Ring {
+		return link
+	}
+	d := src - dst
+	if d < 0 {
+		d = -d
+	}
+	if rev := n.cfg.Hosts - d; rev < d {
+		d = rev
+	}
+	return sim.Time(d) * link
+}
+
+// Latency returns the zero-load latency between two nodes in cycles,
+// excluding serialization and jitter. Exported for analytical checks in
+// tests and for the Fig. 5 hop-count validation.
+func (n *Network) Latency(from, to NodeID) sim.Time {
+	if from.Host == to.Host {
+		return sim.Time(n.cfg.meshHops(from.Tile, to.Tile)) * n.cfg.HopCycles
+	}
+	hops := n.cfg.meshHops(from.Tile, n.cfg.PortTile) + n.cfg.meshHops(n.cfg.PortTile, to.Tile)
+	return sim.Time(hops)*n.cfg.HopCycles + n.interHostOneWay(from.Host, to.Host)
+}
+
+// Send transmits a message of the given class and size from src to dst and
+// invokes dst's handler with payload on arrival. Inter-host messages consume
+// bandwidth on the source egress and destination ingress ports.
+func (n *Network) Send(src, dst NodeID, class stats.MsgClass, bytes int, payload any) {
+	if bytes <= 0 {
+		panic(fmt.Sprintf("noc: message size %d must be positive", bytes))
+	}
+	h, ok := n.handlers[dst]
+	if !ok {
+		panic(fmt.Sprintf("noc: no handler registered for %v", dst))
+	}
+	interHost := src.Host != dst.Host
+	n.traffic.Add(class, bytes, interHost)
+
+	delay := n.Latency(src, dst)
+	if interHost {
+		ser := sim.Time(float64(bytes)/n.cfg.LinkBytesPerCycle + 0.999999)
+		now := n.eng.Now()
+		// Egress port serialization with queueing.
+		eg := &n.egress[src.Host]
+		start := now
+		if eg.nextFree > start {
+			start = eg.nextFree
+		}
+		eg.nextFree = start + ser
+		queueing := start - now
+		// Ingress port occupancy (approximate: advance nextFree, but do not
+		// re-queue — the switch is output-buffered).
+		ig := &n.ingress[dst.Host]
+		if ig.nextFree < start+delay {
+			ig.nextFree = start + delay
+		}
+		ig.nextFree += ser
+		delay += queueing + ser
+	}
+	if n.cfg.JitterCycles > 0 {
+		delay += sim.Time(n.eng.Rand().Intn(n.cfg.JitterCycles + 1))
+	}
+	n.eng.Schedule(delay, func() { h(src, payload) })
+}
+
+// LocalDir returns the directory slice co-located with a core: the same tile.
+func LocalDir(core NodeID) NodeID { return NodeID{Host: core.Host, Tile: core.Tile, Kind: Dir} }
+
+// SortIDs orders node IDs deterministically (host, then tile, then kind).
+// Protocols must use it before iterating map-keyed node sets that lead to
+// Send calls: delivery jitter consumes PRNG state, so send order must be
+// reproducible.
+func SortIDs(ids []NodeID) {
+	sort.Slice(ids, func(i, j int) bool {
+		a, b := ids[i], ids[j]
+		if a.Host != b.Host {
+			return a.Host < b.Host
+		}
+		if a.Tile != b.Tile {
+			return a.Tile < b.Tile
+		}
+		return a.Kind < b.Kind
+	})
+}

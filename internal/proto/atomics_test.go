@@ -1,0 +1,173 @@
+package proto_test
+
+// Cross-protocol atomic fetch-add tests: every protocol must give far
+// atomics read-modify-write semantics at the home directory, enforce the
+// annotated ordering, and return control only after the value response.
+
+import (
+	"testing"
+
+	"cord/internal/memsys"
+	"cord/internal/noc"
+	"cord/internal/proto"
+	"cord/internal/proto/cord"
+	"cord/internal/proto/mp"
+	"cord/internal/proto/so"
+	"cord/internal/proto/wb"
+	"cord/internal/stats"
+)
+
+func builders() map[string]proto.Builder {
+	return map[string]proto.Builder{
+		"CORD": cord.New(),
+		"SO":   so.New(),
+		"MP":   mp.New(),
+		"WB":   wb.New(),
+	}
+}
+
+func cfg(jitter int) noc.Config {
+	c := noc.CXLConfig()
+	c.Hosts = 4
+	c.TilesPerHost = 4
+	c.JitterCycles = jitter
+	return c
+}
+
+func TestAtomicsAccumulate(t *testing.T) {
+	// Two producers each fetch-add the same counter 10 times; an observer
+	// waits for 20. Lost updates would deadlock the observer.
+	ctr := memsys.Compose(2, 0, 0)
+	var prod proto.Program
+	for i := 0; i < 10; i++ {
+		prod = append(prod, proto.FetchAdd(ctr, 1, proto.Relaxed))
+	}
+	obs := proto.Program{proto.AcquireLoad(ctr, 20)}
+	for name, b := range builders() {
+		t.Run(name, func(t *testing.T) {
+			sys := proto.NewSystem(3, cfg(16), proto.RC)
+			r, err := proto.Exec(sys, b,
+				[]noc.NodeID{noc.CoreID(0, 0), noc.CoreID(1, 0), noc.CoreID(3, 0)},
+				[]proto.Program{prod, prod, obs})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if r.Procs[2].Finished == 0 {
+				t.Fatal("observer never saw 20: updates lost")
+			}
+			if got := r.Traffic.InterMsgs[stats.ClassAtomicResp]; got != 20 {
+				t.Fatalf("atomic responses = %d, want 20", got)
+			}
+		})
+	}
+}
+
+func TestReleaseAtomicOrdersPriorStores(t *testing.T) {
+	// A Release fetch-add must publish prior Relaxed data, exactly like a
+	// Release store — across directories, under jitter.
+	data := memsys.Compose(1, 0, 0)
+	flag := memsys.Compose(2, 0, 0)
+	prod := proto.Program{
+		proto.Op{Kind: proto.OpStoreWT, Ord: proto.Relaxed, Addr: data, Size: 64, Value: 5},
+		proto.FetchAdd(flag, 1, proto.Release),
+	}
+	cons := proto.Program{
+		proto.AcquireLoad(flag, 1),
+		proto.AcquireLoad(data, 5),
+	}
+	for name, b := range builders() {
+		if name == "MP" {
+			continue // MP cannot order across destinations (§3.2)
+		}
+		t.Run(name, func(t *testing.T) {
+			sys := proto.NewSystem(9, cfg(48), proto.RC)
+			r, err := proto.Exec(sys, b,
+				[]noc.NodeID{noc.CoreID(0, 0), noc.CoreID(3, 0)},
+				[]proto.Program{prod, cons})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if r.Procs[1].Finished == 0 {
+				t.Fatal("consumer never finished")
+			}
+		})
+	}
+}
+
+func TestAtomicBlocksIssuer(t *testing.T) {
+	// The fetch-add's value response is a data dependency: the core stalls
+	// about one round trip per atomic under every protocol.
+	ctr := memsys.Compose(1, 0, 0)
+	p := proto.Program{proto.FetchAdd(ctr, 1, proto.Relaxed)}
+	for name, b := range builders() {
+		t.Run(name, func(t *testing.T) {
+			sys := proto.NewSystem(3, cfg(0), proto.RC)
+			r, err := proto.Exec(sys, b, []noc.NodeID{noc.CoreID(0, 0)}, []proto.Program{p})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if got := r.Procs[0].Stall[stats.StallAcquire]; got < 500 {
+				t.Fatalf("atomic stall = %d, want about one round trip", got)
+			}
+		})
+	}
+}
+
+func TestCordReleaseAtomicSkipsPriorAckWait(t *testing.T) {
+	// CORD's remaining advantage for atomic publication: unlike SO, it need
+	// not wait for prior Relaxed-store acks before *issuing* the atomic.
+	data := memsys.Compose(1, 0, 0)
+	flag := memsys.Compose(1, 0, 1<<16)
+	var p proto.Program
+	for i := 0; i < 16; i++ {
+		p = append(p, proto.StoreRelaxed(data+memsys.Addr(i*64), 64))
+	}
+	p = append(p, proto.FetchAdd(flag, 1, proto.Release))
+	run := func(b proto.Builder) *stats.Run {
+		sys := proto.NewSystem(3, cfg(0), proto.RC)
+		r, err := proto.Exec(sys, b, []noc.NodeID{noc.CoreID(0, 0)}, []proto.Program{p})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return r
+	}
+	co := run(cord.New())
+	soRun := run(so.New())
+	if co.Procs[0].Stall[stats.StallAckWait] != 0 {
+		t.Fatal("CORD must not wait for relaxed acks before an atomic release")
+	}
+	if soRun.Procs[0].Stall[stats.StallAckWait] < 500 {
+		t.Fatal("SO must wait for relaxed acks before an atomic release")
+	}
+	if soRun.Time <= co.Time {
+		t.Fatalf("SO (%d) should be slower than CORD (%d) for atomic publication", soRun.Time, co.Time)
+	}
+}
+
+func TestAtomicsUnderTSO(t *testing.T) {
+	ctr := memsys.Compose(1, 0, 0)
+	p := proto.Program{
+		proto.StoreRelaxed(memsys.Compose(1, 1, 0), 64),
+		proto.FetchAdd(ctr, 1, proto.Relaxed),
+		proto.Barrier(proto.SeqCst),
+	}
+	for name, b := range builders() {
+		t.Run(name, func(t *testing.T) {
+			sys := proto.NewSystem(3, cfg(0), proto.TSO)
+			if _, err := proto.Exec(sys, b, []noc.NodeID{noc.CoreID(0, 0)}, []proto.Program{p}); err != nil {
+				t.Fatal(err)
+			}
+		})
+	}
+}
+
+func TestFetchAddValidation(t *testing.T) {
+	bad := proto.Program{{Kind: proto.OpAtomic, Addr: memsys.Compose(0, 0, 0), Size: 4}}
+	if bad.Validate() == nil {
+		t.Fatal("4-byte atomic accepted")
+	}
+	good := proto.Program{proto.FetchAdd(memsys.Compose(0, 0, 0), 3, proto.Release)}
+	if err := good.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}

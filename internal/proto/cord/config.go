@@ -1,0 +1,152 @@
+// Package cord implements the CORD coherence protocol (§4 of the paper):
+// write-through stores are ordered at the destination cache directory rather
+// than at the source processor, using decoupled epoch numbers and store
+// counters (§4.1), an inter-directory notification mechanism for
+// multi-directory release consistency (§4.2), and bounded look-up tables
+// with stall-on-overflow provisioning (§4.3).
+//
+// The same package also provides the SEQ-N monolithic-sequence-number
+// baseline of §4.1/Fig. 10 (Config.SeqBits > 0) and CORD's TSO variant (§6),
+// in which every write-through store is directory-ordered through the
+// Release-Release mechanism.
+package cord
+
+import "fmt"
+
+// Config holds CORD's micro-architectural parameters.
+type Config struct {
+	// EpochBits is the wire width of the epoch number. Epochs of up to 8
+	// bits ride in reserved transaction-header bits and add no traffic
+	// (§4.1); wider epochs inflate every Relaxed store.
+	EpochBits int
+	// CntBits is the wire width of the store counter embedded in Release
+	// stores. The processor flushes (with a stall) when an epoch's Relaxed
+	// store count would overflow it.
+	CntBits int
+	// SeqBits, when positive, switches the protocol into the SEQ-N baseline:
+	// a monolithic sequence number of SeqBits is embedded in *every* store,
+	// and the processor stall-flushes every 2^SeqBits stores.
+	SeqBits int
+
+	// ProcUnackedCap bounds the processor's unacknowledged-epoch table
+	// (Table 3: 8 entries). A Release stalls while the table is full.
+	ProcUnackedCap int
+	// ProcCntCap bounds the processor's per-directory store-counter table
+	// (Table 3: 8 entries). A Relaxed store to a directory with no live
+	// counter entry forces an epoch flush when the table is full.
+	ProcCntCap int
+	// DirCntCapPerProc / DirNotiCapPerProc bound the per-processor share of
+	// the directory's store-counter and notification-counter tables
+	// (Table 3: 8 and 16 entries). The *processor* enforces them
+	// conservatively before issuing a Release (§4.3).
+	DirCntCapPerProc  int
+	DirNotiCapPerProc int
+
+	// NoNotifications is an ablation switch: disable the inter-directory
+	// notification mechanism (§4.2). A Release whose epoch spans multiple
+	// directories then falls back to source ordering — the processor first
+	// executes a release barrier (empty Releases to the dirty directories,
+	// stalling for their acknowledgments) before issuing the Release with
+	// no notification requirement. Quantifies the mechanism's latency and
+	// stall benefit.
+	NoNotifications bool
+}
+
+// DefaultConfig returns the paper's deployed configuration (§4.1, Table 3).
+func DefaultConfig() Config {
+	return Config{
+		EpochBits:         8,
+		CntBits:           32,
+		ProcUnackedCap:    8,
+		ProcCntCap:        8,
+		DirCntCapPerProc:  8,
+		DirNotiCapPerProc: 16,
+	}
+}
+
+// SeqConfig returns the SEQ-N baseline configuration for Fig. 10.
+func SeqConfig(bits int) Config {
+	c := DefaultConfig()
+	c.SeqBits = bits
+	return c
+}
+
+// Validate reports configuration errors.
+func (c Config) Validate() error {
+	switch {
+	case c.SeqBits == 0 && (c.EpochBits < 1 || c.EpochBits > 62):
+		return fmt.Errorf("cord: EpochBits = %d out of range", c.EpochBits)
+	case c.SeqBits == 0 && (c.CntBits < 1 || c.CntBits > 62):
+		return fmt.Errorf("cord: CntBits = %d out of range", c.CntBits)
+	case c.SeqBits < 0 || c.SeqBits > 62:
+		return fmt.Errorf("cord: SeqBits = %d out of range", c.SeqBits)
+	case c.ProcUnackedCap < 1:
+		return fmt.Errorf("cord: ProcUnackedCap must be >= 1")
+	case c.ProcCntCap < 1:
+		return fmt.Errorf("cord: ProcCntCap must be >= 1")
+	case c.DirCntCapPerProc < 1 || c.DirNotiCapPerProc < 1:
+		return fmt.Errorf("cord: directory table caps must be >= 1")
+	}
+	return nil
+}
+
+// overheadBytes returns the wire overhead of embedding `bits` of ordering
+// metadata in a message that has 8 reserved header bits available (as CXL
+// 3.0 transaction packets do, §4.1).
+func overheadBytes(bits int) int {
+	if bits <= 8 {
+		return 0
+	}
+	return (bits - 8 + 7) / 8
+}
+
+// RelaxedOverhead is the per-Relaxed-store traffic overhead in bytes.
+func (c Config) RelaxedOverhead() int {
+	if c.SeqBits > 0 {
+		return overheadBytes(c.SeqBits)
+	}
+	return overheadBytes(c.EpochBits)
+}
+
+// ReleaseOverhead is the per-Release-store traffic overhead in bytes: the
+// store counter, the last-unacked epoch, and the notification count, plus
+// any epoch bits that spill past the reserved header bits.
+func (c Config) ReleaseOverhead() int {
+	if c.SeqBits > 0 {
+		return overheadBytes(c.SeqBits) + 2 // lastPrev + notiCnt
+	}
+	return (c.CntBits+7)/8 + 2 + overheadBytes(c.EpochBits)
+}
+
+// cntMax is the largest representable store-counter value.
+func (c Config) cntMax() uint64 {
+	if c.SeqBits > 0 {
+		return (uint64(1) << c.SeqBits) - 1
+	}
+	return (uint64(1) << c.CntBits) - 1
+}
+
+// epochWindow is the number of distinct in-flight epochs the wire encoding
+// can disambiguate.
+func (c Config) epochWindow() uint64 {
+	bits := c.EpochBits
+	if c.SeqBits > 0 {
+		// SEQ mode has no separate epoch field; in-flight ordering windows
+		// are bounded by the sequence number instead, handled by the
+		// store-count flush. Give epochs an effectively unbounded window.
+		return 1 << 62
+	}
+	return (uint64(1) << bits) - 1
+}
+
+// Storage layout constants: bytes per look-up table entry, used for the
+// storage-overhead experiments (Figs. 11 and 12). Entries carry a tag plus
+// the counter payload, mirroring Fig. 6 (left).
+const (
+	procCntEntryBytes     = 5 // directory tag + 4B store counter
+	procUnackedEntryBytes = 2 // epoch tag + destination directory
+	dirCntEntryBytes      = 5 // (proc, epoch) tag + 4B counter
+	dirNotiEntryBytes     = 3 // (proc, epoch) tag + 2B counter
+	dirLargestEpEntryBytes = 2
+	dirNetBufEntryBytes   = 24 // recycled Release store held in buffer
+)

@@ -1,0 +1,489 @@
+package cord
+
+import (
+	"fmt"
+	"testing"
+
+	"cord/internal/memsys"
+	"cord/internal/noc"
+	"cord/internal/proto"
+	"cord/internal/stats"
+)
+
+func smallConfig(jitter int) noc.Config {
+	c := noc.CXLConfig()
+	c.Hosts = 4
+	c.TilesPerHost = 4
+	c.JitterCycles = jitter
+	return c
+}
+
+func exec(t *testing.T, p *Protocol, nc noc.Config, mode proto.Mode,
+	cores []noc.NodeID, progs []proto.Program) *stats.Run {
+	t.Helper()
+	sys := proto.NewSystem(7, nc, mode)
+	r, err := proto.Exec(sys, p, cores, progs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return r
+}
+
+func TestConfigValidate(t *testing.T) {
+	if err := DefaultConfig().Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if err := SeqConfig(40).Validate(); err != nil {
+		t.Fatal(err)
+	}
+	bad := DefaultConfig()
+	bad.EpochBits = 0
+	if bad.Validate() == nil {
+		t.Fatal("EpochBits=0 should be invalid")
+	}
+	bad = DefaultConfig()
+	bad.ProcUnackedCap = 0
+	if bad.Validate() == nil {
+		t.Fatal("ProcUnackedCap=0 should be invalid")
+	}
+}
+
+func TestOverheadBytes(t *testing.T) {
+	cfg := DefaultConfig() // 8-bit epoch, 32-bit counter
+	if cfg.RelaxedOverhead() != 0 {
+		t.Fatalf("8-bit epochs should ride reserved bits; overhead = %d", cfg.RelaxedOverhead())
+	}
+	if cfg.ReleaseOverhead() != 6 {
+		t.Fatalf("release overhead = %d, want 6 (4B cnt + prev + notiCnt)", cfg.ReleaseOverhead())
+	}
+	wide := cfg
+	wide.EpochBits = 16
+	if wide.RelaxedOverhead() != 1 {
+		t.Fatalf("16-bit epoch overhead = %d, want 1", wide.RelaxedOverhead())
+	}
+	seq40 := SeqConfig(40)
+	if seq40.RelaxedOverhead() != 4 {
+		t.Fatalf("SEQ-40 relaxed overhead = %d, want 4", seq40.RelaxedOverhead())
+	}
+	seq8 := SeqConfig(8)
+	if seq8.RelaxedOverhead() != 0 {
+		t.Fatalf("SEQ-8 relaxed overhead = %d, want 0", seq8.RelaxedOverhead())
+	}
+}
+
+func TestReleaseDoesNotStallProcessor(t *testing.T) {
+	// The defining CORD property (Fig. 1): the core issues Release stores
+	// without waiting for prior Relaxed acks.
+	data := memsys.Compose(1, 0, 0)
+	flag := memsys.Compose(1, 0, 1<<16)
+	var p proto.Program
+	for i := 0; i < 32; i++ {
+		p = append(p, proto.StoreRelaxed(data+memsys.Addr(i*64), 64))
+	}
+	p = append(p, proto.StoreRelease(flag, 8, 1))
+	r := exec(t, New(), smallConfig(0), proto.RC, []noc.NodeID{noc.CoreID(0, 0)}, []proto.Program{p})
+	if got := r.Procs[0].Stall[stats.StallAckWait]; got != 0 {
+		t.Fatalf("ack-wait stall = %d, want 0", got)
+	}
+	if got := r.Procs[0].Stall[stats.StallRelease]; got != 0 {
+		t.Fatalf("release stall = %d, want 0", got)
+	}
+	// Completion ~ issue-bound: 33 ops at 1 cycle each, plus scheduling.
+	if r.Time > 200 {
+		t.Fatalf("time = %d cycles; CORD release must not block issue", r.Time)
+	}
+}
+
+func TestNoAcksForRelaxedStores(t *testing.T) {
+	data := memsys.Compose(1, 0, 0)
+	flag := memsys.Compose(1, 0, 1<<16)
+	var p proto.Program
+	for i := 0; i < 10; i++ {
+		p = append(p, proto.StoreRelaxed(data+memsys.Addr(i*64), 64))
+	}
+	p = append(p, proto.StoreRelease(flag, 8, 1))
+	p = append(p, proto.Barrier(proto.Release))
+	r := exec(t, New(), smallConfig(0), proto.RC, []noc.NodeID{noc.CoreID(0, 0)}, []proto.Program{p})
+	// Only the Release is acked; the barrier reuses its in-flight ack
+	// because no Relaxed store follows the Release.
+	if got := r.Traffic.InterMsgs[stats.ClassAck]; got != 1 {
+		t.Fatalf("acks = %d, want 1 (release only)", got)
+	}
+}
+
+func TestSameDirectoryNeedsNoNotifications(t *testing.T) {
+	// Fanout of one directory: the inter-directory mechanism stays silent.
+	data := memsys.Compose(1, 0, 0)
+	p := proto.Program{
+		proto.StoreRelaxed(data, 64),
+		proto.StoreRelease(data+4096, 8, 1),
+		proto.Barrier(proto.Release),
+	}
+	r := exec(t, New(), smallConfig(0), proto.RC, []noc.NodeID{noc.CoreID(0, 0)}, []proto.Program{p})
+	if got := r.Traffic.InterMsgs[stats.ClassReqNotify] + r.Traffic.InterMsgs[stats.ClassNotify]; got != 0 {
+		t.Fatalf("notification messages = %d, want 0", got)
+	}
+}
+
+func TestFig5ControlMessageCount(t *testing.T) {
+	// m Relaxed stores to dirs 0..n-2, Release to dir n-1 (Fig. 5): CORD
+	// produces n-1 ReqNotify + n-1 Notify + 1 ack = 2n-1 control messages.
+	const n = 4 // directories involved
+	var p proto.Program
+	for i := 0; i < 9; i++ {
+		dst := memsys.Compose(1+i%(n-1), 0, uint64(i)*64)
+		p = append(p, proto.StoreRelaxed(dst, 64))
+	}
+	flag := memsys.Compose(n, 0, 0) // hosts 1..n-1 got relaxed; release to host n
+	p = append(p, proto.StoreRelease(flag, 8, 1))
+	nc := smallConfig(0)
+	nc.Hosts = 8
+	r := exec(t, New(), nc, proto.RC, []noc.NodeID{noc.CoreID(0, 0)}, []proto.Program{p})
+	if got := r.Traffic.InterMsgs[stats.ClassReqNotify]; got != n-1 {
+		t.Fatalf("req-notify = %d, want %d", got, n-1)
+	}
+	if got := r.Traffic.InterMsgs[stats.ClassNotify]; got != n-1 {
+		t.Fatalf("notify = %d, want %d", got, n-1)
+	}
+	if got := r.Traffic.InterMsgs[stats.ClassAck]; got != 1 {
+		t.Fatalf("acks = %d, want 1", got)
+	}
+}
+
+// orderingPrograms builds a producer that writes data (value i+1 at round i)
+// then releases a flag, and a consumer that acquires the flag and then
+// checks the data value via a second acquire that must already be satisfied.
+func orderingPrograms(rounds int, dataHost, flagHost int) (prod, cons proto.Program) {
+	data := memsys.Compose(dataHost, 1, 0)
+	flag := memsys.Compose(flagHost, 2, 0)
+	for i := 0; i < rounds; i++ {
+		v := uint64(i + 1)
+		prod = append(prod,
+			proto.Op{Kind: proto.OpStoreWT, Ord: proto.Relaxed, Addr: data, Size: 64, Value: v},
+			proto.StoreRelease(flag, 8, v),
+		)
+		cons = append(cons,
+			proto.AcquireLoad(flag, v),
+			proto.AcquireLoad(data, v), // must not wait: release consistency
+		)
+	}
+	return prod, cons
+}
+
+func TestRelaxedReleaseOrderingUnderJitter(t *testing.T) {
+	// With heavy delivery jitter, Relaxed stores can arrive after the
+	// Release; the directory must stall the Release until the counter
+	// matches (§4.1). The consumer's data acquire observes the result.
+	for _, sameDir := range []bool{true, false} {
+		name := "same-dir"
+		dataHost := 2
+		if !sameDir {
+			name = "cross-dir"
+			dataHost = 3
+		}
+		t.Run(name, func(t *testing.T) {
+			nc := smallConfig(64) // up to 64 cycles of reorder
+			prod, cons := orderingPrograms(20, dataHost, 2)
+			r := exec(t, New(), nc, proto.RC,
+				[]noc.NodeID{noc.CoreID(0, 0), noc.CoreID(1, 0)},
+				[]proto.Program{prod, cons})
+			// Each data acquire after its flag acquire should be nearly
+			// instant; if release consistency were violated it would stall a
+			// full producer round. Allow a generous local round-trip bound.
+			perOp := r.Procs[1].Stall[stats.StallAcquire] / 40 // 40 acquires
+			if perOp > 2000 {
+				t.Fatalf("consumer average acquire stall %d cycles: ordering likely violated", perOp)
+			}
+		})
+	}
+}
+
+func TestReleaseReleaseOrderingAcrossDirs(t *testing.T) {
+	// Two releases to different directories: the second (cross-dir) must
+	// wait for the first via ReqNotify/Notify. Observable through the
+	// consumer: acquiring flag2 implies flag1 is set.
+	flag1 := memsys.Compose(1, 0, 0)
+	flag2 := memsys.Compose(2, 0, 0)
+	prod := proto.Program{
+		proto.StoreRelease(flag1, 8, 1),
+		proto.StoreRelease(flag2, 8, 1),
+	}
+	cons := proto.Program{
+		proto.AcquireLoad(flag2, 1),
+		proto.AcquireLoad(flag1, 1), // must already be visible
+	}
+	nc := smallConfig(64)
+	r := exec(t, New(), nc, proto.RC,
+		[]noc.NodeID{noc.CoreID(0, 0), noc.CoreID(3, 0)},
+		[]proto.Program{prod, cons})
+	if got := r.Traffic.InterMsgs[stats.ClassReqNotify]; got != 1 {
+		t.Fatalf("req-notify = %d, want 1 (flag1's dir is pending)", got)
+	}
+	_ = r
+}
+
+func TestUnackedTableCapStallsRelease(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.ProcUnackedCap = 1
+	flagA := memsys.Compose(1, 0, 0)
+	flagB := memsys.Compose(1, 1, 0)
+	p := proto.Program{
+		proto.StoreRelease(flagA, 8, 1),
+		proto.StoreRelease(flagB, 8, 1),
+	}
+	r := exec(t, &Protocol{Cfg: cfg}, smallConfig(0), proto.RC,
+		[]noc.NodeID{noc.CoreID(0, 0)}, []proto.Program{p})
+	if got := r.Procs[0].Stall[stats.StallTableFull]; got < 500 {
+		t.Fatalf("table-full stall = %d, want about one round trip", got)
+	}
+}
+
+func TestEpochWindowStall(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.EpochBits = 2 // window of 3 in-flight epochs
+	cfg.ProcUnackedCap = 16
+	var p proto.Program
+	for i := 0; i < 6; i++ {
+		p = append(p, proto.StoreRelease(memsys.Compose(1, i%4, 0), 8, uint64(i+1)))
+	}
+	r := exec(t, &Protocol{Cfg: cfg}, smallConfig(0), proto.RC,
+		[]noc.NodeID{noc.CoreID(0, 0)}, []proto.Program{p})
+	if got := r.Procs[0].Stall[stats.StallOverflow]; got == 0 {
+		t.Fatal("expected epoch-window overflow stalls with 2-bit epochs")
+	}
+}
+
+func TestStoreCounterOverflowFlushes(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.CntBits = 3 // max 7 relaxed stores per epoch per dir
+	data := memsys.Compose(1, 0, 0)
+	var p proto.Program
+	for i := 0; i < 20; i++ {
+		p = append(p, proto.StoreRelaxed(data+memsys.Addr(i*64), 64))
+	}
+	p = append(p, proto.Barrier(proto.Release))
+	sys := proto.NewSystem(7, smallConfig(0), proto.RC)
+	r, err := proto.Exec(sys, &Protocol{Cfg: cfg}, []noc.NodeID{noc.CoreID(0, 0)}, []proto.Program{p})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := r.Procs[0].Stall[stats.StallOverflow]; got == 0 {
+		t.Fatal("expected overflow stalls with 3-bit counters and 20 stores")
+	}
+}
+
+func TestSeqModeFlushStalls(t *testing.T) {
+	data := memsys.Compose(1, 0, 0)
+	var p proto.Program
+	for i := 0; i < 30; i++ {
+		p = append(p, proto.StoreRelaxed(data+memsys.Addr(i*64), 64))
+	}
+	p = append(p, proto.Barrier(proto.Release))
+	seq3 := exec(t, NewSeq(3), smallConfig(0), proto.RC,
+		[]noc.NodeID{noc.CoreID(0, 0)}, []proto.Program{p})
+	seq40 := exec(t, NewSeq(40), smallConfig(0), proto.RC,
+		[]noc.NodeID{noc.CoreID(0, 0)}, []proto.Program{p})
+	if seq3.Procs[0].Stall[stats.StallOverflow] == 0 {
+		t.Fatal("SEQ-3 should stall on wrap")
+	}
+	if seq40.Procs[0].Stall[stats.StallOverflow] != 0 {
+		t.Fatal("SEQ-40 should never wrap here")
+	}
+	if seq40.Traffic.TotalInter() <= seq3.Traffic.TotalInter()-uint64(30*4) {
+		t.Fatal("SEQ-40 should carry ~4B/store more traffic than SEQ-3")
+	}
+	if seq3.Time <= seq40.Time {
+		t.Fatalf("SEQ-3 (%d) should be slower than SEQ-40 (%d)", seq3.Time, seq40.Time)
+	}
+}
+
+func TestTSOModeOrdersEveryStore(t *testing.T) {
+	data := memsys.Compose(1, 0, 0)
+	var p proto.Program
+	for i := 0; i < 10; i++ {
+		p = append(p, proto.StoreRelaxed(data+memsys.Addr(i*64), 64))
+	}
+	p = append(p, proto.Barrier(proto.SeqCst))
+	r := exec(t, New(), smallConfig(0), proto.TSO,
+		[]noc.NodeID{noc.CoreID(0, 0)}, []proto.Program{p})
+	// Every store becomes an ordered Release: 10 acks (the barrier waits on
+	// the outstanding ones rather than adding its own).
+	if got := r.Traffic.InterMsgs[stats.ClassAck]; got != 10 {
+		t.Fatalf("TSO acks = %d, want 10", got)
+	}
+	// But issue does not serialize on acks: far faster than 10 round trips.
+	if r.Time > 4000 {
+		t.Fatalf("TSO time = %d; CORD should pipeline ordered stores", r.Time)
+	}
+}
+
+func TestOccupancyTracked(t *testing.T) {
+	flag := memsys.Compose(1, 0, 0)
+	p := proto.Program{
+		proto.StoreRelaxed(memsys.Compose(1, 1, 0), 64),
+		proto.StoreRelease(flag, 8, 1),
+		proto.Barrier(proto.Release),
+	}
+	r := exec(t, New(), smallConfig(0), proto.RC,
+		[]noc.NodeID{noc.CoreID(0, 0)}, []proto.Program{p})
+	sum := r.TableSummary()
+	if sum["proc/unacked-epoch"] == 0 {
+		t.Fatal("unacked-epoch occupancy not tracked")
+	}
+	if sum["proc/store-counter"] == 0 {
+		t.Fatal("proc store-counter occupancy not tracked")
+	}
+	if sum["dir/store-counter"] == 0 {
+		t.Fatal("dir store-counter occupancy not tracked")
+	}
+}
+
+func TestDeterministicUnderJitter(t *testing.T) {
+	mk := func() *stats.Run {
+		nc := smallConfig(16)
+		prod, cons := orderingPrograms(10, 2, 2)
+		sys := proto.NewSystem(99, nc, proto.RC)
+		r, err := proto.Exec(sys, New(),
+			[]noc.NodeID{noc.CoreID(0, 0), noc.CoreID(1, 0)},
+			[]proto.Program{prod, cons})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return r
+	}
+	a, b := mk(), mk()
+	if a.Time != b.Time || a.Traffic.TotalInter() != b.Traffic.TotalInter() {
+		t.Fatalf("non-deterministic: %d/%d vs %d/%d", a.Time, a.Traffic.TotalInter(), b.Time, b.Traffic.TotalInter())
+	}
+}
+
+func TestNameAndBuilders(t *testing.T) {
+	if New().Name() != "CORD" {
+		t.Fatal("CORD name")
+	}
+	if NewSeq(8).Name() != "SEQ-8" {
+		t.Fatal("SEQ name")
+	}
+}
+
+func TestManyCoresManyRounds(t *testing.T) {
+	// Integration smoke test: 4 hosts, each host's core 0 produces to the
+	// next host and consumes from the previous, 25 rounds, jittered network.
+	nc := smallConfig(8)
+	hosts := nc.Hosts
+	cores := make([]noc.NodeID, hosts)
+	progs := make([]proto.Program, hosts)
+	for h := 0; h < hosts; h++ {
+		cores[h] = noc.CoreID(h, 0)
+		next := (h + 1) % hosts
+		data := memsys.Compose(next, 1, uint64(h)<<20)
+		inFlag := memsys.Compose(h, 2, uint64((h+hosts-1)%hosts)<<8)
+		outFlag := memsys.Compose(next, 2, uint64(h)<<8)
+		var p proto.Program
+		for r := 0; r < 25; r++ {
+			v := uint64(r + 1)
+			for i := 0; i < 8; i++ {
+				p = append(p, proto.Op{Kind: proto.OpStoreWT, Ord: proto.Relaxed,
+					Addr: data + memsys.Addr(i*64), Size: 64, Value: v})
+			}
+			p = append(p, proto.StoreRelease(outFlag, 8, v))
+			p = append(p, proto.AcquireLoad(inFlag, v))
+		}
+		p = append(p, proto.Barrier(proto.Release))
+		progs[h] = p
+	}
+	r := exec(t, New(), nc, proto.RC, cores, progs)
+	if r.Time == 0 {
+		t.Fatal("no time elapsed")
+	}
+	for i := range r.Procs {
+		if r.Procs[i].Finished == 0 {
+			t.Fatalf("core %d never finished", i)
+		}
+	}
+}
+
+func TestCordVsSeqTraffic(t *testing.T) {
+	// Fig. 10's headline: CORD matches SEQ-8's traffic while matching
+	// SEQ-40's performance. Verify the traffic half directly.
+	data := memsys.Compose(1, 0, 0)
+	var p proto.Program
+	for i := 0; i < 100; i++ {
+		p = append(p, proto.StoreRelaxed(data+memsys.Addr(i*64%4096), 64))
+	}
+	p = append(p, proto.StoreRelease(memsys.Compose(1, 0, 1<<20), 8, 1))
+	p = append(p, proto.Barrier(proto.Release))
+	cordRun := exec(t, New(), smallConfig(0), proto.RC, []noc.NodeID{noc.CoreID(0, 0)}, []proto.Program{p})
+	seq40 := exec(t, NewSeq(40), smallConfig(0), proto.RC, []noc.NodeID{noc.CoreID(0, 0)}, []proto.Program{p})
+	if cordRun.Traffic.TotalInter() >= seq40.Traffic.TotalInter() {
+		t.Fatalf("CORD traffic %d should undercut SEQ-40 %d",
+			cordRun.Traffic.TotalInter(), seq40.Traffic.TotalInter())
+	}
+}
+
+func ExampleProtocol_Name() {
+	fmt.Println(New().Name(), NewSeq(40).Name())
+	// Output: CORD SEQ-40
+}
+
+func TestWriteBackStoresSourceOrdered(t *testing.T) {
+	// §4.4: write-back stores under CORD keep source ordering — a Release
+	// write-back waits for prior write-back acks.
+	a := memsys.Compose(1, 0, 0)
+	p := proto.Program{
+		proto.StoreWBRelaxed(a, 64),
+		proto.StoreWBRelease(a+4096, 8, 1),
+	}
+	r := exec(t, New(), smallConfig(0), proto.RC, []noc.NodeID{noc.CoreID(0, 0)}, []proto.Program{p})
+	if got := r.Procs[0].Stall[stats.StallAckWait]; got < 500 {
+		t.Fatalf("WB release stall = %d, want about one round trip", got)
+	}
+	if got := r.Traffic.InterMsgs[stats.ClassWriteback]; got != 2 {
+		t.Fatalf("write-back messages = %d, want 2", got)
+	}
+}
+
+func TestWBReleaseAfterDirectoryOrderedInjectsBarrier(t *testing.T) {
+	// §4.4: a Release write-back after a directory-ordered Relaxed
+	// write-through cannot be source-ordered against it; the processor
+	// injects a directory-ordered Release barrier and stalls.
+	data := memsys.Compose(1, 0, 0)
+	flag := memsys.Compose(2, 0, 0)
+	prod := proto.Program{
+		proto.Op{Kind: proto.OpStoreWT, Ord: proto.Relaxed, Addr: data, Size: 64, Value: 5},
+		proto.StoreWBRelease(flag, 8, 1),
+	}
+	cons := proto.Program{
+		proto.AcquireLoad(flag, 1),
+		proto.AcquireLoad(data, 5), // must already be committed
+	}
+	sys := proto.NewSystem(7, smallConfig(32), proto.RC)
+	r, err := proto.Exec(sys, New(), []noc.NodeID{noc.CoreID(0, 0), noc.CoreID(3, 0)},
+		[]proto.Program{prod, cons})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The producer must have stalled on the injected barrier.
+	if got := r.Procs[0].Stall[stats.StallRelease]; got < 500 {
+		t.Fatalf("injected barrier stall = %d, want about one round trip", got)
+	}
+	// The consumer's data acquire after the flag acquire is near-free.
+	if got := r.Procs[1].Stall[stats.StallAcquire]; got > 4000 {
+		t.Fatalf("consumer stall = %d; data was not ordered before WB flag", got)
+	}
+}
+
+func TestRelaxedWBIsNonBlocking(t *testing.T) {
+	a := memsys.Compose(1, 0, 0)
+	var p proto.Program
+	for i := 0; i < 20; i++ {
+		p = append(p, proto.StoreWBRelaxed(a+memsys.Addr(i*64), 64))
+	}
+	r := exec(t, New(), smallConfig(0), proto.RC, []noc.NodeID{noc.CoreID(0, 0)}, []proto.Program{p})
+	if r.Procs[0].TotalStall() != 0 {
+		t.Fatal("relaxed write-backs must not stall")
+	}
+	if r.Time > 200 {
+		t.Fatalf("time = %d, relaxed WBs should pipeline", r.Time)
+	}
+}

@@ -1,0 +1,617 @@
+package cord
+
+import (
+	"fmt"
+
+	"cord/internal/memsys"
+	"cord/internal/noc"
+	"cord/internal/proto"
+	"cord/internal/sim"
+	"cord/internal/stats"
+)
+
+// cpu is the CORD processor-side engine (Alg. 1).
+type cpu struct {
+	proto.ProcBase
+	cfg Config
+
+	// ep is the current epoch (full precision internally; the configured
+	// bit-width governs wire overhead and the in-flight window stall).
+	ep uint64
+	// cnt tracks Relaxed stores issued per destination directory in the
+	// current epoch (the processor store-counter table of Fig. 6).
+	cnt map[noc.NodeID]uint64
+	// unacked maps an epoch to its outstanding Release acknowledgments
+	// (usually 1; Release barriers fan one epoch out to several dirs).
+	unacked map[uint64]int
+	// unackedByDir lists unacked epochs per destination dir, ascending.
+	unackedByDir map[noc.NodeID][]uint64
+	// seqIssued counts stores since the last flush, for SEQ-N mode.
+	seqIssued uint64
+
+	// blocked is the re-check continuation of a stalled op (at most one op
+	// is in flight per core).
+	blocked func()
+
+	occCnt     *stats.Occupancy
+	occUnacked *stats.Occupancy
+
+	// wcAddr implements a one-entry write-combining buffer: consecutive
+	// Relaxed stores to the same address merge into one wire transaction
+	// (and one directory store-counter increment).
+	wcAddr  memsys.Addr
+	wcValid bool
+
+	// OverflowFlushes counts injected flush Releases (counter wrap, proc
+	// table overflow, SEQ wrap) for tests and diagnostics.
+	OverflowFlushes int
+
+	// wbPending counts outstanding (unacknowledged) write-back stores,
+	// which remain source-ordered under CORD (§4.4).
+	wbPending int
+	wbNextTag uint64
+	// atomicWait holds cores blocked on far-atomic value responses.
+	atomicWait map[uint64]func()
+	atomicTag  uint64
+	// relIssued records each epoch's Release issue time for the
+	// release-latency distribution.
+	relIssued map[uint64]sim.Time
+	// InjectedWBBarriers counts §4.4 barrier injections before Release
+	// write-back stores.
+	InjectedWBBarriers int
+}
+
+func newCPU(sys *proto.System, id noc.NodeID, ps *stats.ProcStats, cfg Config) *cpu {
+	c := &cpu{
+		cfg:          cfg,
+		cnt:          make(map[noc.NodeID]uint64),
+		unacked:      make(map[uint64]int),
+		unackedByDir: make(map[noc.NodeID][]uint64),
+		occCnt:       stats.NewOccupancy("proc/store-counter", procCntEntryBytes),
+		occUnacked:   stats.NewOccupancy("proc/unacked-epoch", procUnackedEntryBytes),
+		atomicWait:   make(map[uint64]func()),
+		relIssued:    make(map[uint64]sim.Time),
+	}
+	c.InitBase(sys, id, ps)
+	c.Exec = c.exec
+	c.occCnt.Instance = id.String()
+	c.occUnacked.Instance = id.String()
+	sys.Run.Tables = append(sys.Run.Tables, c.occCnt, c.occUnacked)
+	return c
+}
+
+func (c *cpu) handle(_ noc.NodeID, payload any) {
+	switch m := payload.(type) {
+	case *proto.LoadResp:
+		c.HandleLoadResp(m)
+	case *ackMsg:
+		c.onAck(m)
+	case *wbAckMsg:
+		c.onWBAck(m)
+	case *atomicRespMsg:
+		c.onAtomicResp(m)
+	default:
+		panic(fmt.Sprintf("cord: cpu %v got unexpected message %T", c.ID, payload))
+	}
+}
+
+func (c *cpu) exec(op proto.Op, next func()) {
+	switch op.Kind {
+	case proto.OpAtomic:
+		c.execAtomic(op, next)
+	case proto.OpStoreWB:
+		c.execWriteBack(op, next)
+	case proto.OpStoreWT:
+		ord := op.Ord
+		if c.Sys.Mode == proto.TSO && ord == proto.Relaxed {
+			// §6: under TSO every write-through store is directory-ordered
+			// through the Release-Release mechanism.
+			ord = proto.Release
+		}
+		if ord == proto.Release {
+			c.execRelease(op, next)
+		} else {
+			c.execRelaxed(op, next)
+		}
+	case proto.OpBarrier:
+		switch op.Ord {
+		case proto.Release, proto.SeqCst:
+			c.execBarrier(next)
+		default:
+			next()
+		}
+	default:
+		panic(fmt.Sprintf("cord: unexpected op %v", op))
+	}
+}
+
+// --- Relaxed path (Alg. 1 lines 1-4) -------------------------------------
+
+func (c *cpu) execRelaxed(op proto.Op, next func()) {
+	if c.wcValid && c.wcAddr == op.Addr {
+		// Write-combined with the previous Relaxed store.
+		next()
+		return
+	}
+	d := c.Sys.Map.HomeOf(op.Addr)
+	// Store-counter overflow (§4.1): the counter for d is about to wrap, so
+	// flush — inject an empty Release to d and stall until it is
+	// acknowledged, after which the counter is reset.
+	if c.cnt[d] >= c.cfg.cntMax() || c.seqWouldWrap() {
+		c.flushThen(d, stats.StallOverflow, func() { c.execRelaxed(op, next) })
+		return
+	}
+	// Processor store-counter table overflow (§4.3): tracking a new
+	// directory needs a table entry; flush the epoch to recycle them all.
+	if _, live := c.cnt[d]; !live && c.occCnt.Cur() >= c.cfg.ProcCntCap {
+		c.flushThen(d, stats.StallTableFull, func() { c.execRelaxed(op, next) })
+		return
+	}
+	if _, live := c.cnt[d]; !live {
+		c.occCnt.Inc()
+	}
+	c.cnt[d]++
+	c.seqIssued++
+	c.wcAddr, c.wcValid = op.Addr, true
+	c.Sys.Net.Send(c.ID, d, stats.ClassRelaxedData,
+		proto.HeaderBytes+op.Size+c.cfg.RelaxedOverhead(),
+		&relaxedMsg{Src: c.ID, Ep: c.ep, Addr: op.Addr, Value: op.Value, Size: op.Size})
+	next()
+}
+
+func (c *cpu) seqWouldWrap() bool {
+	return c.cfg.SeqBits > 0 && c.seqIssued >= c.cfg.cntMax()
+}
+
+// flushThen performs an empty Release to dir d (full Release semantics so
+// every pending directory's tables are finalized), stalls the core until it
+// is acknowledged, then resumes.
+func (c *cpu) flushThen(d noc.NodeID, kind stats.StallKind, resume func()) {
+	if !c.provisioned(d) {
+		c.stallProvision(d, func() { c.flushThen(d, kind, resume) })
+		return
+	}
+	c.OverflowFlushes++
+	flushOp := proto.Op{Kind: proto.OpStoreWT, Ord: proto.Release, Size: 0}
+	c.issueRelease(flushOp, d, func() {
+		flushedEp := c.ep - 1
+		c.stallUntilEpochsAcked(map[uint64]bool{flushedEp: true}, kind, resume)
+	})
+}
+
+// --- Release path (Alg. 1 lines 5-13) -------------------------------------
+
+func (c *cpu) execRelease(op proto.Op, next func()) {
+	d := c.Sys.Map.HomeOf(op.Addr)
+	if !c.provisioned(d) {
+		c.stallProvision(d, func() { c.execRelease(op, next) })
+		return
+	}
+	if c.cfg.NoNotifications && c.crossDirPending(d) {
+		// Ablation: without inter-directory notifications, multi-directory
+		// epochs are source-ordered — drain other directories first.
+		c.execBarrierExcept(d, func() { c.execRelease(op, next) })
+		return
+	}
+	c.issueRelease(op, d, next)
+}
+
+// crossDirPending reports whether any directory other than d has Relaxed
+// stores this epoch or unacknowledged Releases.
+func (c *cpu) crossDirPending(d noc.NodeID) bool {
+	for dir, n := range c.cnt {
+		if dir != d && n > 0 {
+			return true
+		}
+	}
+	for dir, eps := range c.unackedByDir {
+		if dir != d && len(eps) > 0 {
+			return true
+		}
+	}
+	return false
+}
+
+// execBarrierExcept drains every directory except d: empty Releases to
+// dirty ones, then a stall for all outstanding acknowledgments not bound
+// for d. Used only by the NoNotifications ablation.
+func (c *cpu) execBarrierExcept(d noc.NodeID, next func()) {
+	var pend []noc.NodeID
+	for dir, n := range c.cnt {
+		if dir != d && n > 0 {
+			pend = append(pend, dir)
+		}
+	}
+	noc.SortIDs(pend)
+	for _, p := range pend {
+		if !c.provisioned(p) {
+			c.stallProvision(p, func() { c.execBarrierExcept(d, next) })
+			return
+		}
+	}
+	wait := make(map[uint64]bool)
+	for dir, eps := range c.unackedByDir {
+		if dir == d {
+			continue
+		}
+		for _, ep := range eps {
+			wait[ep] = true
+		}
+	}
+	if len(pend) > 0 {
+		// The drain shares the *current* epoch (which does not advance):
+		// the Relaxed stores it covers were tagged with it, and the real
+		// Release to d will also carry it, matching d's store counter.
+		ep := c.ep
+		c.unacked[ep] = len(pend)
+		c.occUnacked.Inc()
+		for _, p := range pend {
+			rel := &releaseMsg{Src: c.ID, Ep: ep, Cnt: c.cnt[p], Barrier: true}
+			if eps := c.unackedByDir[p]; len(eps) > 0 {
+				rel.HasPrev = true
+				rel.PrevEp = eps[len(eps)-1]
+			}
+			c.Sys.Net.Send(c.ID, p, stats.ClassBarrier,
+				proto.HeaderBytes+c.cfg.ReleaseOverhead(), rel)
+			c.unackedByDir[p] = append(c.unackedByDir[p], ep)
+			delete(c.cnt, p)
+			c.occCnt.Dec()
+		}
+		wait[ep] = true
+	}
+	if len(wait) == 0 {
+		next()
+		return
+	}
+	c.stallUntilEpochsAcked(wait, stats.StallAckWait, next)
+}
+
+// provisioned implements the §4.3 pre-issue checks: the local unacked-epoch
+// table, the epoch in-flight window, and the destination directory's
+// statically partitioned table shares.
+func (c *cpu) provisioned(d noc.NodeID) bool {
+	if len(c.unacked) >= c.cfg.ProcUnackedCap {
+		return false
+	}
+	if oldest, any := c.oldestUnacked(); any && c.ep-oldest >= c.epochWindowLimit() {
+		return false
+	}
+	if len(c.unackedByDir[d]) >= c.cfg.DirCntCapPerProc ||
+		len(c.unackedByDir[d]) >= c.cfg.DirNotiCapPerProc {
+		return false
+	}
+	return true
+}
+
+func (c *cpu) epochWindowLimit() uint64 { return c.cfg.epochWindow() }
+
+func (c *cpu) oldestUnacked() (uint64, bool) {
+	var min uint64
+	any := false
+	for ep := range c.unacked {
+		if !any || ep < min {
+			min = ep
+			any = true
+		}
+	}
+	return min, any
+}
+
+func (c *cpu) stallProvision(d noc.NodeID, retry func()) {
+	kind := stats.StallTableFull
+	if oldest, any := c.oldestUnacked(); any && c.ep-oldest >= c.epochWindowLimit() {
+		kind = stats.StallOverflow
+	}
+	if c.blocked != nil {
+		panic("cord: core blocked twice")
+	}
+	resume := c.StallUntil(kind, retry)
+	c.blocked = func() {
+		if c.provisioned(d) {
+			c.blocked = nil
+			resume()
+		}
+	}
+}
+
+// issueRelease sends the Release (and its notification fan-out) and advances
+// the epoch. The caller has already verified provisioning.
+func (c *cpu) issueRelease(op proto.Op, d noc.NodeID, next func()) {
+	// Pending directories (§4.2): any other directory with Relaxed stores
+	// in this epoch or an unacknowledged Release.
+	var pend []noc.NodeID
+	for dir, n := range c.cnt {
+		if dir != d && n > 0 {
+			pend = append(pend, dir)
+		}
+	}
+	for dir, eps := range c.unackedByDir {
+		if dir != d && len(eps) > 0 && c.cnt[dir] == 0 {
+			pend = append(pend, dir)
+		}
+	}
+	noc.SortIDs(pend) // deterministic send order
+	for _, p := range pend {
+		m := &reqNotifyMsg{Src: c.ID, Ep: c.ep, RelaxedCnt: c.cnt[p], Dst: d}
+		if eps := c.unackedByDir[p]; len(eps) > 0 {
+			m.HasPrev = true
+			m.PrevEp = eps[len(eps)-1]
+		}
+		c.Sys.Net.Send(c.ID, p, stats.ClassReqNotify, proto.ReqNotifyBytes, m)
+	}
+	rel := &releaseMsg{
+		Src: c.ID, Ep: c.ep, Cnt: c.cnt[d], NotiCnt: len(pend),
+		Addr: op.Addr, Value: op.Value, Size: op.Size, Barrier: op.Size == 0,
+		Atomic: op.Kind == proto.OpAtomic,
+	}
+	if eps := c.unackedByDir[d]; len(eps) > 0 {
+		rel.HasPrev = true
+		rel.PrevEp = eps[len(eps)-1]
+	}
+	c.Sys.Net.Send(c.ID, d, stats.ClassReleaseData,
+		proto.HeaderBytes+op.Size+c.cfg.ReleaseOverhead(), rel)
+
+	c.unacked[c.ep] = 1
+	c.occUnacked.Inc()
+	c.relIssued[c.ep] = c.Now()
+	c.unackedByDir[d] = append(c.unackedByDir[d], c.ep)
+	c.advanceEpoch()
+	next()
+}
+
+// advanceEpoch increments the epoch and resets all store counters
+// (Alg. 1 line 8).
+func (c *cpu) advanceEpoch() {
+	c.wcValid = false
+	c.ep++
+	for dir := range c.cnt {
+		delete(c.cnt, dir)
+		c.occCnt.Dec()
+	}
+	c.seqIssued = 0
+}
+
+// --- Atomics -----------------------------------------------------------------
+
+// execAtomic issues a directory-ordered far fetch-add. Ordering-wise it
+// behaves exactly like the corresponding store (Relaxed atomics count in the
+// epoch's store counter; Release atomics take the full Release path), but
+// the core additionally blocks on the value response — a data dependency
+// that directory ordering cannot remove, which is why atomic-heavy
+// workloads (TQH's task queue) gain least from CORD.
+func (c *cpu) execAtomic(op proto.Op, next func()) {
+	ord := op.Ord
+	if c.Sys.Mode == proto.TSO && ord == proto.Relaxed {
+		ord = proto.Release
+	}
+	d := c.Sys.Map.HomeOf(op.Addr)
+	if ord == proto.Release || ord == proto.SeqCst {
+		if !c.provisioned(d) {
+			c.stallProvision(d, func() { c.execAtomic(op, next) })
+			return
+		}
+		if c.cfg.NoNotifications && c.crossDirPending(d) {
+			c.execBarrierExcept(d, func() { c.execAtomic(op, next) })
+			return
+		}
+		aop := op
+		aop.Ord = proto.Release
+		c.issueRelease(aop, d, func() {
+			ep := c.ep - 1
+			c.stallUntilEpochsAcked(map[uint64]bool{ep: true}, stats.StallAcquire, next)
+		})
+		return
+	}
+	// Relaxed atomic: epoch-counted like a Relaxed store, plus the blocking
+	// value response.
+	if c.cnt[d] >= c.cfg.cntMax() || c.seqWouldWrap() {
+		c.flushThen(d, stats.StallOverflow, func() { c.execAtomic(op, next) })
+		return
+	}
+	if _, live := c.cnt[d]; !live && c.occCnt.Cur() >= c.cfg.ProcCntCap {
+		c.flushThen(d, stats.StallTableFull, func() { c.execAtomic(op, next) })
+		return
+	}
+	if _, live := c.cnt[d]; !live {
+		c.occCnt.Inc()
+	}
+	c.cnt[d]++
+	c.seqIssued++
+	c.wcValid = false // atomics never write-combine
+	c.atomicTag++
+	tag := c.atomicTag
+	c.atomicWait[tag] = c.StallUntil(stats.StallAcquire, next)
+	c.Sys.Net.Send(c.ID, d, stats.ClassAtomic,
+		proto.HeaderBytes+op.Size+c.cfg.RelaxedOverhead(),
+		&relaxedMsg{Src: c.ID, Ep: c.ep, Addr: op.Addr, Value: op.Value,
+			Size: op.Size, Atomic: true, Tag: tag})
+}
+
+func (c *cpu) onAtomicResp(m *atomicRespMsg) {
+	cont, ok := c.atomicWait[m.Tag]
+	if !ok {
+		panic("cord: unknown atomic response tag")
+	}
+	delete(c.atomicWait, m.Tag)
+	cont()
+}
+
+// --- Write-back stores (§4.4) ----------------------------------------------
+
+// execWriteBack issues a write-back store, which CORD leaves source-ordered.
+// A Release write-back store after directory-ordered Relaxed stores cannot
+// be source-ordered against them (they have no acknowledgments), so the
+// processor injects a directory-ordered Release barrier and stalls until it
+// is acknowledged before issuing the Release write-back (§4.4).
+func (c *cpu) execWriteBack(op proto.Op, next func()) {
+	if op.Ord != proto.Release && c.Sys.Mode != proto.TSO {
+		c.sendWB(op)
+		next()
+		return
+	}
+	// Ordering barrier against uncommitted directory-ordered stores.
+	dirty := false
+	for _, n := range c.cnt {
+		if n > 0 {
+			dirty = true
+		}
+	}
+	if dirty || len(c.unacked) > 0 {
+		c.InjectedWBBarriers++
+		c.execBarrier(func() { c.execWriteBack(op, next) })
+		return
+	}
+	// Source ordering of the write-back Release against prior write-backs.
+	if c.wbPending > 0 {
+		if c.blocked != nil {
+			panic("cord: core blocked twice")
+		}
+		resume := c.StallUntil(stats.StallAckWait, func() { c.execWriteBack(op, next) })
+		c.blocked = func() {
+			if c.wbPending == 0 {
+				c.blocked = nil
+				resume()
+			}
+		}
+		return
+	}
+	c.sendWB(op)
+	next()
+}
+
+func (c *cpu) sendWB(op proto.Op) {
+	c.wbNextTag++
+	c.wbPending++
+	c.wcValid = false
+	home := c.Sys.Map.HomeOf(op.Addr)
+	c.Sys.Net.Send(c.ID, home, stats.ClassWriteback, proto.HeaderBytes+op.Size,
+		&wbMsg{Src: c.ID, Addr: op.Addr, Value: op.Value, Size: op.Size, Tag: c.wbNextTag})
+}
+
+func (c *cpu) onWBAck(*wbAckMsg) {
+	if c.wbPending == 0 {
+		panic("cord: spurious write-back ack")
+	}
+	c.wbPending--
+	if c.blocked != nil {
+		c.blocked()
+	}
+}
+
+// --- Release / SC barrier (§4.4) ------------------------------------------
+
+// execBarrier makes all prior write-through stores globally visible: it
+// broadcasts an empty directory-ordered Release to every directory holding
+// uncommitted Relaxed stores of the current epoch, and waits for those plus
+// every already-outstanding Release acknowledgment (§4.4). Directories whose
+// only pending work is an in-flight acknowledged-on-commit Release need no
+// new message — their existing ack suffices.
+func (c *cpu) execBarrier(next func()) {
+	var pend []noc.NodeID
+	for dir, n := range c.cnt {
+		if n > 0 {
+			pend = append(pend, dir)
+		}
+	}
+	noc.SortIDs(pend) // deterministic send order
+	// Check provisioning for all targets before issuing any of them.
+	for _, d := range pend {
+		if !c.provisioned(d) {
+			c.stallProvision(d, func() { c.execBarrier(next) })
+			return
+		}
+	}
+	wait := make(map[uint64]bool)
+	for ep := range c.unacked {
+		wait[ep] = true
+	}
+	if len(pend) > 0 {
+		// One barrier epoch fans out to the dirty directories: each gets an
+		// empty Release ordered against this core's stores there.
+		ep := c.ep
+		c.unacked[ep] = len(pend)
+		c.occUnacked.Inc()
+		for _, d := range pend {
+			rel := &releaseMsg{Src: c.ID, Ep: ep, Cnt: c.cnt[d], Barrier: true}
+			if eps := c.unackedByDir[d]; len(eps) > 0 {
+				rel.HasPrev = true
+				rel.PrevEp = eps[len(eps)-1]
+			}
+			c.Sys.Net.Send(c.ID, d, stats.ClassBarrier,
+				proto.HeaderBytes+c.cfg.ReleaseOverhead(), rel)
+			c.unackedByDir[d] = append(c.unackedByDir[d], ep)
+		}
+		c.advanceEpoch()
+		wait[ep] = true
+	}
+	if len(wait) == 0 {
+		next()
+		return
+	}
+	c.stallUntilEpochsAcked(wait, stats.StallRelease, next)
+}
+
+// stallUntilEpochsAcked blocks the core until every epoch in eps has been
+// fully acknowledged.
+func (c *cpu) stallUntilEpochsAcked(eps map[uint64]bool, kind stats.StallKind, resume func()) {
+	check := func() bool {
+		for ep := range eps {
+			if _, live := c.unacked[ep]; live {
+				return false
+			}
+		}
+		return true
+	}
+	if check() {
+		resume()
+		return
+	}
+	if c.blocked != nil {
+		panic("cord: core blocked twice")
+	}
+	cont := c.StallUntil(kind, resume)
+	c.blocked = func() {
+		if check() {
+			c.blocked = nil
+			cont()
+		}
+	}
+}
+
+// --- Acknowledgments (Alg. 1 lines 14-15) ---------------------------------
+
+func (c *cpu) onAck(m *ackMsg) {
+	n, live := c.unacked[m.Ep]
+	if !live {
+		panic(fmt.Sprintf("cord: %v acked unknown epoch %d", c.ID, m.Ep))
+	}
+	if n > 1 {
+		c.unacked[m.Ep] = n - 1
+	} else {
+		delete(c.unacked, m.Ep)
+		c.occUnacked.Dec()
+		if at, ok := c.relIssued[m.Ep]; ok {
+			c.PS.ReleaseLatency.Add(c.Now() - at)
+			delete(c.relIssued, m.Ep)
+		}
+	}
+	// Drop the epoch from every per-directory chain it heads. Releases to a
+	// given directory commit in program order, so acknowledged epochs leave
+	// each chain from the front.
+	for dir, eps := range c.unackedByDir {
+		for len(eps) > 0 {
+			if _, still := c.unacked[eps[0]]; still {
+				break
+			}
+			eps = eps[1:]
+		}
+		if len(eps) == 0 {
+			delete(c.unackedByDir, dir)
+		} else {
+			c.unackedByDir[dir] = eps
+		}
+	}
+	if c.blocked != nil {
+		c.blocked()
+	}
+}

@@ -1,0 +1,297 @@
+package cord
+
+import (
+	"fmt"
+
+	"cord/internal/noc"
+	"cord/internal/proto"
+	"cord/internal/stats"
+)
+
+// procEpochKey identifies a (processor, epoch) pair in directory tables.
+type procEpochKey struct {
+	pid noc.NodeID
+	ep  uint64
+}
+
+// dir is the CORD directory-side engine (Alg. 2). Each instance is one LLC
+// slice's directory.
+type dir struct {
+	proto.DirBase
+	cfg Config
+
+	// cnt[pid,ep] counts committed Relaxed stores (Fig. 6's store counters).
+	cnt map[procEpochKey]uint64
+	// notiRecv[pid,ep] counts received inter-directory notifications.
+	notiRecv map[procEpochKey]int
+	// largest committed Release epoch per processor; absent until the first
+	// Release from that processor commits.
+	largestEp map[noc.NodeID]uint64
+	// pendingRel holds Release stores that cannot commit yet ("retry later",
+	// Alg. 2 line 24) — the network buffer of Fig. 12.
+	pendingRel []*releaseMsg
+	// pendingReq holds requests-for-notification awaiting local commits.
+	pendingReq []*reqNotifyMsg
+
+	occCnt, occNoti, occLargest, occNetBuf *stats.Occupancy
+
+	// Recycles counts how many times a buffered message was re-evaluated
+	// without becoming eligible, for diagnostics.
+	Recycles int
+}
+
+func newDir(sys *proto.System, id noc.NodeID, cfg Config) *dir {
+	d := &dir{
+		cfg:        cfg,
+		cnt:        make(map[procEpochKey]uint64),
+		notiRecv:   make(map[procEpochKey]int),
+		largestEp:  make(map[noc.NodeID]uint64),
+		occCnt:     stats.NewOccupancy("dir/store-counter", dirCntEntryBytes),
+		occNoti:    stats.NewOccupancy("dir/notification-counter", dirNotiEntryBytes),
+		occLargest: stats.NewOccupancy("dir/largest-epoch", dirLargestEpEntryBytes),
+		occNetBuf:  stats.NewOccupancy("dir/network-buffer", dirNetBufEntryBytes),
+	}
+	d.InitBase(sys, id)
+	for _, o := range []*stats.Occupancy{d.occCnt, d.occNoti, d.occLargest, d.occNetBuf} {
+		o.Instance = id.String()
+	}
+	sys.Run.Tables = append(sys.Run.Tables, d.occCnt, d.occNoti, d.occLargest, d.occNetBuf)
+	return d
+}
+
+func (d *dir) handle(src noc.NodeID, payload any) {
+	switch m := payload.(type) {
+	case *proto.LoadReq:
+		d.HandleLoadReq(m)
+	case *relaxedMsg:
+		d.onRelaxed(m)
+	case *releaseMsg:
+		d.onRelease(m)
+	case *reqNotifyMsg:
+		d.onReqNotify(m)
+	case *notifyMsg:
+		d.onNotify(m)
+	case *wbMsg:
+		d.Sys.Eng.Schedule(d.Sys.Timing.CommitLatency(), func() {
+			d.CommitValue(m.Addr, m.Value)
+			d.Sys.Net.Send(d.ID, m.Src, stats.ClassAck, proto.AckBytes, &wbAckMsg{Tag: m.Tag})
+		})
+	default:
+		panic(fmt.Sprintf("cord: dir %v got unexpected message %T from %v", d.ID, payload, src))
+	}
+}
+
+// bumpCnt increments the (pid, ep) store counter, allocating its entry.
+func (d *dir) bumpCnt(k procEpochKey) {
+	if _, live := d.cnt[k]; !live {
+		d.occCnt.Inc()
+	}
+	d.cnt[k]++
+}
+
+func (d *dir) dropCnt(k procEpochKey) {
+	if _, live := d.cnt[k]; live {
+		delete(d.cnt, k)
+		d.occCnt.Dec()
+	}
+}
+
+func (d *dir) dropNoti(k procEpochKey) {
+	if _, live := d.notiRecv[k]; live {
+		delete(d.notiRecv, k)
+		d.occNoti.Dec()
+	}
+}
+
+// onRelaxed commits a Relaxed store immediately (Alg. 2 lines 18-20). The
+// ordering point is arrival at the directory controller: the store counter
+// bumps right away, and the LLC write pipelines behind it. A Release that
+// becomes eligible on this count schedules its own commit at least one
+// commit latency later, so its LLC write never overtakes this one.
+func (d *dir) onRelaxed(m *relaxedMsg) {
+	d.bumpCnt(procEpochKey{m.Src, m.Ep})
+	d.Sys.Eng.Schedule(d.Sys.Timing.CommitLatency(), func() {
+		if m.Atomic {
+			old := d.FetchAdd(m.Addr, m.Value)
+			d.Sys.Net.Send(d.ID, m.Src, stats.ClassAtomicResp, proto.AckBytes+8,
+				&atomicRespMsg{Tag: m.Tag, Old: old})
+			return
+		}
+		d.CommitValue(m.Addr, m.Value)
+	})
+	d.reeval()
+}
+
+// prevCommitted reports whether the (optional) last-unacked prior epoch has
+// committed at this directory. Releases bound for one directory commit in
+// program order, so the largest committed epoch is an exact test.
+func (d *dir) prevCommitted(pid noc.NodeID, hasPrev bool, prev uint64) bool {
+	if !hasPrev {
+		return true
+	}
+	le, any := d.largestEp[pid]
+	return any && le >= prev
+}
+
+// releaseEligible is Alg. 2 line 22's three-way condition.
+func (d *dir) releaseEligible(m *releaseMsg) bool {
+	k := procEpochKey{m.Src, m.Ep}
+	return d.cnt[k] >= m.Cnt &&
+		d.prevCommitted(m.Src, m.HasPrev, m.PrevEp) &&
+		d.notiRecv[k] >= m.NotiCnt
+}
+
+// onRelease commits an eligible Release store or recycles it (Alg. 2 21-24).
+func (d *dir) onRelease(m *releaseMsg) {
+	if !d.releaseEligible(m) {
+		d.pendingRel = append(d.pendingRel, m)
+		d.occNetBuf.Inc()
+		return
+	}
+	d.commitRelease(m)
+}
+
+func (d *dir) commitRelease(m *releaseMsg) {
+	d.Sys.Eng.Schedule(d.Sys.Timing.CommitLatency(), func() {
+		switch {
+		case m.Atomic:
+			d.FetchAdd(m.Addr, m.Value)
+		case !m.Barrier:
+			d.CommitValue(m.Addr, m.Value)
+		}
+		if _, any := d.largestEp[m.Src]; !any {
+			d.occLargest.Inc()
+		}
+		if le, any := d.largestEp[m.Src]; !any || m.Ep > le {
+			d.largestEp[m.Src] = m.Ep
+		}
+		k := procEpochKey{m.Src, m.Ep}
+		d.dropCnt(k)
+		d.dropNoti(k)
+		class, size := stats.ClassAck, proto.AckBytes
+		if m.Atomic {
+			class, size = stats.ClassAtomicResp, proto.AckBytes+8
+		}
+		d.Sys.Net.Send(d.ID, m.Src, class, size, &ackMsg{Ep: m.Ep})
+		d.reeval()
+	})
+}
+
+// reqEligible is Alg. 2 line 26's condition: all of the processor's pending
+// Relaxed stores for this epoch committed here, and its last unacked Release
+// to this directory committed.
+func (d *dir) reqEligible(m *reqNotifyMsg) bool {
+	k := procEpochKey{m.Src, m.Ep}
+	return d.cnt[k] >= m.RelaxedCnt && d.prevCommitted(m.Src, m.HasPrev, m.PrevEp)
+}
+
+// onReqNotify forwards a notification to the destination directory once the
+// local pending stores commit (Alg. 2 lines 25-28).
+func (d *dir) onReqNotify(m *reqNotifyMsg) {
+	if !d.reqEligible(m) {
+		d.pendingReq = append(d.pendingReq, m)
+		d.occNetBuf.Inc()
+		return
+	}
+	d.sendNotify(m)
+}
+
+func (d *dir) sendNotify(m *reqNotifyMsg) {
+	// The store-counter entry is reclaimed after the notification is sent
+	// (§4.3).
+	d.dropCnt(procEpochKey{m.Src, m.Ep})
+	if m.Dst == d.ID {
+		// A degenerate self-notification (possible in hand-written tests):
+		// deliver directly.
+		d.onNotify(&notifyMsg{Src: m.Src, Ep: m.Ep})
+		return
+	}
+	d.Sys.Net.Send(d.ID, m.Dst, stats.ClassNotify, proto.NotifyBytes,
+		&notifyMsg{Src: m.Src, Ep: m.Ep})
+}
+
+// onNotify counts a notification toward the corresponding Release
+// (Alg. 2 lines 29-30).
+func (d *dir) onNotify(m *notifyMsg) {
+	k := procEpochKey{m.Src, m.Ep}
+	if _, live := d.notiRecv[k]; !live {
+		d.occNoti.Inc()
+	}
+	d.notiRecv[k]++
+	d.reeval()
+}
+
+// reeval re-examines the recycled buffers until a fixpoint: committing one
+// Release may unblock a buffered request-for-notification for a later epoch
+// and vice versa. Eligibility conditions are monotone (counters only grow,
+// commits are permanent), so entries scheduled for commit stay eligible.
+func (d *dir) reeval() {
+	for progress := true; progress; {
+		progress = false
+		keep := d.pendingRel[:0]
+		for _, m := range d.pendingRel {
+			if d.releaseEligible(m) {
+				d.occNetBuf.Dec()
+				d.commitRelease(m)
+				progress = true
+			} else {
+				d.Recycles++
+				keep = append(keep, m)
+			}
+		}
+		d.pendingRel = keep
+
+		keepQ := d.pendingReq[:0]
+		for _, m := range d.pendingReq {
+			if d.reqEligible(m) {
+				d.occNetBuf.Dec()
+				d.sendNotify(m)
+				progress = true
+			} else {
+				d.Recycles++
+				keepQ = append(keepQ, m)
+			}
+		}
+		d.pendingReq = keepQ
+	}
+}
+
+// PendingBuffered reports recycled messages, for deadlock diagnosis.
+func (d *dir) PendingBuffered() int { return len(d.pendingRel) + len(d.pendingReq) }
+
+// Protocol is the proto.Builder for CORD (and, with SeqBits set, SEQ-N).
+type Protocol struct {
+	Cfg Config
+}
+
+// New returns CORD with the paper's default configuration.
+func New() *Protocol { return &Protocol{Cfg: DefaultConfig()} }
+
+// NewSeq returns the SEQ-N monolithic sequence-number baseline.
+func NewSeq(bits int) *Protocol { return &Protocol{Cfg: SeqConfig(bits)} }
+
+// Name implements proto.Builder.
+func (p *Protocol) Name() string {
+	if p.Cfg.SeqBits > 0 {
+		return fmt.Sprintf("SEQ-%d", p.Cfg.SeqBits)
+	}
+	return "CORD"
+}
+
+// Build implements proto.Builder.
+func (p *Protocol) Build(sys *proto.System, cores []noc.NodeID) []proto.CPU {
+	if err := p.Cfg.Validate(); err != nil {
+		panic(err)
+	}
+	for _, id := range sys.Dirs() {
+		d := newDir(sys, id, p.Cfg)
+		sys.Net.Register(id, d.handle)
+	}
+	cpus := make([]proto.CPU, len(cores))
+	for i, id := range cores {
+		c := newCPU(sys, id, &sys.Run.Procs[i], p.Cfg)
+		sys.Net.Register(id, c.handle)
+		cpus[i] = c
+	}
+	return cpus
+}

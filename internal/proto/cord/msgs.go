@@ -1,0 +1,85 @@
+package cord
+
+import (
+	"cord/internal/memsys"
+	"cord/internal/noc"
+)
+
+// relaxedMsg is a Relaxed write-through store: data plus the epoch number
+// (which rides in reserved header bits when EpochBits <= 8). Atomic marks a
+// far fetch-add needing a value response (Tag).
+type relaxedMsg struct {
+	Src    noc.NodeID
+	Ep     uint64
+	Addr   memsys.Addr
+	Value  uint64
+	Size   int
+	Atomic bool
+	Tag    uint64
+}
+
+// atomicRespMsg returns a far atomic's prior value.
+type atomicRespMsg struct {
+	Tag uint64
+	Old uint64
+}
+
+// releaseMsg is a Release write-through store. It carries the full ordering
+// metadata of Alg. 1: epoch, store counter, last unacknowledged prior epoch
+// for the destination directory, and the pending-directory count (§4.1/4.2).
+// Barrier releases carry no data (Size == 0) and skip the LLC write.
+type releaseMsg struct {
+	Src     noc.NodeID
+	Ep      uint64
+	Cnt     uint64 // Relaxed stores this directory must have committed
+	HasPrev bool
+	PrevEp  uint64 // last unacked epoch whose Release targeted this dir
+	NotiCnt int    // notifications required before commit
+	Addr    memsys.Addr
+	Value   uint64
+	Size    int
+	Barrier bool
+	// Atomic marks a Release fetch-add: committed with read-modify-write
+	// semantics, and the acknowledgment carries the prior value.
+	Atomic bool
+}
+
+// reqNotifyMsg asks a pending directory to notify Dst once it has committed
+// all of Src's stores up to epoch Ep (§4.2).
+type reqNotifyMsg struct {
+	Src        noc.NodeID
+	Ep         uint64
+	RelaxedCnt uint64 // Relaxed stores of epoch Ep bound for this directory
+	HasPrev    bool
+	PrevEp     uint64 // last unacked epoch whose Release targeted this dir
+	Dst        noc.NodeID
+}
+
+// notifyMsg signals Dst's directory that the sending directory has committed
+// all of Src's pending stores for epoch Ep.
+type notifyMsg struct {
+	Src noc.NodeID // the processor the notification is on behalf of
+	Ep  uint64
+}
+
+// ackMsg acknowledges a committed Release store (CORD still acknowledges
+// Releases, §4.1).
+type ackMsg struct {
+	Ep uint64
+}
+
+// wbMsg is a source-ordered write-back store: CORD does not change the
+// ordering of write-back stores (§4.4) — they are acknowledged and the
+// processor orders them itself.
+type wbMsg struct {
+	Src   noc.NodeID
+	Addr  memsys.Addr
+	Value uint64
+	Size  int
+	Tag   uint64
+}
+
+// wbAckMsg acknowledges a committed write-back store.
+type wbAckMsg struct {
+	Tag uint64
+}

@@ -1,0 +1,101 @@
+package proto
+
+import (
+	"cord/internal/memsys"
+	"cord/internal/noc"
+	"cord/internal/stats"
+)
+
+// DirBase is the protocol-independent half of a directory slice: the
+// functional LLC contents for synchronization flags, and the waiter list
+// that implements acquire-side polling. Protocol directory types embed it.
+type DirBase struct {
+	Sys   *System
+	ID    noc.NodeID
+	Store *memsys.Store
+
+	waiters map[memsys.Addr][]pollWaiter
+}
+
+type pollWaiter struct {
+	req *LoadReq
+}
+
+// InitBase prepares the embedded fields.
+func (d *DirBase) InitBase(sys *System, id noc.NodeID) {
+	d.Sys = sys
+	d.ID = id
+	d.Store = memsys.NewStore()
+	d.waiters = make(map[memsys.Addr][]pollWaiter)
+}
+
+// CommitValue writes v to addr in the LLC slice, monotonically (flags are
+// counters; a late-arriving older store must not regress the value), and
+// wakes any satisfied pollers. The caller is responsible for modeling the
+// commit latency before invoking it.
+func (d *DirBase) CommitValue(addr memsys.Addr, v uint64) {
+	if cur := d.Store.Read(addr); v > cur {
+		d.Store.Write(addr, v)
+	}
+	d.wake(addr)
+}
+
+func (d *DirBase) wake(addr memsys.Addr) {
+	ws := d.waiters[addr]
+	if len(ws) == 0 {
+		return
+	}
+	val := d.Store.Read(addr)
+	rest := ws[:0]
+	for _, w := range ws {
+		if val >= w.req.Want {
+			d.respond(w.req, val)
+		} else {
+			rest = append(rest, w)
+		}
+	}
+	if len(rest) == 0 {
+		delete(d.waiters, addr)
+	} else {
+		d.waiters[addr] = rest
+	}
+}
+
+func (d *DirBase) respond(req *LoadReq, val uint64) {
+	d.Sys.Net.Send(d.ID, req.Requestor, stats.ClassLoadResp, LoadRespBytes,
+		&LoadResp{Addr: req.Addr, Value: val, Tag: req.Tag})
+}
+
+// HandleLoadReq services an acquire poll: respond after the LLC access
+// latency if the flag already satisfies the wait, otherwise park the waiter
+// until a commit satisfies it. Protocol directory handlers route LoadReq
+// messages here.
+func (d *DirBase) HandleLoadReq(m *LoadReq) {
+	d.Sys.Eng.Schedule(d.Sys.Timing.LLCCycles, func() {
+		if val := d.Store.Read(m.Addr); val >= m.Want {
+			d.respond(m, val)
+			return
+		}
+		d.waiters[m.Addr] = append(d.waiters[m.Addr], pollWaiter{req: m})
+	})
+}
+
+// FetchAdd atomically adds to the 8-byte word at addr and returns the prior
+// value, waking any satisfied pollers. Unlike CommitValue it is not
+// monotonic-clamped: atomic updates are totally ordered at the directory by
+// construction, so ordinary read-modify-write semantics apply.
+func (d *DirBase) FetchAdd(addr memsys.Addr, add uint64) uint64 {
+	old := d.Store.Read(addr)
+	d.Store.Write(addr, old+add)
+	d.wake(addr)
+	return old
+}
+
+// PendingWaiters reports parked pollers, for tests and deadlock diagnosis.
+func (d *DirBase) PendingWaiters() int {
+	n := 0
+	for _, ws := range d.waiters {
+		n += len(ws)
+	}
+	return n
+}

@@ -1,0 +1,332 @@
+// Package mp implements the message-passing baseline (§3.2): PCIe-style
+// posted write transactions. Writes are never acknowledged; ordering is
+// enforced at the *destination* host, but only point-to-point — each
+// (source, destination-host) stream commits in FIFO order, with no
+// cumulativity across hosts. This is why MP is fast and lean on the wire yet
+// cannot provide release consistency for multi-PU programs (the ISA2 litmus
+// outcome of Fig. 3 is reachable; see the litmus package).
+//
+// Barriers are modeled as PCIe-style flushing reads: a zero-byte read to
+// every host the core has posted writes to, completing when those writes
+// have committed. Under TSO the paper uses totally ordered MP as an upper
+// bound for performance and traffic; the wire behaviour is identical to the
+// RC mode here.
+package mp
+
+import (
+	"fmt"
+	"sort"
+
+	"cord/internal/memsys"
+	"cord/internal/noc"
+	"cord/internal/proto"
+	"cord/internal/stats"
+)
+
+// Protocol is the proto.Builder for message passing.
+type Protocol struct{}
+
+// New returns the message-passing protocol.
+func New() *Protocol { return &Protocol{} }
+
+// Name implements proto.Builder.
+func (p *Protocol) Name() string { return "MP" }
+
+// mpStore is a posted write transaction. Atomic marks a non-posted far
+// fetch-add: it is ordered in the same per-(source, host) stream but the
+// destination responds with the prior value.
+type mpStore struct {
+	Src    noc.NodeID
+	Seq    uint64 // per (src, destination-host) sequence number
+	Addr   memsys.Addr
+	Value  uint64
+	Size   int
+	Atomic bool
+	Tag    uint64
+}
+
+// atomicResp returns a far atomic's prior value.
+type atomicResp struct {
+	Tag uint64
+	Old uint64
+}
+
+// flushReq asks the destination host to report when every posted write from
+// Src up to and including Seq has committed (a flushing read).
+type flushReq struct {
+	Src noc.NodeID
+	Seq uint64
+	Tag uint64
+}
+
+// flushResp completes a flushReq.
+type flushResp struct {
+	Tag uint64
+}
+
+// orderer is a host's ingress ordering point: it commits each source's
+// posted writes in sequence order, regardless of arrival order, and answers
+// flushing reads. One orderer is shared by all directory slices of a host.
+type orderer struct {
+	sys  *proto.System
+	host int
+	// next[src] is the next sequence number to commit for src.
+	next map[noc.NodeID]uint64
+	// pending[src][seq] holds early arrivals.
+	pending map[noc.NodeID]map[uint64]*arrival
+	// flushes[src] holds outstanding flushing reads.
+	flushes map[noc.NodeID][]*flushReq
+	dirs    map[int]*dir // by slice
+}
+
+type arrival struct {
+	m   *mpStore
+	dst *dir
+}
+
+func newOrderer(sys *proto.System, host int) *orderer {
+	return &orderer{
+		sys:     sys,
+		host:    host,
+		next:    make(map[noc.NodeID]uint64),
+		pending: make(map[noc.NodeID]map[uint64]*arrival),
+		flushes: make(map[noc.NodeID][]*flushReq),
+		dirs:    make(map[int]*dir),
+	}
+}
+
+// submit hands an arrived posted write to the ordering point.
+func (o *orderer) submit(m *mpStore, at *dir) {
+	p := o.pending[m.Src]
+	if p == nil {
+		p = make(map[uint64]*arrival)
+		o.pending[m.Src] = p
+	}
+	if _, dup := p[m.Seq]; dup {
+		panic(fmt.Sprintf("mp: duplicate seq %d from %v at host %d", m.Seq, m.Src, o.host))
+	}
+	p[m.Seq] = &arrival{m: m, dst: at}
+	o.drain(m.Src)
+}
+
+// drain commits consecutive sequence numbers as they become available.
+func (o *orderer) drain(src noc.NodeID) {
+	p := o.pending[src]
+	for {
+		a, ok := p[o.next[src]]
+		if !ok {
+			break
+		}
+		delete(p, o.next[src])
+		o.next[src]++
+		a.dst.commit(a.m)
+	}
+	o.serveFlushes(src)
+}
+
+func (o *orderer) serveFlushes(src noc.NodeID) {
+	fs := o.flushes[src]
+	if len(fs) == 0 {
+		return
+	}
+	keep := fs[:0]
+	for _, f := range fs {
+		if o.next[src] > f.Seq {
+			o.respondFlush(f)
+		} else {
+			keep = append(keep, f)
+		}
+	}
+	if len(keep) == 0 {
+		delete(o.flushes, src)
+	} else {
+		o.flushes[src] = keep
+	}
+}
+
+// respondFlush completes a flushing read after the commit pipeline drains
+// (one LLC commit latency), from the host's port slice.
+func (o *orderer) respondFlush(f *flushReq) {
+	o.sys.Eng.Schedule(o.sys.Timing.CommitLatency(), func() {
+		o.sys.Net.Send(noc.DirID(o.host, 0), f.Src, stats.ClassAck,
+			proto.AckBytes, &flushResp{Tag: f.Tag})
+	})
+}
+
+func (o *orderer) flush(f *flushReq) {
+	if o.next[f.Src] > f.Seq || f.Seq == 0 {
+		o.respondFlush(f)
+		return
+	}
+	o.flushes[f.Src] = append(o.flushes[f.Src], f)
+}
+
+// dir is a directory slice under MP: pure commit target behind the orderer.
+type dir struct {
+	proto.DirBase
+	ord *orderer
+}
+
+func (d *dir) handle(_ noc.NodeID, payload any) {
+	switch m := payload.(type) {
+	case *proto.LoadReq:
+		d.HandleLoadReq(m)
+	case *mpStore:
+		d.ord.submit(m, d)
+	case *flushReq:
+		d.ord.flush(m)
+	default:
+		panic(fmt.Sprintf("mp: dir %v got unexpected message %T", d.ID, payload))
+	}
+}
+
+func (d *dir) commit(m *mpStore) {
+	d.Sys.Eng.Schedule(d.Sys.Timing.CommitLatency(), func() {
+		if m.Atomic {
+			old := d.FetchAdd(m.Addr, m.Value)
+			d.Sys.Net.Send(d.ID, m.Src, stats.ClassAtomicResp, proto.AckBytes+8,
+				&atomicResp{Tag: m.Tag, Old: old})
+			return
+		}
+		d.CommitValue(m.Addr, m.Value)
+	})
+}
+
+// cpu is the MP processor: posts writes, never waits.
+type cpu struct {
+	proto.ProcBase
+	// seq[host] counts posted writes per destination host (1-based next).
+	seq      map[int]uint64
+	nextTag  uint64
+	inflight map[uint64]func()
+	// wcAddr is a one-entry write-combining buffer (posted writes to the
+	// same address merge, as PCIe write-combining does).
+	wcAddr  memsys.Addr
+	wcValid bool
+}
+
+func (c *cpu) handle(_ noc.NodeID, payload any) {
+	switch m := payload.(type) {
+	case *proto.LoadResp:
+		c.HandleLoadResp(m)
+	case *flushResp:
+		cont, ok := c.inflight[m.Tag]
+		if !ok {
+			panic("mp: unknown flush tag")
+		}
+		delete(c.inflight, m.Tag)
+		cont()
+	case *atomicResp:
+		cont, ok := c.inflight[m.Tag]
+		if !ok {
+			panic("mp: unknown atomic tag")
+		}
+		delete(c.inflight, m.Tag)
+		cont()
+	default:
+		panic(fmt.Sprintf("mp: cpu %v got unexpected message %T", c.ID, payload))
+	}
+}
+
+func (c *cpu) exec(op proto.Op, next func()) {
+	switch op.Kind {
+	case proto.OpStoreWT, proto.OpStoreWB:
+		if op.Ord == proto.Relaxed {
+			if c.wcValid && c.wcAddr == op.Addr {
+				next()
+				return
+			}
+			c.wcAddr, c.wcValid = op.Addr, true
+		} else {
+			c.wcValid = false
+		}
+		home := c.Sys.Map.HomeOf(op.Addr)
+		host := home.Host
+		class := stats.ClassRelaxedData
+		if op.Ord == proto.Release {
+			class = stats.ClassReleaseData
+		}
+		c.Sys.Net.Send(c.ID, home, class, proto.HeaderBytes+op.Size, &mpStore{
+			Src: c.ID, Seq: c.seq[host], Addr: op.Addr, Value: op.Value, Size: op.Size,
+		})
+		c.seq[host]++
+		next()
+	case proto.OpAtomic:
+		// Non-posted atomic: ordered in the per-host stream, blocks on the
+		// value response.
+		c.wcValid = false
+		home := c.Sys.Map.HomeOf(op.Addr)
+		host := home.Host
+		c.nextTag++
+		c.inflight[c.nextTag] = c.StallUntil(stats.StallAcquire, next)
+		c.Sys.Net.Send(c.ID, home, stats.ClassAtomic, proto.HeaderBytes+op.Size, &mpStore{
+			Src: c.ID, Seq: c.seq[host], Addr: op.Addr, Value: op.Value,
+			Size: op.Size, Atomic: true, Tag: c.nextTag,
+		})
+		c.seq[host]++
+	case proto.OpBarrier:
+		switch op.Ord {
+		case proto.Release, proto.SeqCst:
+			c.flushAll(next)
+		default:
+			next()
+		}
+	default:
+		panic(fmt.Sprintf("mp: unexpected op %v", op))
+	}
+}
+
+// flushAll issues a flushing read to every host this core posted writes to
+// and stalls until all respond.
+func (c *cpu) flushAll(next func()) {
+	outstanding := 0
+	resume := c.StallUntil(stats.StallRelease, next)
+	done := func() {
+		outstanding--
+		if outstanding == 0 {
+			resume()
+		}
+	}
+	hosts := make([]int, 0, len(c.seq))
+	for host, n := range c.seq {
+		if n > 0 {
+			hosts = append(hosts, host)
+		}
+	}
+	sort.Ints(hosts) // deterministic send order
+	for _, host := range hosts {
+		n := c.seq[host]
+		outstanding++
+		c.nextTag++
+		c.inflight[c.nextTag] = done
+		c.Sys.Net.Send(c.ID, noc.DirID(host, 0), stats.ClassBarrier,
+			proto.LoadReqBytes, &flushReq{Src: c.ID, Seq: n - 1, Tag: c.nextTag})
+	}
+	if outstanding == 0 {
+		resume()
+	}
+}
+
+// Build implements proto.Builder.
+func (p *Protocol) Build(sys *proto.System, cores []noc.NodeID) []proto.CPU {
+	cfg := sys.Net.Config()
+	orderers := make([]*orderer, cfg.Hosts)
+	for h := range orderers {
+		orderers[h] = newOrderer(sys, h)
+	}
+	for _, id := range sys.Dirs() {
+		d := &dir{ord: orderers[id.Host]}
+		d.InitBase(sys, id)
+		orderers[id.Host].dirs[id.Tile] = d
+		sys.Net.Register(id, d.handle)
+	}
+	cpus := make([]proto.CPU, len(cores))
+	for i, id := range cores {
+		c := &cpu{seq: make(map[int]uint64), inflight: make(map[uint64]func())}
+		c.InitBase(sys, id, &sys.Run.Procs[i])
+		c.Exec = c.exec
+		sys.Net.Register(id, c.handle)
+		cpus[i] = c
+	}
+	return cpus
+}

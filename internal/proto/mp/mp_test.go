@@ -1,0 +1,167 @@
+package mp
+
+import (
+	"testing"
+
+	"cord/internal/memsys"
+	"cord/internal/noc"
+	"cord/internal/proto"
+	"cord/internal/stats"
+)
+
+func smallConfig(jitter int) noc.Config {
+	c := noc.CXLConfig()
+	c.Hosts = 4
+	c.TilesPerHost = 4
+	c.JitterCycles = jitter
+	return c
+}
+
+func run(t *testing.T, jitter int, cores []noc.NodeID, progs []proto.Program) *stats.Run {
+	t.Helper()
+	sys := proto.NewSystem(11, smallConfig(jitter), proto.RC)
+	r, err := proto.Exec(sys, New(), cores, progs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return r
+}
+
+func TestNoAcksAtAll(t *testing.T) {
+	data := memsys.Compose(1, 0, 0)
+	var p proto.Program
+	for i := 0; i < 50; i++ {
+		p = append(p, proto.StoreRelaxed(data+memsys.Addr(i*64), 64))
+	}
+	p = append(p, proto.StoreRelease(memsys.Compose(1, 0, 1<<16), 8, 1))
+	r := run(t, 0, []noc.NodeID{noc.CoreID(0, 0)}, []proto.Program{p})
+	if got := r.Traffic.InterMsgs[stats.ClassAck]; got != 0 {
+		t.Fatalf("acks = %d, want 0 (posted writes)", got)
+	}
+	if got := r.Procs[0].TotalStall(); got != 0 {
+		t.Fatalf("stall = %d, want 0", got)
+	}
+}
+
+func TestPointToPointFIFOUnderJitter(t *testing.T) {
+	// A Relaxed store followed by a Release to the same host must become
+	// visible in order even when the network reorders them.
+	data := memsys.Compose(1, 1, 0)
+	flag := memsys.Compose(1, 2, 0)
+	prod := proto.Program{}
+	cons := proto.Program{}
+	for i := 0; i < 30; i++ {
+		v := uint64(i + 1)
+		prod = append(prod,
+			proto.Op{Kind: proto.OpStoreWT, Ord: proto.Relaxed, Addr: data, Size: 64, Value: v},
+			proto.StoreRelease(flag, 8, v))
+		cons = append(cons,
+			proto.AcquireLoad(flag, v),
+			proto.AcquireLoad(data, v))
+	}
+	r := run(t, 64, []noc.NodeID{noc.CoreID(0, 0), noc.CoreID(1, 0)},
+		[]proto.Program{prod, cons})
+	perOp := r.Procs[1].Stall[stats.StallAcquire] / 60
+	if perOp > 2000 {
+		t.Fatalf("consumer stall %d/op: p2p FIFO ordering likely broken", perOp)
+	}
+}
+
+func TestCrossHostStreamsIndependent(t *testing.T) {
+	// Writes to host 1 and host 2 proceed without cross-ordering: a
+	// stalled (jittered) stream to host 1 must not delay host 2 commits.
+	// We just verify both flags eventually land and no deadlock occurs.
+	f1 := memsys.Compose(1, 0, 0)
+	f2 := memsys.Compose(2, 0, 0)
+	prod := proto.Program{
+		proto.StoreRelease(f1, 8, 1),
+		proto.StoreRelease(f2, 8, 1),
+	}
+	consA := proto.Program{proto.AcquireLoad(f1, 1)}
+	consB := proto.Program{proto.AcquireLoad(f2, 1)}
+	r := run(t, 32,
+		[]noc.NodeID{noc.CoreID(0, 0), noc.CoreID(1, 0), noc.CoreID(2, 0)},
+		[]proto.Program{prod, consA, consB})
+	if r.Time == 0 {
+		t.Fatal("nothing ran")
+	}
+}
+
+func TestFlushBarrier(t *testing.T) {
+	data := memsys.Compose(1, 0, 0)
+	p := proto.Program{
+		proto.StoreRelaxed(data, 64),
+		proto.Barrier(proto.SeqCst),
+	}
+	r := run(t, 0, []noc.NodeID{noc.CoreID(0, 0)}, []proto.Program{p})
+	// The flush costs a round trip.
+	if got := r.Procs[0].Stall[stats.StallRelease]; got < 500 {
+		t.Fatalf("flush stall = %d, want about one round trip", got)
+	}
+	if got := r.Traffic.InterMsgs[stats.ClassBarrier]; got != 1 {
+		t.Fatalf("flush requests = %d, want 1", got)
+	}
+}
+
+func TestBarrierWithNoPostedWritesIsFree(t *testing.T) {
+	p := proto.Program{proto.Barrier(proto.Release), proto.Compute(1)}
+	r := run(t, 0, []noc.NodeID{noc.CoreID(0, 0)}, []proto.Program{p})
+	if got := r.Procs[0].TotalStall(); got != 0 {
+		t.Fatalf("stall = %d, want 0", got)
+	}
+}
+
+func TestMPLeanestTraffic(t *testing.T) {
+	// For the same producer program, MP's wire bytes are data-only.
+	data := memsys.Compose(1, 0, 0)
+	var p proto.Program
+	for i := 0; i < 20; i++ {
+		p = append(p, proto.StoreRelaxed(data+memsys.Addr(i*64), 64))
+	}
+	p = append(p, proto.StoreRelease(memsys.Compose(1, 0, 1<<16), 8, 1))
+	r := run(t, 0, []noc.NodeID{noc.CoreID(0, 0)}, []proto.Program{p})
+	want := uint64(20*(proto.HeaderBytes+64) + proto.HeaderBytes + 8)
+	if got := r.Traffic.TotalInter(); got != want {
+		t.Fatalf("traffic = %d, want %d (data only)", got, want)
+	}
+}
+
+func TestMPUnderTSOModeRuns(t *testing.T) {
+	// §6 uses totally ordered MP as an upper bound; the wire behaviour is
+	// the same as RC mode (posted writes, per-destination FIFO).
+	sys := proto.NewSystem(11, smallConfig(8), proto.TSO)
+	data := memsys.Compose(1, 0, 0)
+	var p proto.Program
+	for i := 0; i < 10; i++ {
+		p = append(p, proto.StoreRelaxed(data+memsys.Addr(i*64), 64))
+	}
+	p = append(p, proto.Barrier(proto.SeqCst))
+	r, err := proto.Exec(sys, New(), []noc.NodeID{noc.CoreID(0, 0)}, []proto.Program{p})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := r.Traffic.InterMsgs[stats.ClassAck]; got != 1 {
+		t.Fatalf("TSO MP acks = %d, want 1 (the flush only)", got)
+	}
+}
+
+func TestMPAtomicOrderedInStream(t *testing.T) {
+	// An atomic after posted writes to the same host commits after them
+	// (same FIFO stream), so the observer's acquire of the atomic counter
+	// implies the data.
+	data := memsys.Compose(1, 1, 0)
+	ctr := memsys.Compose(1, 2, 0)
+	prod := proto.Program{
+		proto.Op{Kind: proto.OpStoreWT, Ord: proto.Relaxed, Addr: data, Size: 64, Value: 3},
+		proto.FetchAdd(ctr, 1, proto.Relaxed),
+	}
+	cons := proto.Program{
+		proto.AcquireLoad(ctr, 1),
+		proto.AcquireLoad(data, 3),
+	}
+	r := run(t, 48, []noc.NodeID{noc.CoreID(0, 0), noc.CoreID(1, 0)},
+		[]proto.Program{prod, cons})
+	if r.Procs[1].Finished == 0 {
+		t.Fatal("consumer never finished")
+	}
+}

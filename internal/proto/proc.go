@@ -1,0 +1,151 @@
+package proto
+
+import (
+	"fmt"
+
+	"cord/internal/memsys"
+	"cord/internal/noc"
+	"cord/internal/sim"
+	"cord/internal/stats"
+)
+
+// LoadReq is an acquire/poll request from a core to a flag's home directory.
+// The directory replies once the flag value reaches Want, so a logically
+// spinning consumer costs one request/response pair on the wire (the spin
+// itself hits the consumer's local cached copy and is not simulated
+// message-by-message).
+type LoadReq struct {
+	Requestor noc.NodeID
+	Addr      memsys.Addr
+	Want      uint64
+	Tag       uint64
+}
+
+// LoadResp answers a LoadReq with the flag value.
+type LoadResp struct {
+	Addr  memsys.Addr
+	Value uint64
+	Tag   uint64
+}
+
+// IssueCycles is the minimum core occupancy per memory operation: the store
+// pipeline issues at most one operation per cycle.
+const IssueCycles = 1
+
+// ProcBase sequences a core's program: it executes Compute and Acquire ops
+// itself and delegates stores and barriers to the owning protocol through
+// Exec. Protocol processor types embed it.
+type ProcBase struct {
+	Sys *System
+	ID  noc.NodeID
+	PS  *stats.ProcStats
+
+	// Exec performs a store or barrier op and calls next() when the core may
+	// proceed to the following op in program order. The protocol sets it.
+	Exec func(op Op, next func())
+
+	prog     Program
+	pc       int
+	done     bool
+	nextTag  uint64
+	acquires map[uint64]func()
+}
+
+// InitBase prepares the embedded fields.
+func (p *ProcBase) InitBase(sys *System, id noc.NodeID, ps *stats.ProcStats) {
+	p.Sys = sys
+	p.ID = id
+	p.PS = ps
+	p.acquires = make(map[uint64]func())
+}
+
+// Start begins program execution.
+func (p *ProcBase) Start(prog Program) {
+	p.prog = prog
+	p.pc = 0
+	p.done = len(prog) == 0
+	if p.done {
+		p.PS.Finished = p.Sys.Eng.Now()
+		return
+	}
+	p.Sys.Eng.Schedule(0, p.Step)
+}
+
+// Done reports whether the program has retired.
+func (p *ProcBase) Done() bool { return p.done }
+
+// Step executes the op at pc. The protocol's Exec (or the base's own
+// handling) calls back to advance.
+func (p *ProcBase) Step() {
+	if p.pc >= len(p.prog) {
+		if !p.done {
+			p.done = true
+			p.PS.Finished = p.Sys.Eng.Now()
+		}
+		return
+	}
+	op := p.prog[p.pc]
+	p.pc++
+	p.PS.Ops++
+	next := func() { p.Sys.Eng.Schedule(IssueCycles, p.Step) }
+	switch op.Kind {
+	case OpCompute:
+		p.PS.ComputeCyc += op.Cycles
+		p.Sys.Eng.Schedule(op.Cycles, p.Step)
+	case OpAcquire:
+		p.beginAcquire(op, next)
+	case OpStoreWT, OpStoreWB, OpBarrier, OpAtomic:
+		if op.Kind == OpStoreWT || op.Kind == OpStoreWB || op.Kind == OpAtomic {
+			if op.Ord == Release {
+				p.PS.Releases++
+			} else {
+				p.PS.Relaxed++
+			}
+		}
+		if p.Exec == nil {
+			panic("proto: ProcBase.Exec not set by protocol")
+		}
+		p.Exec(op, next)
+	default:
+		panic(fmt.Sprintf("proto: unknown op kind %v", op.Kind))
+	}
+}
+
+// beginAcquire sends the poll request and blocks the core until the response
+// arrives, charging the wait to StallAcquire.
+func (p *ProcBase) beginAcquire(op Op, next func()) {
+	start := p.Sys.Eng.Now()
+	tag := p.nextTag
+	p.nextTag++
+	p.acquires[tag] = func() {
+		p.PS.AddStall(stats.StallAcquire, p.Sys.Eng.Now()-start)
+		next()
+	}
+	home := p.Sys.Map.HomeOf(op.Addr)
+	p.Sys.Net.Send(p.ID, home, stats.ClassLoadReq, LoadReqBytes,
+		&LoadReq{Requestor: p.ID, Addr: op.Addr, Want: op.Value, Tag: tag})
+}
+
+// HandleLoadResp resumes the acquire waiting on the response's tag. Protocol
+// core handlers route LoadResp messages here.
+func (p *ProcBase) HandleLoadResp(m *LoadResp) {
+	cont, ok := p.acquires[m.Tag]
+	if !ok {
+		panic(fmt.Sprintf("proto: %v got LoadResp with unknown tag %d", p.ID, m.Tag))
+	}
+	delete(p.acquires, m.Tag)
+	cont()
+}
+
+// StallUntil charges kind for the duration between now and the moment
+// release() is invoked; it returns the function to call when the stall ends.
+func (p *ProcBase) StallUntil(kind stats.StallKind, resume func()) func() {
+	start := p.Sys.Eng.Now()
+	return func() {
+		p.PS.AddStall(kind, p.Sys.Eng.Now()-start)
+		resume()
+	}
+}
+
+// Now is shorthand for the engine clock.
+func (p *ProcBase) Now() sim.Time { return p.Sys.Eng.Now() }

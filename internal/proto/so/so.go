@@ -1,0 +1,344 @@
+// Package so implements the source-ordering write-through coherence protocol
+// — the de facto baseline the paper argues against (§3.1). Every
+// write-through store is acknowledged by its home directory, and the source
+// processor enforces release consistency by stalling each Release until all
+// prior write-through stores have been acknowledged (AMBA CHI's Ordered
+// Write Observation; CXL.io's UIO write completion).
+//
+// Under TSO (§6), all stores must be totally ordered, so the FIFO store
+// buffer drains serially: a store is transmitted only after its predecessor
+// has been acknowledged.
+package so
+
+import (
+	"fmt"
+
+	"cord/internal/memsys"
+	"cord/internal/noc"
+	"cord/internal/proto"
+	"cord/internal/sim"
+	"cord/internal/stats"
+)
+
+// Config tunes the protocol.
+type Config struct {
+	// StoreBufCap bounds the TSO store buffer; issue stalls when full.
+	StoreBufCap int
+}
+
+// DefaultConfig matches the simulated processor (64-entry store buffer).
+func DefaultConfig() Config { return Config{StoreBufCap: 64} }
+
+// Protocol is a proto.Builder for source ordering.
+type Protocol struct {
+	Cfg Config
+}
+
+// New returns a source-ordering protocol with the default configuration.
+func New() *Protocol { return &Protocol{Cfg: DefaultConfig()} }
+
+// Name implements proto.Builder.
+func (p *Protocol) Name() string { return "SO" }
+
+// storeMsg is a write-through store on the wire. Atomic marks a far
+// fetch-add, whose acknowledgment doubles as the value response.
+type storeMsg struct {
+	Src     noc.NodeID
+	Addr    memsys.Addr
+	Value   uint64
+	Size    int
+	Release bool
+	Atomic  bool
+	Tag     uint64
+}
+
+// ackMsg acknowledges a committed store (and returns an atomic's old value).
+type ackMsg struct {
+	Tag     uint64
+	Release bool
+	Old     uint64
+}
+
+// Build implements proto.Builder.
+func (p *Protocol) Build(sys *proto.System, cores []noc.NodeID) []proto.CPU {
+	for _, id := range sys.Dirs() {
+		d := &dir{}
+		d.InitBase(sys, id)
+		id := id
+		sys.Net.Register(id, d.handle)
+	}
+	cpus := make([]proto.CPU, len(cores))
+	for i, id := range cores {
+		c := &cpu{cfg: p.Cfg, atomicWait: make(map[uint64]func()), relSent: make(map[uint64]sim.Time)}
+		c.InitBase(sys, id, &sys.Run.Procs[i])
+		c.Exec = c.exec
+		sys.Net.Register(id, c.handle)
+		cpus[i] = c
+	}
+	return cpus
+}
+
+// cpu is the source-ordering processor engine.
+type cpu struct {
+	proto.ProcBase
+	cfg Config
+
+	pendingAcks int    // outstanding write-through stores (RC mode)
+	nextTag     uint64 // store tags for ack matching
+	// atomicWait is the continuation blocked on an atomic's response.
+	atomicWait map[uint64]func()
+	// relSent records Release store send times by tag.
+	relSent map[uint64]sim.Time
+	// blocked is the continuation of an op stalled on ack arrival.
+	blocked func()
+	// wcAddr implements a one-entry write-combining buffer: consecutive
+	// Relaxed stores to the same address merge into one wire transaction.
+	wcAddr  memsys.Addr
+	wcValid bool
+
+	// TSO store buffer: stores queued for serial, in-order drain.
+	buf      []bufEntry
+	draining bool
+}
+
+type bufEntry struct {
+	op proto.Op
+}
+
+func (c *cpu) handle(_ noc.NodeID, payload any) {
+	switch m := payload.(type) {
+	case *proto.LoadResp:
+		c.HandleLoadResp(m)
+	case *ackMsg:
+		c.onAck(m)
+	default:
+		panic(fmt.Sprintf("so: cpu %v got unexpected message %T", c.ID, payload))
+	}
+}
+
+func (c *cpu) exec(op proto.Op, next func()) {
+	if c.Sys.Mode == proto.TSO {
+		c.execTSO(op, next)
+		return
+	}
+	switch op.Kind {
+	case proto.OpStoreWT, proto.OpStoreWB:
+		// Under SO, write-back stores in a write-through workload are issued
+		// through the same ordered path.
+		if op.Ord == proto.Release {
+			c.wcValid = false
+			c.whenDrained(stats.StallAckWait, func() {
+				c.send(op, true)
+				next()
+			})
+			return
+		}
+		if c.wcValid && c.wcAddr == op.Addr {
+			// Write-combined: the in-flight transaction absorbs the store.
+			next()
+			return
+		}
+		c.wcAddr, c.wcValid = op.Addr, true
+		c.send(op, false)
+		next()
+	case proto.OpAtomic:
+		// Far atomics are source-ordered like stores; the core additionally
+		// blocks on the value response (a true data dependency).
+		issue := func() {
+			c.sendAtomic(op)
+			c.atomicWait[c.nextTag] = c.StallUntil(stats.StallAcquire, next)
+		}
+		if op.Ord == proto.Release || op.Ord == proto.SeqCst {
+			c.whenDrained(stats.StallAckWait, issue)
+			return
+		}
+		issue()
+	case proto.OpBarrier:
+		switch op.Ord {
+		case proto.Release, proto.SeqCst:
+			// A release barrier completes when all prior write-through
+			// stores are acknowledged.
+			c.whenDrained(stats.StallAckWait, next)
+		default: // Acquire barriers need no store-side handling (§4.4).
+			next()
+		}
+	default:
+		panic(fmt.Sprintf("so: unexpected op %v", op))
+	}
+}
+
+func (c *cpu) sendAtomic(op proto.Op) {
+	c.nextTag++
+	c.pendingAcks++
+	home := c.Sys.Map.HomeOf(op.Addr)
+	c.Sys.Net.Send(c.ID, home, stats.ClassAtomic, proto.HeaderBytes+op.Size, &storeMsg{
+		Src: c.ID, Addr: op.Addr, Value: op.Value, Size: op.Size,
+		Release: op.Ord == proto.Release, Atomic: true, Tag: c.nextTag,
+	})
+}
+
+// whenDrained runs fn once pendingAcks reaches zero, charging any wait to
+// the given stall kind.
+func (c *cpu) whenDrained(kind stats.StallKind, fn func()) {
+	if c.pendingAcks == 0 {
+		fn()
+		return
+	}
+	if c.blocked != nil {
+		panic("so: core blocked twice")
+	}
+	resume := c.StallUntil(kind, fn)
+	c.blocked = func() {
+		if c.pendingAcks == 0 {
+			c.blocked = nil
+			resume()
+		}
+	}
+}
+
+func (c *cpu) send(op proto.Op, release bool) {
+	c.nextTag++
+	c.pendingAcks++
+	class := stats.ClassRelaxedData
+	if release {
+		class = stats.ClassReleaseData
+	}
+	home := c.Sys.Map.HomeOf(op.Addr)
+	if release {
+		c.relSent[c.nextTag] = c.Now()
+	}
+	c.Sys.Net.Send(c.ID, home, class, proto.HeaderBytes+op.Size, &storeMsg{
+		Src: c.ID, Addr: op.Addr, Value: op.Value, Size: op.Size,
+		Release: release, Tag: c.nextTag,
+	})
+}
+
+func (c *cpu) onAck(m *ackMsg) {
+	if c.pendingAcks == 0 {
+		panic("so: spurious ack")
+	}
+	c.pendingAcks--
+	if at, ok := c.relSent[m.Tag]; ok {
+		c.PS.ReleaseLatency.Add(c.Now() - at)
+		delete(c.relSent, m.Tag)
+	}
+	if cont, ok := c.atomicWait[m.Tag]; ok {
+		delete(c.atomicWait, m.Tag)
+		cont()
+	}
+	if c.blocked != nil {
+		c.blocked()
+	}
+	if c.Sys.Mode == proto.TSO {
+		c.drainNext()
+	}
+}
+
+// --- TSO mode -----------------------------------------------------------
+
+func (c *cpu) execTSO(op proto.Op, next func()) {
+	switch op.Kind {
+	case proto.OpAtomic:
+		// TSO atomics drain the store buffer, execute, and block.
+		c.whenEmptyTSO(func() {
+			c.sendAtomic(op)
+			c.atomicWait[c.nextTag] = c.StallUntil(stats.StallAcquire, next)
+		})
+	case proto.OpStoreWT, proto.OpStoreWB:
+		if len(c.buf) >= c.cfg.StoreBufCap {
+			if c.blocked != nil {
+				panic("so: core blocked twice")
+			}
+			resume := c.StallUntil(stats.StallStoreBuf, func() {
+				c.enqueue(op)
+				next()
+			})
+			c.blocked = func() {
+				if len(c.buf) < c.cfg.StoreBufCap {
+					c.blocked = nil
+					resume()
+				}
+			}
+			return
+		}
+		c.enqueue(op)
+		next()
+	case proto.OpBarrier:
+		// Any barrier under TSO drains the store buffer.
+		c.whenEmptyTSO(next)
+	default:
+		panic(fmt.Sprintf("so: unexpected op %v", op))
+	}
+}
+
+func (c *cpu) enqueue(op proto.Op) {
+	c.buf = append(c.buf, bufEntry{op: op})
+	if !c.draining {
+		c.drainNext()
+	}
+}
+
+// drainNext transmits the store-buffer head; the next entry goes out only
+// after the head's ack returns (serial source ordering of all stores).
+func (c *cpu) drainNext() {
+	if len(c.buf) == 0 {
+		c.draining = false
+		if c.blocked != nil {
+			c.blocked()
+		}
+		return
+	}
+	c.draining = true
+	e := c.buf[0]
+	c.buf = c.buf[1:]
+	c.send(e.op, e.op.Ord == proto.Release)
+	if c.blocked != nil {
+		c.blocked() // buffer space freed
+	}
+}
+
+func (c *cpu) whenEmptyTSO(fn func()) {
+	if len(c.buf) == 0 && c.pendingAcks == 0 {
+		fn()
+		return
+	}
+	if c.blocked != nil {
+		panic("so: core blocked twice")
+	}
+	resume := c.StallUntil(stats.StallAckWait, fn)
+	c.blocked = func() {
+		if len(c.buf) == 0 && c.pendingAcks == 0 {
+			c.blocked = nil
+			resume()
+		}
+	}
+}
+
+// dir is the source-ordering directory: commit, then acknowledge.
+type dir struct {
+	proto.DirBase
+}
+
+func (d *dir) handle(_ noc.NodeID, payload any) {
+	switch m := payload.(type) {
+	case *proto.LoadReq:
+		d.HandleLoadReq(m)
+	case *storeMsg:
+		d.Sys.Eng.Schedule(d.Sys.Timing.CommitLatency(), func() {
+			var old uint64
+			class := stats.ClassAck
+			size := proto.AckBytes
+			if m.Atomic {
+				old = d.FetchAdd(m.Addr, m.Value)
+				class = stats.ClassAtomicResp
+				size = proto.AckBytes + 8
+			} else {
+				d.CommitValue(m.Addr, m.Value)
+			}
+			d.Sys.Net.Send(d.ID, m.Src, class, size,
+				&ackMsg{Tag: m.Tag, Release: m.Release, Old: old})
+		})
+	default:
+		panic(fmt.Sprintf("so: dir %v got unexpected message %T", d.ID, payload))
+	}
+}

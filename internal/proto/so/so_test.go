@@ -1,0 +1,183 @@
+package so
+
+import (
+	"testing"
+
+	"cord/internal/memsys"
+	"cord/internal/noc"
+	"cord/internal/proto"
+	"cord/internal/stats"
+)
+
+func smallConfig() noc.Config {
+	c := noc.CXLConfig()
+	c.Hosts = 2
+	c.TilesPerHost = 4
+	c.JitterCycles = 0
+	return c
+}
+
+func run(t *testing.T, mode proto.Mode, cores []noc.NodeID, progs []proto.Program) *stats.Run {
+	t.Helper()
+	sys := proto.NewSystem(1, smallConfig(), mode)
+	r, err := proto.Exec(sys, New(), cores, progs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return r
+}
+
+func TestRelaxedStoresPipelineWithoutStall(t *testing.T) {
+	// 100 relaxed stores to a remote host should issue back-to-back: no
+	// release, no stall, completion ~= issue time, not 100 round trips.
+	data := memsys.Compose(1, 0, 0)
+	var p proto.Program
+	for i := 0; i < 100; i++ {
+		p = append(p, proto.StoreRelaxed(data+memsys.Addr(i*64), 64))
+	}
+	r := run(t, proto.RC, []noc.NodeID{noc.CoreID(0, 0)}, []proto.Program{p})
+	if r.Time > 500 {
+		t.Fatalf("time = %d cycles; relaxed stores should pipeline", r.Time)
+	}
+	if got := r.Procs[0].TotalStall(); got != 0 {
+		t.Fatalf("stall = %d, want 0", got)
+	}
+}
+
+func TestReleaseWaitsForPriorAcks(t *testing.T) {
+	data := memsys.Compose(1, 0, 0)
+	flag := memsys.Compose(1, 0, 4096)
+	p := proto.Program{
+		proto.StoreRelaxed(data, 64),
+		proto.StoreRelease(flag, 8, 1),
+	}
+	r := run(t, proto.RC, []noc.NodeID{noc.CoreID(0, 0)}, []proto.Program{p})
+	// The release must stall ~1 round trip (>= 600 cycles at 150ns one-way)
+	// waiting for the relaxed store's ack.
+	if got := r.Procs[0].Stall[stats.StallAckWait]; got < 600 {
+		t.Fatalf("ack-wait stall = %d, want >= 600 (one CXL round trip)", got)
+	}
+	// Traffic: 2 data messages + 2 acks inter-host.
+	if got := r.Traffic.InterMsgs[stats.ClassAck]; got != 2 {
+		t.Fatalf("acks = %d, want 2", got)
+	}
+}
+
+func TestEveryStoreIsAcked(t *testing.T) {
+	data := memsys.Compose(1, 1, 0)
+	var p proto.Program
+	for i := 0; i < 37; i++ {
+		p = append(p, proto.StoreRelaxed(data+memsys.Addr(i*64), 64))
+	}
+	p = append(p, proto.StoreRelease(data+8192, 8, 1))
+	r := run(t, proto.RC, []noc.NodeID{noc.CoreID(0, 0)}, []proto.Program{p})
+	if got := r.Traffic.InterMsgs[stats.ClassAck]; got != 38 {
+		t.Fatalf("acks = %d, want 38 (m+1 control messages, Fig. 5)", got)
+	}
+	if got := r.Traffic.Inter(stats.ClassAck); got != 38*proto.AckBytes {
+		t.Fatalf("ack bytes = %d", got)
+	}
+}
+
+func TestProducerConsumerEndToEnd(t *testing.T) {
+	data := memsys.Compose(1, 0, 0)
+	flag := memsys.Compose(1, 0, 1<<20)
+	var p proto.Program
+	for i := 0; i < 16; i++ {
+		p = append(p, proto.StoreRelaxed(data+memsys.Addr(i*64), 64))
+	}
+	p = append(p, proto.StoreRelease(flag, 8, 1))
+	progs := []proto.Program{p, {proto.AcquireLoad(flag, 1)}}
+	cores := []noc.NodeID{noc.CoreID(0, 0), noc.CoreID(1, 1)}
+	r := run(t, proto.RC, cores, progs)
+	// The consumer's acquire must observe the release only after it
+	// committed, which is after all 16 relaxed stores were acked.
+	if r.Procs[1].Finished < 600 {
+		t.Fatalf("consumer finished at %d, too early", r.Procs[1].Finished)
+	}
+}
+
+func TestReleaseBarrierDrains(t *testing.T) {
+	data := memsys.Compose(1, 0, 0)
+	p := proto.Program{
+		proto.StoreRelaxed(data, 64),
+		proto.Barrier(proto.Release),
+		proto.Compute(1),
+	}
+	r := run(t, proto.RC, []noc.NodeID{noc.CoreID(0, 0)}, []proto.Program{p})
+	if got := r.Procs[0].Stall[stats.StallAckWait]; got < 600 {
+		t.Fatalf("barrier stall = %d, want >= 600", got)
+	}
+}
+
+func TestAcquireBarrierIsFree(t *testing.T) {
+	p := proto.Program{proto.Barrier(proto.Acquire), proto.Compute(1)}
+	r := run(t, proto.RC, []noc.NodeID{noc.CoreID(0, 0)}, []proto.Program{p})
+	if got := r.Procs[0].TotalStall(); got != 0 {
+		t.Fatalf("acquire barrier stalled %d cycles", got)
+	}
+}
+
+func TestTSOSerialDrain(t *testing.T) {
+	// Under TSO, 10 stores drain serially: total time ~ 10 round trips.
+	data := memsys.Compose(1, 0, 0)
+	var p proto.Program
+	for i := 0; i < 10; i++ {
+		p = append(p, proto.StoreRelaxed(data+memsys.Addr(i*64), 64))
+	}
+	p = append(p, proto.Barrier(proto.SeqCst))
+	r := run(t, proto.TSO, []noc.NodeID{noc.CoreID(0, 0)}, []proto.Program{p})
+	// One CXL round trip is >= 600 cycles; 10 serialized stores >= 6000.
+	if r.Time < 6000 {
+		t.Fatalf("TSO time = %d, want >= 6000 (serial drain)", r.Time)
+	}
+}
+
+func TestTSOStoreBufferBackpressure(t *testing.T) {
+	sys := proto.NewSystem(1, smallConfig(), proto.TSO)
+	p := &Protocol{Cfg: Config{StoreBufCap: 2}}
+	data := memsys.Compose(1, 0, 0)
+	var prog proto.Program
+	for i := 0; i < 8; i++ {
+		prog = append(prog, proto.StoreRelaxed(data+memsys.Addr(i*64), 64))
+	}
+	r, err := proto.Exec(sys, p, []noc.NodeID{noc.CoreID(0, 0)}, []proto.Program{prog})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := r.Procs[0].Stall[stats.StallStoreBuf]; got == 0 {
+		t.Fatal("expected store-buffer stalls with cap 2")
+	}
+}
+
+func TestTSOFasterThanNothingButCorrectOrder(t *testing.T) {
+	// Sanity: RC completes much faster than TSO for the same program.
+	data := memsys.Compose(1, 0, 0)
+	var p proto.Program
+	for i := 0; i < 20; i++ {
+		p = append(p, proto.StoreRelaxed(data+memsys.Addr(i*64), 64))
+	}
+	p = append(p, proto.StoreRelease(data+1<<20, 8, 1))
+	p = append(p, proto.Barrier(proto.SeqCst)) // measure to full drain
+	rc := run(t, proto.RC, []noc.NodeID{noc.CoreID(0, 0)}, []proto.Program{p})
+	tso := run(t, proto.TSO, []noc.NodeID{noc.CoreID(0, 0)}, []proto.Program{p})
+	if tso.Time <= rc.Time {
+		t.Fatalf("TSO time %d should exceed RC time %d", tso.Time, rc.Time)
+	}
+}
+
+func TestIntraHostReleaseCheap(t *testing.T) {
+	// All traffic local: release stall should be tens of cycles, not hundreds.
+	data := memsys.Compose(0, 1, 0)
+	p := proto.Program{
+		proto.StoreRelaxed(data, 64),
+		proto.StoreRelease(data+4096, 8, 1),
+	}
+	r := run(t, proto.RC, []noc.NodeID{noc.CoreID(0, 0)}, []proto.Program{p})
+	if got := r.Procs[0].Stall[stats.StallAckWait]; got > 100 {
+		t.Fatalf("intra-host ack wait = %d, want small", got)
+	}
+	if r.Traffic.TotalInter() != 0 {
+		t.Fatal("no inter-host traffic expected")
+	}
+}

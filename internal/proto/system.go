@@ -1,0 +1,141 @@
+package proto
+
+import (
+	"fmt"
+
+	"cord/internal/memsys"
+	"cord/internal/noc"
+	"cord/internal/sim"
+	"cord/internal/stats"
+)
+
+// Wire-size constants shared by all protocols. A control message is one
+// header flit; data messages add their payload. These sizes follow CXL-style
+// flit framing and are what the paper's traffic results are sensitive to:
+// acknowledgments cost a full control message, while CORD's epoch number
+// rides in reserved header bits of Relaxed stores for free (§4.1).
+const (
+	// HeaderBytes is the framing overhead of every message.
+	HeaderBytes = 16
+	// AckBytes is a directory->processor acknowledgment.
+	AckBytes = HeaderBytes
+	// LoadReqBytes is an acquire/poll request.
+	LoadReqBytes = HeaderBytes
+	// LoadRespBytes is an acquire/poll response carrying a flag word.
+	LoadRespBytes = HeaderBytes + 8
+	// ReqNotifyBytes is CORD's request-for-notification (header + counts).
+	ReqNotifyBytes = HeaderBytes + 8
+	// NotifyBytes is CORD's inter-directory notification.
+	NotifyBytes = HeaderBytes
+)
+
+// Mode selects the memory consistency model being enforced (§6).
+type Mode int
+
+const (
+	// RC is release consistency — the paper's primary target.
+	RC Mode = iota
+	// TSO is total store ordering — §6's study.
+	TSO
+)
+
+func (m Mode) String() string {
+	if m == TSO {
+		return "TSO"
+	}
+	return "RC"
+}
+
+// System bundles the simulation substrate one protocol instance runs on.
+type System struct {
+	Eng    *sim.Engine
+	Net    *noc.Network
+	Map    *memsys.Map
+	Timing memsys.Timing
+	Mode   Mode
+	Run    *stats.Run
+}
+
+// NewSystem wires an engine, network, and address map for the given
+// interconnect configuration.
+func NewSystem(seed int64, nc noc.Config, mode Mode) *System {
+	eng := sim.NewEngine(seed)
+	run := &stats.Run{}
+	net := noc.New(eng, nc, &run.Traffic)
+	return &System{
+		Eng:    eng,
+		Net:    net,
+		Map:    memsys.NewMap(nc.Hosts, nc.TilesPerHost),
+		Timing: memsys.DefaultTiming(),
+		Mode:   mode,
+		Run:    run,
+	}
+}
+
+// Dirs enumerates every directory node in the system.
+func (s *System) Dirs() []noc.NodeID {
+	cfg := s.Net.Config()
+	ids := make([]noc.NodeID, 0, cfg.Hosts*cfg.TilesPerHost)
+	for h := 0; h < cfg.Hosts; h++ {
+		for t := 0; t < cfg.TilesPerHost; t++ {
+			ids = append(ids, noc.DirID(h, t))
+		}
+	}
+	return ids
+}
+
+// CPU is a protocol's per-core engine.
+type CPU interface {
+	// Start begins executing prog; completion is observable via Done and the
+	// per-core stats' Finished time.
+	Start(prog Program)
+	// Done reports whether the program has fully retired (including any
+	// protocol-level draining the processor is responsible for).
+	Done() bool
+}
+
+// Builder constructs a protocol instance over a system: one CPU per core in
+// cores (in order), plus whatever directory-side state the protocol needs,
+// registering all network handlers.
+type Builder interface {
+	Name() string
+	Build(sys *System, cores []noc.NodeID) []CPU
+}
+
+// Exec runs programs (cores[i] executes progs[i]) under the given protocol
+// and returns the populated run statistics. Execution time is the latest
+// core completion; in-flight protocol messages after that point still count
+// toward traffic (the network drains fully).
+func Exec(sys *System, b Builder, cores []noc.NodeID, progs []Program) (*stats.Run, error) {
+	if len(cores) != len(progs) {
+		return nil, fmt.Errorf("proto: %d cores but %d programs", len(cores), len(progs))
+	}
+	for i, p := range progs {
+		if err := p.Validate(); err != nil {
+			return nil, fmt.Errorf("proto: program %d: %w", i, err)
+		}
+	}
+	sys.Run.Procs = make([]stats.ProcStats, len(cores))
+	cpus := b.Build(sys, cores)
+	if len(cpus) != len(cores) {
+		return nil, fmt.Errorf("proto: builder %s produced %d CPUs for %d cores", b.Name(), len(cpus), len(cores))
+	}
+	for i, c := range cpus {
+		c.Start(progs[i])
+	}
+	if err := sys.Eng.Run(); err != nil {
+		return nil, fmt.Errorf("proto: %s: %w", b.Name(), err)
+	}
+	var finish sim.Time
+	for i, c := range cpus {
+		if !c.Done() {
+			return nil, fmt.Errorf("proto: %s: core %v deadlocked (pc stuck, %d/%d ops)",
+				b.Name(), cores[i], sys.Run.Procs[i].Ops, len(progs[i]))
+		}
+		if f := sys.Run.Procs[i].Finished; f > finish {
+			finish = f
+		}
+	}
+	sys.Run.Time = finish
+	return sys.Run, nil
+}

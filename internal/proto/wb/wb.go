@@ -1,0 +1,356 @@
+// Package wb implements the source-ordered write-back baseline (the "WB"
+// scheme of §5.2): a MESI-style protocol in which stores allocate ownership
+// of the cache line in the producer's private cache, and a Release flushes
+// all dirty lines to their home directories before publishing the flag.
+//
+// The model captures exactly the effects the paper attributes to WB:
+//   - data reuse: repeated stores to an owned line generate no traffic, so
+//     workloads with write locality (PR, SSSP) benefit;
+//   - data movement cost: every communicated line costs an ownership fill
+//     (request + line) plus a write-back (line + ack), roughly doubling
+//     write-through's wire bytes for streaming communication;
+//   - source ordering: the Release stalls for MSHR drain and write-back
+//     acknowledgments, a longer critical path than SO's single ack wait.
+//
+// Simplifications (documented in DESIGN.md): producer caches are large
+// enough to hold the communication working set; a Release writes dirty lines
+// back but retains ownership (an update-style flush, as in heterogeneous
+// write-back RC protocols), so steady-state epochs pay write-backs but not
+// refetches; ownership grants carry no data because producer buffers have no
+// remote sharer between flushes; and concurrent sharers of a data line are
+// not modeled because the evaluated workloads partition producer buffers.
+package wb
+
+import (
+	"fmt"
+	"sort"
+
+	"cord/internal/memsys"
+	"cord/internal/noc"
+	"cord/internal/proto"
+	"cord/internal/stats"
+)
+
+// Config tunes the write-back processor.
+type Config struct {
+	// MSHRs bounds outstanding ownership fills.
+	MSHRs int
+}
+
+// DefaultConfig matches a modest out-of-order core.
+func DefaultConfig() Config { return Config{MSHRs: 32} }
+
+// Protocol is the proto.Builder for the write-back baseline.
+type Protocol struct {
+	Cfg Config
+}
+
+// New returns WB with the default configuration.
+func New() *Protocol { return &Protocol{Cfg: DefaultConfig()} }
+
+// Name implements proto.Builder.
+func (p *Protocol) Name() string { return "WB" }
+
+// getM requests exclusive ownership of a line.
+type getM struct {
+	Src  noc.NodeID
+	Line memsys.Addr
+}
+
+// fill grants ownership with the line data.
+type fill struct {
+	Line memsys.Addr
+}
+
+// wbData writes a dirty line back to its home directory.
+type wbData struct {
+	Src  noc.NodeID
+	Line memsys.Addr
+	Vals map[memsys.Addr]uint64
+	Tag  uint64
+}
+
+// flagStore publishes a Release flag (written through at the flush point).
+// Atomic marks a far fetch-add whose acknowledgment carries the old value.
+type flagStore struct {
+	Src    noc.NodeID
+	Addr   memsys.Addr
+	Value  uint64
+	Size   int
+	Atomic bool
+	Tag    uint64
+}
+
+// ackMsg acknowledges a write-back or flag store.
+type ackMsg struct {
+	Tag uint64
+}
+
+type cpu struct {
+	proto.ProcBase
+	cfg Config
+
+	owned    map[memsys.Addr]bool
+	fetching map[memsys.Addr]bool
+	dirty    map[memsys.Addr]map[memsys.Addr]uint64 // line -> addr -> value
+	mshr     int
+	pending  int // outstanding write-back + flag acks
+	nextTag  uint64
+	blocked  func()
+	// atomicWait holds cores blocked on far-atomic value responses.
+	atomicWait map[uint64]func()
+	// hitToggle lets store hits retire at two per cycle: write-back hits
+	// drain into the L1 at full pipeline width, unlike write-through stores
+	// which each occupy a write-combining/egress slot.
+	hitToggle bool
+}
+
+func (c *cpu) handle(_ noc.NodeID, payload any) {
+	switch m := payload.(type) {
+	case *proto.LoadResp:
+		c.HandleLoadResp(m)
+	case *fill:
+		c.onFill(m)
+	case *ackMsg:
+		if c.pending == 0 {
+			panic("wb: spurious ack")
+		}
+		c.pending--
+		if cont, ok := c.atomicWait[m.Tag]; ok {
+			delete(c.atomicWait, m.Tag)
+			cont()
+		}
+		c.recheck()
+	default:
+		panic(fmt.Sprintf("wb: cpu %v got unexpected message %T", c.ID, payload))
+	}
+}
+
+func (c *cpu) onFill(m *fill) {
+	if !c.fetching[m.Line] {
+		panic("wb: fill for line not being fetched")
+	}
+	delete(c.fetching, m.Line)
+	c.owned[m.Line] = true
+	c.mshr--
+	c.recheck()
+}
+
+func (c *cpu) recheck() {
+	if c.blocked != nil {
+		c.blocked()
+	}
+}
+
+func (c *cpu) exec(op proto.Op, next func()) {
+	switch op.Kind {
+	case proto.OpAtomic:
+		// Atomics execute at the home directory (uncached far atomics);
+		// Release atomics flush dirty lines first, like Release stores.
+		issue := func() {
+			c.nextTag++
+			c.pending++
+			tag := c.nextTag
+			c.atomicWait[tag] = c.StallUntil(stats.StallAcquire, next)
+			home := c.Sys.Map.HomeOf(op.Addr)
+			c.Sys.Net.Send(c.ID, home, stats.ClassAtomic, proto.HeaderBytes+op.Size,
+				&flagStore{Src: c.ID, Addr: op.Addr, Value: op.Value, Size: op.Size,
+					Atomic: true, Tag: tag})
+		}
+		if op.Ord == proto.Release || op.Ord == proto.SeqCst || c.Sys.Mode == proto.TSO {
+			c.flushThen(stats.StallAckWait, issue)
+			return
+		}
+		issue()
+	case proto.OpStoreWT, proto.OpStoreWB:
+		// Under the WB scheme all stores use the write-back policy.
+		if op.Ord == proto.Release {
+			c.execRelease(op, next)
+		} else {
+			c.execStore(op, next)
+		}
+	case proto.OpBarrier:
+		switch op.Ord {
+		case proto.Release, proto.SeqCst:
+			c.flushThen(stats.StallAckWait, func() {
+				c.whenPendingDrained(next)
+			})
+		default:
+			next()
+		}
+	default:
+		panic(fmt.Sprintf("wb: unexpected op %v", op))
+	}
+}
+
+func (c *cpu) execStore(op proto.Op, next func()) {
+	line := op.Addr.Line()
+	record := func() {
+		vals := c.dirty[line]
+		if vals == nil {
+			vals = make(map[memsys.Addr]uint64)
+			c.dirty[line] = vals
+		}
+		if op.Value > vals[op.Addr] {
+			vals[op.Addr] = op.Value
+		}
+	}
+	if c.owned[line] || c.fetching[line] {
+		// Write hit (or hit-under-miss): data reuse, no traffic. Hits
+		// retire at two per cycle (see hitToggle).
+		record()
+		c.hitToggle = !c.hitToggle
+		if c.hitToggle {
+			c.Sys.Eng.Schedule(0, c.Step)
+		} else {
+			next()
+		}
+		return
+	}
+	if c.mshr >= c.cfg.MSHRs {
+		c.block(stats.StallStoreBuf, func() bool { return c.mshr < c.cfg.MSHRs },
+			func() { c.execStore(op, next) })
+		return
+	}
+	c.mshr++
+	c.fetching[line] = true
+	record()
+	home := c.Sys.Map.HomeOf(line)
+	c.Sys.Net.Send(c.ID, home, stats.ClassOwnReq, proto.HeaderBytes, &getM{Src: c.ID, Line: line})
+	if c.Sys.Mode == proto.TSO {
+		// TSO source-orders every store: the next op retires only after
+		// ownership (and hence global order) is established.
+		c.block(stats.StallStoreBuf, func() bool { return !c.fetching[line] }, next)
+		return
+	}
+	next()
+}
+
+// execRelease flushes all dirty lines, waits for their acknowledgments, then
+// publishes the flag (which the next Release's drain will wait on).
+func (c *cpu) execRelease(op proto.Op, next func()) {
+	c.flushThen(stats.StallAckWait, func() {
+		c.nextTag++
+		c.pending++
+		home := c.Sys.Map.HomeOf(op.Addr)
+		c.Sys.Net.Send(c.ID, home, stats.ClassReleaseData, proto.HeaderBytes+op.Size,
+			&flagStore{Src: c.ID, Addr: op.Addr, Value: op.Value, Size: op.Size, Tag: c.nextTag})
+		next()
+	})
+}
+
+// flushThen drains MSHRs, writes back every dirty line, waits for all
+// acknowledgments (including prior flag stores), then runs fn.
+func (c *cpu) flushThen(kind stats.StallKind, fn func()) {
+	c.block(kind, func() bool { return c.mshr == 0 }, func() {
+		lines := make([]memsys.Addr, 0, len(c.dirty))
+		for line := range c.dirty {
+			lines = append(lines, line)
+		}
+		sort.Slice(lines, func(i, j int) bool { return lines[i] < lines[j] })
+		for _, line := range lines {
+			vals := c.dirty[line]
+			c.nextTag++
+			c.pending++
+			home := c.Sys.Map.HomeOf(line)
+			c.Sys.Net.Send(c.ID, home, stats.ClassWriteback,
+				proto.HeaderBytes+memsys.LineBytes,
+				&wbData{Src: c.ID, Line: line, Vals: vals, Tag: c.nextTag})
+			delete(c.dirty, line)
+			// Ownership is retained (update-style flush): the next epoch's
+			// stores to this line hit without refetching.
+		}
+		c.block(kind, func() bool { return c.pending == 0 }, fn)
+	})
+}
+
+func (c *cpu) whenPendingDrained(fn func()) {
+	c.block(stats.StallAckWait, func() bool { return c.pending == 0 }, fn)
+}
+
+// block stalls the core until cond holds, charging kind.
+func (c *cpu) block(kind stats.StallKind, cond func() bool, fn func()) {
+	if cond() {
+		fn()
+		return
+	}
+	if c.blocked != nil {
+		panic("wb: core blocked twice")
+	}
+	resume := c.StallUntil(kind, fn)
+	c.blocked = func() {
+		if cond() {
+			c.blocked = nil
+			resume()
+		}
+	}
+}
+
+// dir is the WB home directory: grants ownership, absorbs write-backs,
+// commits flags.
+type dir struct {
+	proto.DirBase
+}
+
+func (d *dir) handle(_ noc.NodeID, payload any) {
+	switch m := payload.(type) {
+	case *proto.LoadReq:
+		d.HandleLoadReq(m)
+	case *getM:
+		// Ownership grant without a data fill: producer buffers have no
+		// remote sharer between flushes, so the grant is a control message.
+		d.Sys.Eng.Schedule(d.Sys.Timing.LLCCycles, func() {
+			d.Sys.Net.Send(d.ID, m.Src, stats.ClassOwnData,
+				proto.HeaderBytes, &fill{Line: m.Line})
+		})
+	case *wbData:
+		d.Sys.Eng.Schedule(d.Sys.Timing.CommitLatency(), func() {
+			addrs := make([]memsys.Addr, 0, len(m.Vals))
+			for a := range m.Vals {
+				addrs = append(addrs, a)
+			}
+			sort.Slice(addrs, func(i, j int) bool { return addrs[i] < addrs[j] })
+			for _, a := range addrs {
+				d.CommitValue(a, m.Vals[a])
+			}
+			d.Sys.Net.Send(d.ID, m.Src, stats.ClassAck, proto.AckBytes, &ackMsg{Tag: m.Tag})
+		})
+	case *flagStore:
+		d.Sys.Eng.Schedule(d.Sys.Timing.CommitLatency(), func() {
+			class, size := stats.ClassAck, proto.AckBytes
+			if m.Atomic {
+				d.FetchAdd(m.Addr, m.Value)
+				class, size = stats.ClassAtomicResp, proto.AckBytes+8
+			} else {
+				d.CommitValue(m.Addr, m.Value)
+			}
+			d.Sys.Net.Send(d.ID, m.Src, class, size, &ackMsg{Tag: m.Tag})
+		})
+	default:
+		panic(fmt.Sprintf("wb: dir %v got unexpected message %T", d.ID, payload))
+	}
+}
+
+// Build implements proto.Builder.
+func (p *Protocol) Build(sys *proto.System, cores []noc.NodeID) []proto.CPU {
+	for _, id := range sys.Dirs() {
+		d := &dir{}
+		d.InitBase(sys, id)
+		sys.Net.Register(id, d.handle)
+	}
+	cpus := make([]proto.CPU, len(cores))
+	for i, id := range cores {
+		c := &cpu{
+			cfg:        p.Cfg,
+			owned:      make(map[memsys.Addr]bool),
+			fetching:   make(map[memsys.Addr]bool),
+			dirty:      make(map[memsys.Addr]map[memsys.Addr]uint64),
+			atomicWait: make(map[uint64]func()),
+		}
+		c.InitBase(sys, id, &sys.Run.Procs[i])
+		c.Exec = c.exec
+		sys.Net.Register(id, c.handle)
+		cpus[i] = c
+	}
+	return cpus
+}

@@ -1,0 +1,165 @@
+// Package sim provides the deterministic discrete-event simulation kernel
+// that the CORD coherence simulator is built on.
+//
+// The kernel is intentionally tiny: a time-ordered event queue, a clock
+// measured in cycles, and a seeded PRNG. Determinism is load-bearing for the
+// whole repository — every experiment and test must produce identical results
+// for identical seeds — so events that fire at the same cycle are ordered by
+// their scheduling sequence number.
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+	"math/rand"
+)
+
+// Time is a simulation timestamp in cycles.
+type Time uint64
+
+// Cycle durations are expressed relative to the core clock. The simulated
+// system runs a 2 GHz clock, so one cycle is 0.5 ns. Helpers below convert
+// between wall-clock nanoseconds and cycles.
+const (
+	// CyclesPerNano is the number of core cycles per nanosecond (2 GHz).
+	CyclesPerNano = 2
+)
+
+// FromNanos converts a duration in nanoseconds to cycles.
+func FromNanos(ns float64) Time {
+	if ns <= 0 {
+		return 0
+	}
+	return Time(ns*CyclesPerNano + 0.5)
+}
+
+// Nanos converts a cycle count back to nanoseconds.
+func Nanos(t Time) float64 {
+	return float64(t) / CyclesPerNano
+}
+
+// Event is a scheduled callback.
+type event struct {
+	at  Time
+	seq uint64
+	fn  func()
+}
+
+type eventQueue []*event
+
+func (q eventQueue) Len() int { return len(q) }
+
+func (q eventQueue) Less(i, j int) bool {
+	if q[i].at != q[j].at {
+		return q[i].at < q[j].at
+	}
+	return q[i].seq < q[j].seq
+}
+
+func (q eventQueue) Swap(i, j int) { q[i], q[j] = q[j], q[i] }
+
+func (q *eventQueue) Push(x any) { *q = append(*q, x.(*event)) }
+
+func (q *eventQueue) Pop() any {
+	old := *q
+	n := len(old)
+	e := old[n-1]
+	old[n-1] = nil
+	*q = old[:n-1]
+	return e
+}
+
+// Engine is a discrete-event simulator. The zero value is not usable; create
+// engines with NewEngine.
+type Engine struct {
+	now     Time
+	seq     uint64
+	queue   eventQueue
+	rng     *rand.Rand
+	stopped bool
+
+	// Executed counts events that have fired, used by tests and as a
+	// runaway-simulation guard.
+	executed uint64
+	// MaxEvents aborts Run with an error when positive and exceeded.
+	MaxEvents uint64
+}
+
+// NewEngine returns an engine whose PRNG is seeded with seed.
+func NewEngine(seed int64) *Engine {
+	return &Engine{rng: rand.New(rand.NewSource(seed))}
+}
+
+// Now returns the current simulation time.
+func (e *Engine) Now() Time { return e.now }
+
+// Rand returns the engine's deterministic PRNG.
+func (e *Engine) Rand() *rand.Rand { return e.rng }
+
+// Executed returns the number of events that have fired so far.
+func (e *Engine) Executed() uint64 { return e.executed }
+
+// Schedule runs fn after delay cycles. A zero delay fires in the current
+// cycle, after all previously scheduled events for this cycle.
+func (e *Engine) Schedule(delay Time, fn func()) {
+	e.seq++
+	heap.Push(&e.queue, &event{at: e.now + delay, seq: e.seq, fn: fn})
+}
+
+// ScheduleAt runs fn at absolute time at. Scheduling in the past is an
+// implementation bug, so it panics.
+func (e *Engine) ScheduleAt(at Time, fn func()) {
+	if at < e.now {
+		panic(fmt.Sprintf("sim: ScheduleAt(%d) before now (%d)", at, e.now))
+	}
+	e.seq++
+	heap.Push(&e.queue, &event{at: at, seq: e.seq, fn: fn})
+}
+
+// Stop makes Run return after the currently executing event completes.
+func (e *Engine) Stop() { e.stopped = true }
+
+// Pending reports the number of queued events.
+func (e *Engine) Pending() int { return len(e.queue) }
+
+// Run executes events until the queue drains, Stop is called, or MaxEvents
+// is exceeded. It returns an error only on the event-budget guard; a drained
+// queue is the normal termination condition.
+func (e *Engine) Run() error {
+	e.stopped = false
+	for len(e.queue) > 0 && !e.stopped {
+		ev := heap.Pop(&e.queue).(*event)
+		if ev.at < e.now {
+			panic("sim: event queue went backwards")
+		}
+		e.now = ev.at
+		e.executed++
+		if e.MaxEvents > 0 && e.executed > e.MaxEvents {
+			return fmt.Errorf("sim: exceeded event budget of %d at t=%d", e.MaxEvents, e.now)
+		}
+		ev.fn()
+	}
+	return nil
+}
+
+// RunUntil executes events with timestamps <= deadline, leaving later events
+// queued, and advances the clock to deadline if the queue drains early.
+func (e *Engine) RunUntil(deadline Time) error {
+	e.stopped = false
+	for len(e.queue) > 0 && !e.stopped {
+		if e.queue[0].at > deadline {
+			break
+		}
+		ev := heap.Pop(&e.queue).(*event)
+		e.now = ev.at
+		e.executed++
+		if e.MaxEvents > 0 && e.executed > e.MaxEvents {
+			return fmt.Errorf("sim: exceeded event budget of %d at t=%d", e.MaxEvents, e.now)
+		}
+		ev.fn()
+	}
+	if e.now < deadline {
+		e.now = deadline
+	}
+	return nil
+}

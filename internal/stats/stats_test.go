@@ -1,0 +1,215 @@
+package stats
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"cord/internal/sim"
+)
+
+func TestTrafficAdd(t *testing.T) {
+	var tr Traffic
+	tr.Add(ClassRelaxedData, 80, true)
+	tr.Add(ClassAck, 16, true)
+	tr.Add(ClassRelaxedData, 80, false)
+	if got := tr.TotalInter(); got != 96 {
+		t.Fatalf("TotalInter = %d, want 96", got)
+	}
+	if got := tr.TotalIntra(); got != 80 {
+		t.Fatalf("TotalIntra = %d, want 80", got)
+	}
+	if got := tr.ControlInter(); got != 16 {
+		t.Fatalf("ControlInter = %d, want 16", got)
+	}
+	if tr.InterMsgs[ClassAck] != 1 {
+		t.Fatalf("ack msgs = %d, want 1", tr.InterMsgs[ClassAck])
+	}
+}
+
+func TestTrafficConservation(t *testing.T) {
+	// Property: total equals the sum over classes regardless of add order.
+	f := func(adds []struct {
+		C     uint8
+		Bytes uint16
+		Inter bool
+	}) bool {
+		var tr Traffic
+		var wantInter, wantIntra uint64
+		for _, a := range adds {
+			c := MsgClass(int(a.C) % int(numClasses))
+			tr.Add(c, int(a.Bytes), a.Inter)
+			if a.Inter {
+				wantInter += uint64(a.Bytes)
+			} else {
+				wantIntra += uint64(a.Bytes)
+			}
+		}
+		return tr.TotalInter() == wantInter && tr.TotalIntra() == wantIntra
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestMsgClassNames(t *testing.T) {
+	for c := MsgClass(0); c < numClasses; c++ {
+		if strings.HasPrefix(c.String(), "class(") {
+			t.Fatalf("class %d has no name", c)
+		}
+	}
+	if !ClassAck.IsControl() || ClassRelaxedData.IsControl() {
+		t.Fatal("IsControl misclassifies")
+	}
+}
+
+func TestOccupancyPeak(t *testing.T) {
+	o := NewOccupancy("cnt", 4)
+	o.Inc()
+	o.Inc()
+	o.Dec()
+	o.Inc()
+	o.Inc()
+	if o.Peak != 3 {
+		t.Fatalf("Peak = %d, want 3", o.Peak)
+	}
+	if o.PeakBytes() != 12 {
+		t.Fatalf("PeakBytes = %d, want 12", o.PeakBytes())
+	}
+	if o.Cur() != 3 {
+		t.Fatalf("Cur = %d, want 3", o.Cur())
+	}
+}
+
+func TestOccupancyUnderflowPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("Dec below zero did not panic")
+		}
+	}()
+	NewOccupancy("x", 1).Dec()
+}
+
+func TestOccupancyProperty(t *testing.T) {
+	// Peak is the running max of current occupancy.
+	f := func(ops []bool) bool {
+		o := NewOccupancy("t", 1)
+		cur, peak := 0, 0
+		for _, inc := range ops {
+			if inc {
+				o.Inc()
+				cur++
+				if cur > peak {
+					peak = cur
+				}
+			} else if cur > 0 {
+				o.Dec()
+				cur--
+			}
+		}
+		return o.Peak == peak && o.Cur() == cur
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestRunMetrics(t *testing.T) {
+	r := &Run{Time: 1000, Procs: make([]ProcStats, 2)}
+	r.Procs[0].AddStall(StallAckWait, 300)
+	r.Procs[1].AddStall(StallAckWait, 100)
+	if got := r.StallFraction(StallAckWait); got != 0.2 {
+		t.Fatalf("StallFraction = %v, want 0.2", got)
+	}
+	r.Traffic.Add(ClassRelaxedData, 750, true)
+	r.Traffic.Add(ClassAck, 250, true)
+	if got := r.AckTrafficFraction(); got != 0.25 {
+		t.Fatalf("AckTrafficFraction = %v, want 0.25", got)
+	}
+	if r.ExecNanos() != 500 {
+		t.Fatalf("ExecNanos = %v, want 500", r.ExecNanos())
+	}
+}
+
+func TestTableSummaryAggregates(t *testing.T) {
+	r := &Run{}
+	a := NewOccupancy("store-counter", 4)
+	b := NewOccupancy("store-counter", 4)
+	a.Inc()
+	b.Inc()
+	b.Inc()
+	r.Tables = []*Occupancy{a, b}
+	if got := r.TableSummary()["store-counter"]; got != 12 {
+		t.Fatalf("summary = %d, want 12", got)
+	}
+	if s := r.FormatTableSummary(); s != "store-counter=12B" {
+		t.Fatalf("format = %q", s)
+	}
+}
+
+func TestProcStatsTotals(t *testing.T) {
+	var p ProcStats
+	p.AddStall(StallRelease, 5)
+	p.AddStall(StallOverflow, 7)
+	if p.TotalStall() != sim.Time(12) {
+		t.Fatalf("TotalStall = %d, want 12", p.TotalStall())
+	}
+}
+
+func TestDistBasics(t *testing.T) {
+	var d Dist
+	if d.Quantile(0.5) != 0 || d.Mean() != 0 {
+		t.Fatal("empty dist should be zeroes")
+	}
+	for _, v := range []sim.Time{10, 20, 30, 1000} {
+		d.Add(v)
+	}
+	if d.Count() != 4 {
+		t.Fatalf("count = %d", d.Count())
+	}
+	if d.Mean() != 265 {
+		t.Fatalf("mean = %v, want 265", d.Mean())
+	}
+	if d.Max() != 1000 {
+		t.Fatalf("max = %v", d.Max())
+	}
+	// p50 falls in the bucket holding 20/30 => upper bound 32.
+	if q := d.Quantile(0.5); q < 20 || q > 32 {
+		t.Fatalf("p50 = %v, want in (20,32]", q)
+	}
+	// p99 lands in 1000's bucket (upper bound 1024).
+	if q := d.Quantile(0.99); q < 1000 || q > 1024 {
+		t.Fatalf("p99 = %v, want ~1024", q)
+	}
+}
+
+func TestDistQuantileMonotone(t *testing.T) {
+	f := func(vals []uint16) bool {
+		var d Dist
+		for _, v := range vals {
+			d.Add(sim.Time(v))
+		}
+		last := sim.Time(0)
+		for _, q := range []float64{0, 0.25, 0.5, 0.75, 0.9, 0.99, 1} {
+			cur := d.Quantile(q)
+			if cur < last {
+				return false
+			}
+			last = cur
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestDistMerge(t *testing.T) {
+	var a, b Dist
+	a.Add(10)
+	b.Add(1000)
+	a.Merge(&b)
+	if a.Count() != 2 || a.Max() != 1000 {
+		t.Fatalf("merge: count=%d max=%d", a.Count(), a.Max())
+	}
+}

@@ -1,0 +1,173 @@
+package workload
+
+import (
+	"fmt"
+
+	"cord/internal/memsys"
+)
+
+// Application presets, calibrated to Table 2 and §5.2 of the paper.
+//
+// Fan-out classes on the 8-host system: High = 6 partners, Medium = 3,
+// Low = 1. Relaxed granularity is a word (4-8 B) or a cache line (64 B).
+// Synchronization granularity ranges come straight from Table 2. Compute
+// cycles per round and locality parameters are calibrated so that source
+// ordering's acknowledgment overheads land in the ranges Fig. 2 reports
+// (see exp's calibration tests).
+const (
+	fanHigh = 6
+	fanMed  = 3
+	fanLow  = 1
+)
+
+// App returns the named application's trace pattern, or an error for an
+// unknown name.
+func App(name string) (Pattern, error) {
+	for _, p := range Apps() {
+		if p.Name == name {
+			return p, nil
+		}
+	}
+	return Pattern{}, fmt.Errorf("workload: unknown application %q", name)
+}
+
+// AppNames lists the ten evaluated applications in the paper's order.
+func AppNames() []string {
+	names := make([]string, 0, 10)
+	for _, p := range Apps() {
+		names = append(names, p.Name)
+	}
+	return names
+}
+
+// Apps returns the full evaluated-application suite (Table 2).
+func Apps() []Pattern {
+	const hosts = 8
+	return []Pattern{
+		{
+			// Pannotia PageRank, olesnik input: word-granular scattered
+			// pushes along graph edges, coarse 5 KB synchronization, high
+			// fan-out, moderate write locality (ranks accumulate).
+			Name: "PR", Hosts: hosts, Rounds: 8,
+			RelaxedBytes: 4, SyncBytes: 5 * 1024, Fanout: fanHigh,
+			LineUtil: 16, Rewrite: 4, ComputeCycles: 0, Seed: 101,
+		},
+		{
+			// Pannotia SSSP, wing input: word-granular relaxations with
+			// moderate spatial locality, fine 700 B synchronization.
+			Name: "SSSP", Hosts: hosts, Rounds: 24,
+			RelaxedBytes: 4, SyncBytes: 700, Fanout: fanHigh,
+			LineUtil: 16, Rewrite: 3, RewriteInterleaved: true,
+			ComputeCycles: 25000, Seed: 102,
+		},
+		{
+			// Chai PAD (padding): line-granular streaming, 1 KB sync,
+			// medium fan-out.
+			Name: "PAD", Hosts: hosts, Rounds: 40,
+			RelaxedBytes: 64, SyncBytes: 1024, Fanout: fanMed,
+			LineUtil: 64, Rewrite: 1, ComputeCycles: 10500, Seed: 103,
+		},
+		{
+			// Chai TQH (task queue, histogram): line-granular, 8 B - 2 KB
+			// sync, low fan-out. Its queue handoff follows the ISA2
+			// pattern, so message passing cannot run it (§3.2).
+			Name: "TQH", Hosts: hosts, Rounds: 40,
+			RelaxedBytes: 64, SyncBytes: 8, SyncBytesMax: 2048, Fanout: fanLow,
+			LineUtil: 64, Rewrite: 1, ComputeCycles: 12000,
+			MPIncompatible: true, UseAtomics: true, Seed: 104,
+		},
+		{
+			// Chai HSTI (histogram, input partitioning).
+			Name: "HSTI", Hosts: hosts, Rounds: 40,
+			RelaxedBytes: 64, SyncBytes: 1024, Fanout: fanMed,
+			LineUtil: 64, Rewrite: 1, ComputeCycles: 12500, Seed: 105,
+		},
+		{
+			// Chai TRNS (matrix transpose): fine 512 B tiles to many
+			// partners.
+			Name: "TRNS", Hosts: hosts, Rounds: 40,
+			RelaxedBytes: 64, SyncBytes: 512, Fanout: fanHigh,
+			LineUtil: 64, Rewrite: 1, ComputeCycles: 11000,
+			TightEvery: 4, Seed: 106,
+		},
+		{
+			// DOE MOCFE (method of characteristics neutron transport):
+			// word/line mixed, very fine 8-256 B messages, high fan-out,
+			// communication dominated.
+			Name: "MOCFE", Hosts: hosts, Rounds: 40,
+			RelaxedBytes: 8, SyncBytes: 8, SyncBytesMax: 128, Fanout: fanHigh,
+			LineUtil: 16, Rewrite: 1, ComputeCycles: 6000,
+			TightEvery: 4, Seed: 107,
+		},
+		{
+			// DOE CMC-2D (Monte Carlo, 2D domain decomposition): line
+			// granularity, 1 B - 14 KB messages, high fan-out.
+			Name: "CMC-2D", Hosts: hosts, Rounds: 30,
+			RelaxedBytes: 64, SyncBytes: 64, SyncBytesMax: 14 * 1024, Fanout: fanHigh,
+			LineUtil: 64, Rewrite: 1, ComputeCycles: 6000,
+			TightEvery: 4, Seed: 108,
+		},
+		{
+			// DOE BigFFT: word/line granularity, coarse 10 KB all-to-all
+			// slabs but low per-round fan-out (pairwise transposes).
+			Name: "BigFFT", Hosts: hosts, Rounds: 30,
+			RelaxedBytes: 8, SyncBytes: 10 * 1024, Fanout: fanLow,
+			LineUtil: 8, Rewrite: 1, ComputeCycles: 2500, Seed: 109,
+		},
+		{
+			// DOE CR (CORAL-class CFD proxy): line granularity, 8 B - 2 KB
+			// messages, low fan-out, communication heavy.
+			Name: "CR", Hosts: hosts, Rounds: 40,
+			RelaxedBytes: 64, SyncBytes: 8, SyncBytesMax: 2048, Fanout: fanLow,
+			LineUtil: 64, Rewrite: 1, ComputeCycles: 1100, Seed: 110,
+		},
+	}
+}
+
+// StorageApps returns the workloads of the §5.4 storage study: the three
+// hungriest applications plus the synthetic ATA stressor, shrunk to `hosts`
+// PUs (Fig. 11 sweeps 2, 4 and 8).
+func StorageApps(hosts int) []Pattern {
+	clamp := func(p Pattern) Pattern {
+		p.Hosts = hosts
+		if p.Fanout >= hosts {
+			p.Fanout = hosts - 1
+		}
+		return p
+	}
+	sssp, _ := App("SSSP")
+	pad, _ := App("PAD")
+	pr, _ := App("PR")
+	return []Pattern{clamp(sssp), clamp(pad), clamp(pr), ATA(hosts, 40)}
+}
+
+// interface compliance sanity: region helpers stay inside the slice offset
+// space for the largest configured workload.
+var _ = func() struct{} {
+	if dataRegion(7, 6, 8).Offset() >= 1<<32 {
+		panic("workload: data region overflows offset space")
+	}
+	return struct{}{}
+}()
+
+// MaxRegionBytes is the per-pair buffer budget implied by the address
+// layout; Validate-time checks in tests keep SyncBytes within it.
+const MaxRegionBytes = 1 << 21
+
+// RegionBytesNeeded returns the buffer footprint of one release round.
+func (p Pattern) RegionBytesNeeded() int {
+	size := p.SyncBytes
+	if p.SyncBytesMax > size {
+		size = p.SyncBytesMax
+	}
+	uniq := size / p.RelaxedBytes
+	if uniq < 1 {
+		uniq = 1
+	}
+	perLine := p.LineUtil / p.RelaxedBytes
+	if perLine < 1 || p.RelaxedBytes >= memsys.LineBytes {
+		perLine = 1
+	}
+	lines := (uniq + perLine - 1) / perLine
+	return lines * memsys.LineBytes
+}

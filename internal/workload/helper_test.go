@@ -1,0 +1,9 @@
+package workload
+
+import (
+	"cord/internal/proto"
+	"cord/internal/proto/cord"
+)
+
+// cordProto avoids an import cycle in tests that need a live protocol.
+func cordProto() proto.Builder { return cord.New() }

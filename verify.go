@@ -1,0 +1,118 @@
+package cord
+
+import (
+	"fmt"
+
+	"cord/internal/litmus"
+)
+
+// The verification half of the public API wraps the exhaustive
+// explicit-state model checker of internal/litmus (the repository's stand-in
+// for the paper's Murphi validation, §4.5).
+
+// LitmusTest is an exhaustive-interleaving consistency test. Build custom
+// tests with the litmus op constructors re-exported below, or use
+// LitmusSuite for the built-in shapes.
+type LitmusTest = litmus.Test
+
+// LitmusOutcome is a terminal state (registers + final memory).
+type LitmusOutcome = litmus.Outcome
+
+// LitmusOp is one operation in a litmus program.
+type LitmusOp = litmus.Op
+
+// Litmus operation constructors (addresses LitmusX..LitmusW).
+var (
+	LitmusSt    = litmus.St
+	LitmusStRel = litmus.StRel
+	LitmusLd    = litmus.Ld
+	LitmusLdAcq = litmus.LdAcq
+)
+
+// Canonical litmus addresses.
+const (
+	LitmusX = litmus.X
+	LitmusY = litmus.Y
+	LitmusZ = litmus.Z
+	LitmusW = litmus.W
+)
+
+// LitmusSuite returns the built-in litmus shapes (MP, ISA2, WRC, ...).
+func LitmusSuite() []LitmusTest { return litmus.BaseTests() }
+
+// LitmusVariants expands a shape across all directory placements.
+func LitmusVariants(t LitmusTest) []LitmusTest { return litmus.Variants(t) }
+
+// VerifyResult reports a model-checking run.
+type VerifyResult struct {
+	// Pass means no forbidden outcome, no deadlock, no epoch-window
+	// violation, and the sanity outcome (if any) was reachable.
+	Pass bool
+	// ForbiddenReachable reports the forbidden outcome was produced —
+	// expected when checking message passing against ISA2-class tests.
+	ForbiddenReachable bool
+	// Deadlocked reports a stuck non-terminal state.
+	Deadlocked bool
+	// States is the number of distinct states explored.
+	States int
+	// Outcomes is the number of distinct terminal outcomes.
+	Outcomes int
+}
+
+func wrap(r litmus.Result) VerifyResult {
+	return VerifyResult{
+		Pass:               r.Pass(),
+		ForbiddenReachable: r.Forbidden,
+		Deadlocked:         r.Deadlock,
+		States:             r.States,
+		Outcomes:           len(r.Outcomes),
+	}
+}
+
+// Verify model-checks a litmus test under a protocol (CORD, SO or MP; WB is
+// not modeled by the checker).
+func Verify(t LitmusTest, p Protocol) (VerifyResult, error) {
+	cfg := litmus.DefaultConfig()
+	switch p {
+	case CORD:
+		cfg.Protos = []litmus.ProtoKind{litmus.CORDP}
+	case SO:
+		cfg.Protos = []litmus.ProtoKind{litmus.SOP}
+	case MP:
+		cfg.Protos = []litmus.ProtoKind{litmus.MPP}
+	default:
+		return VerifyResult{}, fmt.Errorf("cord: no litmus model for protocol %q", p)
+	}
+	r, err := litmus.Check(t, cfg)
+	if err != nil {
+		return VerifyResult{}, err
+	}
+	return wrap(r), nil
+}
+
+// VerifyCORDStress model-checks a test under CORD with deliberately
+// under-provisioned hardware: 2-bit epochs, saturating store counters and
+// single-entry tables (§4.5's customized corner cases).
+func VerifyCORDStress(t LitmusTest) (VerifyResult, error) {
+	r, err := litmus.Check(t, litmus.TinyConfig())
+	if err != nil {
+		return VerifyResult{}, err
+	}
+	return wrap(r), nil
+}
+
+// VerifyAll runs the complete built-in suite (every shape, every placement)
+// under every CORD configuration (default, tiny, mixed CORD/SO systems) and
+// returns (instances run, instances passed).
+func VerifyAll() (total, passed int, err error) {
+	suite := litmus.FullCordSuite()
+	for _, cv := range litmus.CordConfigs() {
+		sr, err := litmus.RunSuite(suite, cv.Cfg)
+		if err != nil {
+			return total, passed, fmt.Errorf("cord: suite %s: %w", cv.Name, err)
+		}
+		total += sr.Total
+		passed += sr.Passed
+	}
+	return total, passed, nil
+}
