@@ -17,7 +17,9 @@ import (
 	"cord/internal/exp"
 	"cord/internal/graph"
 	"cord/internal/litmus"
+	"cord/internal/obs"
 	"cord/internal/proto"
+	"cord/internal/stats"
 	"cord/internal/workload"
 )
 
@@ -192,6 +194,45 @@ func BenchmarkProtocolMP(b *testing.B) { benchProtocol(b, exp.SchemeMP) }
 
 // BenchmarkProtocolWB measures simulator throughput for write-back MESI.
 func BenchmarkProtocolWB(b *testing.B) { benchProtocol(b, exp.SchemeWB) }
+
+// BenchmarkObsNilRecorder measures the observability layer's disabled state:
+// every hot-path hook on a nil *obs.Recorder. This is the per-message cost
+// untraced simulations pay, so it must stay at zero heap allocations (and a
+// handful of nil checks) to honor the ≤2% overhead budget.
+func BenchmarkObsNilRecorder(b *testing.B) {
+	var r *obs.Recorder
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if r.Take() {
+			b.Fatal("nil recorder sampled")
+		}
+		r.Record(obs.Event{Kind: obs.KSend, Bytes: 64})
+		r.CountMsg(stats.ClassRelaxedData, 80, true)
+		r.ObserveLatency(stats.ClassRelaxedData, 300)
+		r.AddStall(stats.StallRelease, 12)
+		r.DirDepth(3)
+		r.EngineDepth(9)
+	}
+}
+
+// BenchmarkProtocolCORDTraced is BenchmarkProtocolCORD with full event
+// recording enabled — compare against the untraced benchmark to see the
+// tracing tax, and against BenchmarkObsNilRecorder for the disabled floor.
+func BenchmarkProtocolCORDTraced(b *testing.B) {
+	p := workload.Micro(64, 4096, 3, 50)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rec := obs.New()
+		r, err := exp.RunObserved(p, exp.Builder(exp.SchemeCORD), exp.NetConfig(exp.CXL), proto.RC, 1, rec)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if r.Time == 0 || len(rec.Events()) == 0 {
+			b.Fatal("empty run")
+		}
+	}
+}
 
 // BenchmarkLitmusISA2 measures the model checker on the ISA2 state space.
 func BenchmarkLitmusISA2(b *testing.B) {

@@ -12,6 +12,7 @@ package main
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"sort"
 	"strings"
@@ -36,6 +37,10 @@ func main() {
 		dump    = flag.String("dump-trace", "", "write the workload's trace to this file and exit")
 		from    = flag.String("from-trace", "", "replay a cordtrace file instead of a named workload")
 		char    = flag.Bool("characterize", false, "print Table 2-style workload statistics and exit")
+
+		traceOut    = flag.String("trace-out", "", "write a Chrome trace_event JSON (Perfetto-loadable) of protocol events to this file, plus a .jsonl event stream alongside")
+		traceSample = flag.Int("trace-sample", 1, "record 1-in-N traced transactions (deterministic; metrics stay complete)")
+		metricsOut  = flag.String("metrics-out", "", "write the observability metrics registry as JSON to this file")
 	)
 	flag.Parse()
 
@@ -127,10 +132,23 @@ func main() {
 		return
 	}
 
-	r, err := cord.Simulate(w, cord.Protocol(strings.ToUpper(*protoF)), sys)
+	var (
+		r   *cord.Result
+		o   *cord.Observation
+		err error
+	)
+	if *traceOut != "" || *metricsOut != "" {
+		opt := cord.TraceOptions{Sample: *traceSample, MetricsOnly: *traceOut == ""}
+		r, o, err = cord.SimulateObserved(w, cord.Protocol(strings.ToUpper(*protoF)), sys, opt)
+	} else {
+		r, err = cord.Simulate(w, cord.Protocol(strings.ToUpper(*protoF)), sys)
+	}
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
+	}
+	if o != nil {
+		writeObservation(o, *traceOut, *metricsOut)
 	}
 	fmt.Printf("workload          %s\n", w.Name)
 	fmt.Printf("protocol          %s (%s, %s)\n", strings.ToUpper(*protoF), *fabric, model(*tso))
@@ -153,6 +171,33 @@ func model(tso bool) string {
 		return "TSO"
 	}
 	return "RC"
+}
+
+// writeObservation exports the recorded events (Chrome trace + JSONL) and the
+// metrics registry to the requested files.
+func writeObservation(o *cord.Observation, traceOut, metricsOut string) {
+	write := func(path string, fn func(w io.Writer) error) {
+		f, err := os.Create(path)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		if err := fn(f); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		f.Close()
+	}
+	if traceOut != "" {
+		write(traceOut, o.WriteChromeTrace)
+		jsonl := strings.TrimSuffix(traceOut, ".json") + ".jsonl"
+		write(jsonl, o.WriteJSONL)
+		fmt.Printf("trace written to %s (load in https://ui.perfetto.dev) and %s\n", traceOut, jsonl)
+	}
+	if metricsOut != "" {
+		write(metricsOut, o.WriteMetricsJSON)
+		fmt.Printf("metrics written to %s\n", metricsOut)
+	}
 }
 
 // runGraph lowers an algorithm-derived graph workload and simulates it.

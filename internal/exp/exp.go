@@ -9,6 +9,7 @@ import (
 	"fmt"
 
 	"cord/internal/noc"
+	"cord/internal/obs"
 	"cord/internal/proto"
 	"cord/internal/proto/cord"
 	"cord/internal/proto/mp"
@@ -72,11 +73,21 @@ func Builder(s Scheme) proto.Builder {
 
 // Run executes one workload under one protocol and system configuration.
 func Run(p workload.Pattern, b proto.Builder, nc noc.Config, mode proto.Mode, seed int64) (*stats.Run, error) {
+	return RunObserved(p, b, nc, mode, seed, nil)
+}
+
+// RunObserved is Run with an optional observability recorder attached for the
+// whole simulation (nil behaves exactly like Run).
+func RunObserved(p workload.Pattern, b proto.Builder, nc noc.Config, mode proto.Mode,
+	seed int64, rec *obs.Recorder) (*stats.Run, error) {
 	cores, progs, err := p.Programs(nc)
 	if err != nil {
 		return nil, err
 	}
 	sys := proto.NewSystem(seed, nc, mode)
+	if rec != nil {
+		sys.Observe(rec)
+	}
 	r, err := proto.Exec(sys, b, cores, progs)
 	if err != nil {
 		return nil, fmt.Errorf("exp: %s under %s: %w", p.Name, b.Name(), err)

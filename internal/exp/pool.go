@@ -1,48 +1,42 @@
 package exp
 
 import (
+	"errors"
 	"runtime"
 	"sync"
 )
 
-// forEach runs fn(i) for i in [0, n) on a bounded worker pool and returns
-// the first error. Every simulation owns its engine and PRNG, so parallel
+// forEach runs fn(i) for every i in [0, n) on a bounded worker pool. All n
+// configurations run even when some fail; the result joins every error
+// (errors.Join), so a failed sweep reports each failing configuration rather
+// than just the first. Every simulation owns its engine and PRNG, so parallel
 // execution cannot perturb results — each run stays bit-deterministic.
 func forEach(n int, fn func(i int) error) error {
 	workers := runtime.GOMAXPROCS(0)
 	if workers > n {
 		workers = n
 	}
+	errs := make([]error, n)
 	if workers <= 1 {
 		for i := 0; i < n; i++ {
-			if err := fn(i); err != nil {
-				return err
-			}
+			errs[i] = fn(i)
 		}
-		return nil
+		return errors.Join(errs...)
 	}
 	var (
-		wg    sync.WaitGroup
-		mu    sync.Mutex
-		first error
-		next  int
+		wg   sync.WaitGroup
+		mu   sync.Mutex
+		next int
 	)
 	take := func() (int, bool) {
 		mu.Lock()
 		defer mu.Unlock()
-		if first != nil || next >= n {
+		if next >= n {
 			return 0, false
 		}
 		i := next
 		next++
 		return i, true
-	}
-	fail := func(err error) {
-		mu.Lock()
-		defer mu.Unlock()
-		if first == nil {
-			first = err
-		}
 	}
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
@@ -53,13 +47,10 @@ func forEach(n int, fn func(i int) error) error {
 				if !ok {
 					return
 				}
-				if err := fn(i); err != nil {
-					fail(err)
-					return
-				}
+				errs[i] = fn(i)
 			}
 		}()
 	}
 	wg.Wait()
-	return first
+	return errors.Join(errs...)
 }

@@ -10,6 +10,7 @@ import (
 	"fmt"
 	"sort"
 
+	"cord/internal/obs"
 	"cord/internal/sim"
 	"cord/internal/stats"
 )
@@ -42,6 +43,11 @@ type NodeID struct {
 
 func (n NodeID) String() string {
 	return fmt.Sprintf("%s[h%d.t%d]", n.Kind, n.Host, n.Tile)
+}
+
+// Obs converts the ID to the observability layer's node representation.
+func (n NodeID) Obs() obs.Node {
+	return obs.Node{Host: n.Host, Tile: n.Tile, Dir: n.Kind == Dir}
 }
 
 // CoreID and DirID are convenience constructors.
@@ -160,6 +166,8 @@ type Network struct {
 	eng     *sim.Engine
 	cfg     Config
 	traffic *stats.Traffic
+	// obs is the optional observability recorder; nil disables tracing.
+	obs *obs.Recorder
 	// egress[h] / ingress[h] are host h's directional switch ports.
 	egress   []link
 	ingress  []link
@@ -184,6 +192,10 @@ func New(eng *sim.Engine, cfg Config, traffic *stats.Traffic) *Network {
 
 // Config returns the network configuration.
 func (n *Network) Config() Config { return n.cfg }
+
+// SetObserver installs the observability recorder (nil disables). Metrics are
+// updated for every message; hop events obey the recorder's sampling.
+func (n *Network) SetObserver(rec *obs.Recorder) { n.obs = rec }
 
 // Register installs the delivery handler for node id.
 func (n *Network) Register(id NodeID, h Handler) {
@@ -235,8 +247,10 @@ func (n *Network) Send(src, dst NodeID, class stats.MsgClass, bytes int, payload
 	}
 	interHost := src.Host != dst.Host
 	n.traffic.Add(class, bytes, interHost)
+	n.obs.CountMsg(class, bytes, interHost)
 
 	delay := n.Latency(src, dst)
+	var queueing sim.Time
 	if interHost {
 		ser := sim.Time(float64(bytes)/n.cfg.LinkBytesPerCycle + 0.999999)
 		now := n.eng.Now()
@@ -247,7 +261,7 @@ func (n *Network) Send(src, dst NodeID, class stats.MsgClass, bytes int, payload
 			start = eg.nextFree
 		}
 		eg.nextFree = start + ser
-		queueing := start - now
+		queueing = start - now
 		// Ingress port occupancy (approximate: advance nextFree, but do not
 		// re-queue — the switch is output-buffered).
 		ig := &n.ingress[dst.Host]
@@ -259,6 +273,27 @@ func (n *Network) Send(src, dst NodeID, class stats.MsgClass, bytes int, payload
 	}
 	if n.cfg.JitterCycles > 0 {
 		delay += sim.Time(n.eng.Rand().Intn(n.cfg.JitterCycles + 1))
+	}
+	n.obs.ObserveLatency(class, delay)
+	if n.obs.Take() {
+		// Trace the whole hop under one sampling decision: the Send now, the
+		// Link entry when the message queued for an inter-host port, and the
+		// Deliver from the arrival continuation.
+		now := n.eng.Now()
+		osrc, odst := src.Obs(), dst.Obs()
+		n.obs.Record(obs.Event{At: now, Kind: obs.KSend, Src: osrc, Dst: odst,
+			Class: class, Bytes: bytes, Dur: delay, Wait: queueing})
+		if interHost && queueing > 0 {
+			n.obs.Record(obs.Event{At: now + queueing, Kind: obs.KLink,
+				Src: osrc, Dst: odst, Class: class, Bytes: bytes, Wait: queueing})
+		}
+		rec := n.obs
+		n.eng.Schedule(delay, func() {
+			rec.Record(obs.Event{At: n.eng.Now(), Kind: obs.KDeliver,
+				Src: osrc, Dst: odst, Class: class, Bytes: bytes, Dur: delay})
+			h(src, payload)
+		})
+		return
 	}
 	n.eng.Schedule(delay, func() { h(src, payload) })
 }

@@ -1,0 +1,164 @@
+package obs
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"sort"
+
+	"cord/internal/sim"
+)
+
+// --- JSONL ------------------------------------------------------------------
+
+// WriteJSONL writes one JSON object per event, one per line, in recording
+// order. Fields are omitted when zero-valued for their kind; the format is
+// stable and hand-rendered so large streams export without reflection cost.
+//
+//	{"at":1528,"k":"send","src":"c0.0","dst":"d1.2","class":"relaxed-data","bytes":96,"dur":342,"wait":12}
+func WriteJSONL(w io.Writer, events []Event) error {
+	bw := bufio.NewWriter(w)
+	for i := range events {
+		if err := writeEventJSON(bw, &events[i]); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+func writeEventJSON(w *bufio.Writer, ev *Event) error {
+	fmt.Fprintf(w, `{"at":%d,"k":%q,"src":%q`, uint64(ev.At), ev.Kind.String(), ev.Src.String())
+	switch ev.Kind {
+	case KSend, KLink, KDeliver, KRetry, KOrdered, KRelCommit, KNotify:
+		fmt.Fprintf(w, `,"dst":%q`, ev.Dst.String())
+	}
+	switch ev.Kind {
+	case KSend, KLink, KDeliver, KRetry:
+		fmt.Fprintf(w, `,"class":%q,"bytes":%d`, ev.Class.String(), ev.Bytes)
+	case KOpIssue, KOpDone:
+		fmt.Fprintf(w, `,"op":%d,"ord":%d`, ev.Op, ev.Ord)
+	}
+	if ev.Seq != 0 || ev.Kind == KOpIssue || ev.Kind == KOpDone ||
+		ev.Kind == KOrdered || ev.Kind == KRelCommit || ev.Kind == KRelAck {
+		fmt.Fprintf(w, `,"seq":%d`, ev.Seq)
+	}
+	if ev.Addr != 0 {
+		fmt.Fprintf(w, `,"addr":"%x"`, ev.Addr)
+	}
+	if ev.Dur != 0 {
+		fmt.Fprintf(w, `,"dur":%d`, uint64(ev.Dur))
+	}
+	if ev.Wait != 0 {
+		fmt.Fprintf(w, `,"wait":%d`, uint64(ev.Wait))
+	}
+	_, err := w.WriteString("}\n")
+	return err
+}
+
+// --- Chrome trace_event ------------------------------------------------------
+
+// Track layout for the Chrome trace: one process per host, one thread per
+// tile endpoint (even tids = cores, odd tids = directory slices).
+func tid(n Node) int {
+	t := n.Tile * 2
+	if n.Dir {
+		t++
+	}
+	return t
+}
+
+// tsMicros converts simulation cycles to the trace_event microsecond unit.
+func tsMicros(t sim.Time) float64 { return sim.Nanos(t) / 1000 }
+
+// WriteChromeTrace renders the events in Chrome trace_event JSON (the format
+// Perfetto and chrome://tracing load). Message sends and finished stalls
+// become duration ("X") slices; ordering/commit/ack events become instants.
+func WriteChromeTrace(w io.Writer, events []Event) error {
+	bw := bufio.NewWriter(w)
+	bw.WriteString("{\"displayTimeUnit\":\"ns\",\"traceEvents\":[\n")
+	first := true
+	emit := func(format string, args ...any) {
+		if !first {
+			bw.WriteString(",\n")
+		}
+		first = false
+		fmt.Fprintf(bw, format, args...)
+	}
+
+	// Metadata: name every process (host) and thread (tile endpoint) seen.
+	type track struct {
+		host, tid int
+		name      string
+	}
+	seen := map[[2]int]track{}
+	note := func(n Node) {
+		key := [2]int{n.Host, tid(n)}
+		if _, ok := seen[key]; ok {
+			return
+		}
+		kind := "core"
+		if n.Dir {
+			kind = "dir"
+		}
+		seen[key] = track{host: n.Host, tid: tid(n),
+			name: fmt.Sprintf("%s %d.%d", kind, n.Host, n.Tile)}
+	}
+	for i := range events {
+		note(events[i].Src)
+		switch events[i].Kind {
+		case KSend, KLink, KDeliver, KRetry, KOrdered, KRelCommit, KNotify:
+			note(events[i].Dst)
+		}
+	}
+	tracks := make([]track, 0, len(seen))
+	hosts := map[int]bool{}
+	for _, t := range seen {
+		tracks = append(tracks, t)
+		hosts[t.host] = true
+	}
+	sort.Slice(tracks, func(i, j int) bool {
+		if tracks[i].host != tracks[j].host {
+			return tracks[i].host < tracks[j].host
+		}
+		return tracks[i].tid < tracks[j].tid
+	})
+	hostIDs := make([]int, 0, len(hosts))
+	for h := range hosts {
+		hostIDs = append(hostIDs, h)
+	}
+	sort.Ints(hostIDs)
+	for _, h := range hostIDs {
+		emit(`{"ph":"M","name":"process_name","pid":%d,"args":{"name":"host%d"}}`, h, h)
+	}
+	for _, t := range tracks {
+		emit(`{"ph":"M","name":"thread_name","pid":%d,"tid":%d,"args":{"name":%q}}`,
+			t.host, t.tid, t.name)
+	}
+
+	for i := range events {
+		ev := &events[i]
+		switch ev.Kind {
+		case KSend:
+			emit(`{"ph":"X","name":%q,"cat":"msg","pid":%d,"tid":%d,"ts":%.3f,"dur":%.3f,"args":{"bytes":%d,"dst":%q,"wait_cycles":%d}}`,
+				ev.Class.String(), ev.Src.Host, tid(ev.Src),
+				tsMicros(ev.At), tsMicros(ev.Dur), ev.Bytes, ev.Dst.String(), uint64(ev.Wait))
+		case KStallEnd:
+			emit(`{"ph":"X","name":"stall:%d","cat":"stall","pid":%d,"tid":%d,"ts":%.3f,"dur":%.3f}`,
+				ev.Seq, ev.Src.Host, tid(ev.Src), tsMicros(ev.At-ev.Dur), tsMicros(ev.Dur))
+		case KOpDone:
+			emit(`{"ph":"X","name":"op%d","cat":"op","pid":%d,"tid":%d,"ts":%.3f,"dur":%.3f,"args":{"seq":%d,"ord":%d}}`,
+				ev.Op, ev.Src.Host, tid(ev.Src), tsMicros(ev.At-ev.Dur), tsMicros(ev.Dur), ev.Seq, ev.Ord)
+		case KOpIssue:
+			if ev.Dur > 0 { // compute op: duration known at issue
+				emit(`{"ph":"X","name":"compute","cat":"op","pid":%d,"tid":%d,"ts":%.3f,"dur":%.3f,"args":{"seq":%d}}`,
+					ev.Src.Host, tid(ev.Src), tsMicros(ev.At), tsMicros(ev.Dur), ev.Seq)
+			}
+		case KDeliver, KRetry, KOrdered, KRelCommit, KRelAck, KCommit, KNotify,
+			KStallBegin, KLink:
+			emit(`{"ph":"i","s":"t","name":%q,"cat":"proto","pid":%d,"tid":%d,"ts":%.3f,"args":{"seq":%d}}`,
+				ev.Kind.String(), ev.Src.Host, tid(ev.Src), tsMicros(ev.At), ev.Seq)
+		}
+	}
+	bw.WriteString("\n]}\n")
+	return bw.Flush()
+}

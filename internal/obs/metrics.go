@@ -1,0 +1,167 @@
+package obs
+
+import (
+	"encoding/json"
+	"io"
+
+	"cord/internal/sim"
+	"cord/internal/stats"
+)
+
+// Metrics is the observability registry: per-class message/byte counters
+// (split intra/inter-host, mirroring stats.Traffic bit-for-bit), per-class
+// delivery-latency histograms, per-kind stall accumulation, and occupancy
+// peaks for the directory recycle buffers and the engine event queue.
+// Unlike the event stream, metrics are never sampled.
+type Metrics struct {
+	// MsgsIntra/MsgsInter and BytesIntra/BytesInter count every message by
+	// class. They must equal stats.Traffic for the same run — a property
+	// asserted by TestObservedTrafficMatchesStats.
+	MsgsIntra  [stats.NumClasses]uint64
+	MsgsInter  [stats.NumClasses]uint64
+	BytesIntra [stats.NumClasses]uint64
+	BytesInter [stats.NumClasses]uint64
+
+	// Latency holds the source-to-delivery cycle distribution per class.
+	Latency [stats.NumClasses]stats.Dist
+
+	// StallCycles/StallCount accumulate processor stalls by kind across all
+	// cores.
+	StallCycles [stats.NumStallKinds]sim.Time
+	StallCount  [stats.NumStallKinds]uint64
+
+	// DirQueuePeak is the largest recycle-buffer depth any directory reached
+	// (CORD's network buffer / MP's reorder hold).
+	DirQueuePeak int
+	// EngineQueuePeak is the deepest the discrete-event queue got.
+	EngineQueuePeak int
+}
+
+// NewMetrics returns an empty registry.
+func NewMetrics() *Metrics { return &Metrics{} }
+
+// --- nil-safe Recorder update methods --------------------------------------
+
+// CountMsg records one message of class with the given size.
+func (r *Recorder) CountMsg(class stats.MsgClass, bytes int, inter bool) {
+	if r == nil || r.m == nil {
+		return
+	}
+	if inter {
+		r.m.MsgsInter[class]++
+		r.m.BytesInter[class] += uint64(bytes)
+	} else {
+		r.m.MsgsIntra[class]++
+		r.m.BytesIntra[class] += uint64(bytes)
+	}
+}
+
+// ObserveLatency records one message's source-to-delivery latency.
+func (r *Recorder) ObserveLatency(class stats.MsgClass, d sim.Time) {
+	if r == nil || r.m == nil {
+		return
+	}
+	r.m.Latency[class].Add(d)
+}
+
+// AddStall accumulates one finished processor stall.
+func (r *Recorder) AddStall(kind stats.StallKind, d sim.Time) {
+	if r == nil || r.m == nil {
+		return
+	}
+	r.m.StallCycles[kind] += d
+	r.m.StallCount[kind]++
+}
+
+// DirDepth tracks the peak directory recycle-buffer depth.
+func (r *Recorder) DirDepth(depth int) {
+	if r == nil || r.m == nil {
+		return
+	}
+	if depth > r.m.DirQueuePeak {
+		r.m.DirQueuePeak = depth
+	}
+}
+
+// EngineDepth tracks the peak event-queue depth.
+func (r *Recorder) EngineDepth(depth int) {
+	if r == nil || r.m == nil {
+		return
+	}
+	if depth > r.m.EngineQueuePeak {
+		r.m.EngineQueuePeak = depth
+	}
+}
+
+// TotalBytes sums both scopes for one class (the figure stats.Traffic
+// reports as Inter+Intra).
+func (m *Metrics) TotalBytes(c stats.MsgClass) uint64 {
+	return m.BytesIntra[c] + m.BytesInter[c]
+}
+
+// --- JSON export -----------------------------------------------------------
+
+// classJSON is one class's exported row.
+type classJSON struct {
+	Class      string  `json:"class"`
+	MsgsIntra  uint64  `json:"msgs_intra"`
+	MsgsInter  uint64  `json:"msgs_inter"`
+	BytesIntra uint64  `json:"bytes_intra"`
+	BytesInter uint64  `json:"bytes_inter"`
+	LatMeanCyc float64 `json:"latency_mean_cycles"`
+	LatP50Cyc  uint64  `json:"latency_p50_cycles"`
+	LatP99Cyc  uint64  `json:"latency_p99_cycles"`
+	LatMaxCyc  uint64  `json:"latency_max_cycles"`
+}
+
+type stallJSON struct {
+	Kind   string `json:"kind"`
+	Cycles uint64 `json:"cycles"`
+	Count  uint64 `json:"count"`
+}
+
+type metricsJSON struct {
+	Classes         []classJSON `json:"classes"`
+	Stalls          []stallJSON `json:"stalls"`
+	DirQueuePeak    int         `json:"dir_queue_peak"`
+	EngineQueuePeak int         `json:"engine_queue_peak"`
+}
+
+// WriteJSON renders the registry as a single indented JSON document.
+// Classes and stall kinds with no activity are omitted.
+func (m *Metrics) WriteJSON(w io.Writer) error {
+	out := metricsJSON{
+		DirQueuePeak:    m.DirQueuePeak,
+		EngineQueuePeak: m.EngineQueuePeak,
+	}
+	for c := 0; c < stats.NumClasses; c++ {
+		if m.MsgsIntra[c] == 0 && m.MsgsInter[c] == 0 {
+			continue
+		}
+		d := &m.Latency[c]
+		out.Classes = append(out.Classes, classJSON{
+			Class:      stats.MsgClass(c).String(),
+			MsgsIntra:  m.MsgsIntra[c],
+			MsgsInter:  m.MsgsInter[c],
+			BytesIntra: m.BytesIntra[c],
+			BytesInter: m.BytesInter[c],
+			LatMeanCyc: d.Mean(),
+			LatP50Cyc:  uint64(d.Quantile(0.5)),
+			LatP99Cyc:  uint64(d.Quantile(0.99)),
+			LatMaxCyc:  uint64(d.Max()),
+		})
+	}
+	for k := 0; k < stats.NumStallKinds; k++ {
+		if m.StallCount[k] == 0 {
+			continue
+		}
+		out.Stalls = append(out.Stalls, stallJSON{
+			Kind:   stats.StallKind(k).String(),
+			Cycles: uint64(m.StallCycles[k]),
+			Count:  m.StallCount[k],
+		})
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(out)
+}

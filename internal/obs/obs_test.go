@@ -1,0 +1,243 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+
+	"cord/internal/stats"
+)
+
+// TestNilRecorderSafe exercises every Recorder method on the nil (disabled)
+// receiver: none may panic, sample, or record.
+func TestNilRecorderSafe(t *testing.T) {
+	var r *Recorder
+	if r.Enabled() {
+		t.Error("nil recorder reports enabled")
+	}
+	if r.Take() {
+		t.Error("nil recorder took a sample")
+	}
+	r.SetSample(4)
+	if got := r.Sample(); got != 1 {
+		t.Errorf("nil recorder Sample() = %d, want 1", got)
+	}
+	r.Record(Event{Kind: KSend})
+	r.CountMsg(stats.ClassAck, 16, true)
+	r.ObserveLatency(stats.ClassAck, 10)
+	r.AddStall(stats.StallAckWait, 5)
+	r.DirDepth(3)
+	r.EngineDepth(7)
+	if r.Events() != nil {
+		t.Error("nil recorder returned events")
+	}
+	if r.Metrics() != nil {
+		t.Error("nil recorder returned metrics")
+	}
+}
+
+// TestDisabledPathAllocatesNothing is the zero-allocation guarantee for the
+// disabled state: a nil recorder's hot-path methods must not touch the heap.
+func TestDisabledPathAllocatesNothing(t *testing.T) {
+	var r *Recorder
+	allocs := testing.AllocsPerRun(1000, func() {
+		if r.Take() {
+			t.Fatal("nil recorder took a sample")
+		}
+		r.Record(Event{Kind: KDeliver, Bytes: 64})
+		r.CountMsg(stats.ClassRelaxedData, 80, false)
+		r.ObserveLatency(stats.ClassRelaxedData, 42)
+		r.AddStall(stats.StallRelease, 9)
+		r.DirDepth(2)
+		r.EngineDepth(5)
+	})
+	if allocs != 0 {
+		t.Errorf("disabled path allocates %.1f objects per op, want 0", allocs)
+	}
+}
+
+// TestMetricsOnlyTakesNothing verifies the metrics-only recorder keeps
+// counters but never samples events.
+func TestMetricsOnlyTakesNothing(t *testing.T) {
+	r := NewMetricsOnly()
+	if r.Take() {
+		t.Error("metrics-only recorder took a sample")
+	}
+	r.CountMsg(stats.ClassAck, 16, true)
+	if r.Metrics().MsgsInter[stats.ClassAck] != 1 {
+		t.Error("metrics-only recorder dropped a counted message")
+	}
+	if r.Events() != nil {
+		t.Error("metrics-only recorder buffered events")
+	}
+}
+
+// TestSamplingDeterministic checks the counter-based 1-in-n pattern: the same
+// call sequence always keeps the same transactions, with no PRNG involved.
+func TestSamplingDeterministic(t *testing.T) {
+	pattern := func(n, calls int) []bool {
+		r := New()
+		r.SetSample(n)
+		out := make([]bool, calls)
+		for i := range out {
+			out[i] = r.Take()
+		}
+		return out
+	}
+	a, b := pattern(3, 12), pattern(3, 12)
+	taken := 0
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("sampling diverged at call %d", i)
+		}
+		if a[i] {
+			taken++
+		}
+	}
+	if taken != 4 {
+		t.Errorf("1-in-3 sampling kept %d of 12, want 4", taken)
+	}
+	all := pattern(1, 5)
+	for i, took := range all {
+		if !took {
+			t.Errorf("sample=1 skipped call %d", i)
+		}
+	}
+}
+
+// TestJSONLExport checks every emitted line is standalone valid JSON with the
+// kind-appropriate fields.
+func TestJSONLExport(t *testing.T) {
+	events := []Event{
+		{At: 10, Kind: KSend, Src: Node{0, 1, false}, Dst: Node{2, 3, true},
+			Class: stats.ClassRelaxedData, Bytes: 96, Dur: 342, Wait: 12},
+		{At: 352, Kind: KDeliver, Src: Node{0, 1, false}, Dst: Node{2, 3, true},
+			Class: stats.ClassRelaxedData, Bytes: 96, Dur: 342},
+		{At: 400, Kind: KOpIssue, Src: Node{0, 1, false}, Seq: 7, Op: 1, Ord: 2},
+		{At: 500, Kind: KRelAck, Src: Node{0, 1, false}, Seq: 3, Dur: 100},
+		{At: 600, Kind: KCommit, Src: Node{2, 3, true}, Addr: 0xdeadbeef},
+	}
+	var buf bytes.Buffer
+	if err := WriteJSONL(&buf, events); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimRight(buf.String(), "\n"), "\n")
+	if len(lines) != len(events) {
+		t.Fatalf("got %d lines for %d events", len(lines), len(events))
+	}
+	for i, line := range lines {
+		var m map[string]any
+		if err := json.Unmarshal([]byte(line), &m); err != nil {
+			t.Fatalf("line %d not valid JSON: %v\n%s", i, err, line)
+		}
+		if m["k"] != events[i].Kind.String() {
+			t.Errorf("line %d kind = %v, want %q", i, m["k"], events[i].Kind)
+		}
+	}
+	if !strings.Contains(lines[0], `"dst":"d2.3"`) {
+		t.Errorf("send line lacks dst: %s", lines[0])
+	}
+	if !strings.Contains(lines[4], `"addr":"deadbeef"`) {
+		t.Errorf("commit line lacks hex addr: %s", lines[4])
+	}
+}
+
+// TestChromeTraceExport checks the Chrome trace is one valid JSON document
+// with the expected metadata and slice records.
+func TestChromeTraceExport(t *testing.T) {
+	events := []Event{
+		{At: 10, Kind: KSend, Src: Node{0, 1, false}, Dst: Node{2, 3, true},
+			Class: stats.ClassReleaseData, Bytes: 24, Dur: 342, Wait: 12},
+		{At: 900, Kind: KStallEnd, Src: Node{0, 1, false}, Seq: 1, Dur: 200},
+		{At: 950, Kind: KRelCommit, Src: Node{2, 3, true}, Dst: Node{0, 1, false}, Seq: 5},
+	}
+	var buf bytes.Buffer
+	if err := WriteChromeTrace(&buf, events); err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		DisplayTimeUnit string           `json:"displayTimeUnit"`
+		TraceEvents     []map[string]any `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatalf("chrome trace not valid JSON: %v", err)
+	}
+	var phases []string
+	for _, ev := range doc.TraceEvents {
+		phases = append(phases, ev["ph"].(string))
+	}
+	joined := strings.Join(phases, "")
+	if !strings.Contains(joined, "M") || !strings.Contains(joined, "X") || !strings.Contains(joined, "i") {
+		t.Errorf("trace phases %q missing metadata/slice/instant records", joined)
+	}
+	// Thread metadata must name both endpoints' tracks.
+	var names []string
+	for _, ev := range doc.TraceEvents {
+		if ev["name"] == "thread_name" {
+			args := ev["args"].(map[string]any)
+			names = append(names, args["name"].(string))
+		}
+	}
+	got := strings.Join(names, ",")
+	if !strings.Contains(got, "core 0.1") || !strings.Contains(got, "dir 2.3") {
+		t.Errorf("thread names %q missing expected tracks", got)
+	}
+}
+
+// TestMetricsJSON checks the registry export skips idle classes and carries
+// the latency quantiles.
+func TestMetricsJSON(t *testing.T) {
+	r := New()
+	for i := 0; i < 10; i++ {
+		r.CountMsg(stats.ClassAck, 16, i%2 == 0)
+		r.ObserveLatency(stats.ClassAck, 100)
+	}
+	r.AddStall(stats.StallAckWait, 50)
+	r.DirDepth(4)
+	var buf bytes.Buffer
+	if err := r.Metrics().WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var doc map[string]any
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatalf("metrics not valid JSON: %v", err)
+	}
+	classes := doc["classes"].([]any)
+	if len(classes) != 1 {
+		t.Fatalf("got %d class rows, want 1 (idle classes must be skipped)", len(classes))
+	}
+	row := classes[0].(map[string]any)
+	if row["class"] != stats.ClassAck.String() {
+		t.Errorf("class row = %v", row["class"])
+	}
+	if row["msgs_intra"].(float64)+row["msgs_inter"].(float64) != 10 {
+		t.Errorf("class row counts = %v + %v, want 10", row["msgs_intra"], row["msgs_inter"])
+	}
+	if doc["dir_queue_peak"].(float64) != 4 {
+		t.Errorf("dir_queue_peak = %v, want 4", doc["dir_queue_peak"])
+	}
+}
+
+// TestStreamingSink verifies events bypass the memory buffer when a custom
+// sink is installed.
+func TestStreamingSink(t *testing.T) {
+	var got []Kind
+	sink := sinkFunc(func(ev Event) { got = append(got, ev.Kind) })
+	r := NewStreaming(sink)
+	if !r.Take() {
+		t.Fatal("streaming recorder refused to sample")
+	}
+	r.Record(Event{Kind: KSend})
+	r.Record(Event{Kind: KDeliver})
+	if len(got) != 2 || got[0] != KSend || got[1] != KDeliver {
+		t.Errorf("streamed kinds = %v", got)
+	}
+	if r.Events() != nil {
+		t.Error("streaming recorder buffered events in memory")
+	}
+}
+
+type sinkFunc func(Event)
+
+func (f sinkFunc) Record(ev Event) { f(ev) }

@@ -5,6 +5,7 @@ import (
 
 	"cord/internal/memsys"
 	"cord/internal/noc"
+	"cord/internal/obs"
 	"cord/internal/proto"
 	"cord/internal/sim"
 	"cord/internal/stats"
@@ -590,9 +591,15 @@ func (c *cpu) onAck(m *ackMsg) {
 	} else {
 		delete(c.unacked, m.Ep)
 		c.occUnacked.Dec()
+		var lat sim.Time
 		if at, ok := c.relIssued[m.Ep]; ok {
-			c.PS.ReleaseLatency.Add(c.Now() - at)
+			lat = c.Now() - at
+			c.PS.ReleaseLatency.Add(lat)
 			delete(c.relIssued, m.Ep)
+		}
+		if rec := c.Sys.Obs; rec.Take() {
+			rec.Record(obs.Event{At: c.Now(), Kind: obs.KRelAck,
+				Src: c.ID.Obs(), Seq: m.Ep, Dur: lat})
 		}
 	}
 	// Drop the epoch from every per-directory chain it heads. Releases to a

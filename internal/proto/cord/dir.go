@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"cord/internal/noc"
+	"cord/internal/obs"
 	"cord/internal/proto"
 	"cord/internal/stats"
 )
@@ -110,6 +111,11 @@ func (d *dir) dropNoti(k procEpochKey) {
 // commit latency later, so its LLC write never overtakes this one.
 func (d *dir) onRelaxed(m *relaxedMsg) {
 	d.bumpCnt(procEpochKey{m.Src, m.Ep})
+	if rec := d.Sys.Obs; rec.Take() {
+		// The store is directory-ordered the moment its counter bumps.
+		rec.Record(obs.Event{At: d.Sys.Eng.Now(), Kind: obs.KOrdered,
+			Src: d.ID.Obs(), Dst: m.Src.Obs(), Seq: m.Ep, Addr: uint64(m.Addr)})
+	}
 	d.Sys.Eng.Schedule(d.Sys.Timing.CommitLatency(), func() {
 		if m.Atomic {
 			old := d.FetchAdd(m.Addr, m.Value)
@@ -146,9 +152,21 @@ func (d *dir) onRelease(m *releaseMsg) {
 	if !d.releaseEligible(m) {
 		d.pendingRel = append(d.pendingRel, m)
 		d.occNetBuf.Inc()
+		d.noteRetry(stats.ClassReleaseData, m.Src, m.Ep)
 		return
 	}
 	d.commitRelease(m)
+}
+
+// noteRetry records a recycle-buffer admission: the depth for the metrics
+// registry and, when sampled, a KRetry event.
+func (d *dir) noteRetry(class stats.MsgClass, src noc.NodeID, ep uint64) {
+	rec := d.Sys.Obs
+	rec.DirDepth(len(d.pendingRel) + len(d.pendingReq))
+	if rec.Take() {
+		rec.Record(obs.Event{At: d.Sys.Eng.Now(), Kind: obs.KRetry,
+			Src: d.ID.Obs(), Dst: src.Obs(), Class: class, Seq: ep})
+	}
 }
 
 func (d *dir) commitRelease(m *releaseMsg) {
@@ -172,6 +190,10 @@ func (d *dir) commitRelease(m *releaseMsg) {
 		if m.Atomic {
 			class, size = stats.ClassAtomicResp, proto.AckBytes+8
 		}
+		if rec := d.Sys.Obs; rec.Take() {
+			rec.Record(obs.Event{At: d.Sys.Eng.Now(), Kind: obs.KRelCommit,
+				Src: d.ID.Obs(), Dst: m.Src.Obs(), Seq: m.Ep, Addr: uint64(m.Addr)})
+		}
 		d.Sys.Net.Send(d.ID, m.Src, class, size, &ackMsg{Ep: m.Ep})
 		d.reeval()
 	})
@@ -191,6 +213,7 @@ func (d *dir) onReqNotify(m *reqNotifyMsg) {
 	if !d.reqEligible(m) {
 		d.pendingReq = append(d.pendingReq, m)
 		d.occNetBuf.Inc()
+		d.noteRetry(stats.ClassReqNotify, m.Src, m.Ep)
 		return
 	}
 	d.sendNotify(m)
@@ -205,6 +228,10 @@ func (d *dir) sendNotify(m *reqNotifyMsg) {
 		// deliver directly.
 		d.onNotify(&notifyMsg{Src: m.Src, Ep: m.Ep})
 		return
+	}
+	if rec := d.Sys.Obs; rec.Take() {
+		rec.Record(obs.Event{At: d.Sys.Eng.Now(), Kind: obs.KNotify,
+			Src: d.ID.Obs(), Dst: m.Dst.Obs(), Seq: m.Ep})
 	}
 	d.Sys.Net.Send(d.ID, m.Dst, stats.ClassNotify, proto.NotifyBytes,
 		&notifyMsg{Src: m.Src, Ep: m.Ep})

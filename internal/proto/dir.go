@@ -3,6 +3,7 @@ package proto
 import (
 	"cord/internal/memsys"
 	"cord/internal/noc"
+	"cord/internal/obs"
 	"cord/internal/stats"
 )
 
@@ -36,6 +37,10 @@ func (d *DirBase) InitBase(sys *System, id noc.NodeID) {
 func (d *DirBase) CommitValue(addr memsys.Addr, v uint64) {
 	if cur := d.Store.Read(addr); v > cur {
 		d.Store.Write(addr, v)
+	}
+	if rec := d.Sys.Obs; rec.Take() {
+		rec.Record(obs.Event{At: d.Sys.Eng.Now(), Kind: obs.KCommit,
+			Src: d.ID.Obs(), Addr: uint64(addr), Seq: v})
 	}
 	d.wake(addr)
 }

@@ -19,6 +19,7 @@ import (
 
 	"cord/internal/memsys"
 	"cord/internal/noc"
+	"cord/internal/obs"
 	"cord/internal/proto"
 	"cord/internal/stats"
 )
@@ -106,6 +107,16 @@ func (o *orderer) submit(m *mpStore, at *dir) {
 		panic(fmt.Sprintf("mp: duplicate seq %d from %v at host %d", m.Seq, m.Src, o.host))
 	}
 	p[m.Seq] = &arrival{m: m, dst: at}
+	if m.Seq != o.next[m.Src] {
+		// Out-of-order arrival: held at the ordering point until the gap fills.
+		rec := o.sys.Obs
+		rec.DirDepth(len(p))
+		if rec.Take() {
+			rec.Record(obs.Event{At: o.sys.Eng.Now(), Kind: obs.KRetry,
+				Src: at.ID.Obs(), Dst: m.Src.Obs(), Class: stats.ClassRelaxedData,
+				Seq: m.Seq})
+		}
+	}
 	o.drain(m.Src)
 }
 
@@ -148,6 +159,10 @@ func (o *orderer) serveFlushes(src noc.NodeID) {
 // (one LLC commit latency), from the host's port slice.
 func (o *orderer) respondFlush(f *flushReq) {
 	o.sys.Eng.Schedule(o.sys.Timing.CommitLatency(), func() {
+		if rec := o.sys.Obs; rec.Take() {
+			rec.Record(obs.Event{At: o.sys.Eng.Now(), Kind: obs.KNotify,
+				Src: noc.DirID(o.host, 0).Obs(), Dst: f.Src.Obs(), Seq: f.Tag})
+		}
 		o.sys.Net.Send(noc.DirID(o.host, 0), f.Src, stats.ClassAck,
 			proto.AckBytes, &flushResp{Tag: f.Tag})
 	})
@@ -215,6 +230,10 @@ func (c *cpu) handle(_ noc.NodeID, payload any) {
 			panic("mp: unknown flush tag")
 		}
 		delete(c.inflight, m.Tag)
+		if rec := c.Sys.Obs; rec.Take() {
+			rec.Record(obs.Event{At: c.Now(), Kind: obs.KRelAck,
+				Src: c.ID.Obs(), Seq: m.Tag})
+		}
 		cont()
 	case *atomicResp:
 		cont, ok := c.inflight[m.Tag]

@@ -5,6 +5,7 @@ import (
 
 	"cord/internal/memsys"
 	"cord/internal/noc"
+	"cord/internal/obs"
 	"cord/internal/sim"
 	"cord/internal/stats"
 )
@@ -85,9 +86,33 @@ func (p *ProcBase) Step() {
 		return
 	}
 	op := p.prog[p.pc]
+	opSeq := uint64(p.pc)
 	p.pc++
 	p.PS.Ops++
 	next := func() { p.Sys.Eng.Schedule(IssueCycles, p.Step) }
+	if rec := p.Sys.Obs; rec.Take() {
+		// One sampling decision covers the op's whole lifecycle: issue now,
+		// done when the protocol releases the core. Compute ops are a single
+		// issue event carrying their (known) duration.
+		issued := p.Sys.Eng.Now()
+		src := p.ID.Obs()
+		ev := obs.Event{At: issued, Kind: obs.KOpIssue, Src: src, Seq: opSeq,
+			Addr: uint64(op.Addr), Op: uint8(op.Kind), Ord: uint8(op.Ord)}
+		if op.Kind == OpCompute {
+			ev.Dur = op.Cycles
+		}
+		rec.Record(ev)
+		if op.Kind != OpCompute {
+			inner := next
+			next = func() {
+				now := p.Sys.Eng.Now()
+				rec.Record(obs.Event{At: now, Kind: obs.KOpDone, Src: src,
+					Seq: opSeq, Addr: uint64(op.Addr), Dur: now - issued,
+					Op: uint8(op.Kind), Ord: uint8(op.Ord)})
+				inner()
+			}
+		}
+	}
 	switch op.Kind {
 	case OpCompute:
 		p.PS.ComputeCyc += op.Cycles
@@ -118,7 +143,9 @@ func (p *ProcBase) beginAcquire(op Op, next func()) {
 	tag := p.nextTag
 	p.nextTag++
 	p.acquires[tag] = func() {
-		p.PS.AddStall(stats.StallAcquire, p.Sys.Eng.Now()-start)
+		d := p.Sys.Eng.Now() - start
+		p.PS.AddStall(stats.StallAcquire, d)
+		p.Sys.Obs.AddStall(stats.StallAcquire, d)
 		next()
 	}
 	home := p.Sys.Map.HomeOf(op.Addr)
@@ -139,10 +166,24 @@ func (p *ProcBase) HandleLoadResp(m *LoadResp) {
 
 // StallUntil charges kind for the duration between now and the moment
 // release() is invoked; it returns the function to call when the stall ends.
+// When tracing is on, the stall is bracketed by KStallBegin/KStallEnd events
+// under one sampling decision.
 func (p *ProcBase) StallUntil(kind stats.StallKind, resume func()) func() {
 	start := p.Sys.Eng.Now()
+	rec := p.Sys.Obs
+	traced := rec.Take()
+	if traced {
+		rec.Record(obs.Event{At: start, Kind: obs.KStallBegin,
+			Src: p.ID.Obs(), Seq: uint64(kind)})
+	}
 	return func() {
-		p.PS.AddStall(kind, p.Sys.Eng.Now()-start)
+		d := p.Sys.Eng.Now() - start
+		p.PS.AddStall(kind, d)
+		rec.AddStall(kind, d)
+		if traced {
+			rec.Record(obs.Event{At: p.Sys.Eng.Now(), Kind: obs.KStallEnd,
+				Src: p.ID.Obs(), Seq: uint64(kind), Dur: d})
+		}
 		resume()
 	}
 }

@@ -15,6 +15,7 @@ import (
 
 	"cord/internal/memsys"
 	"cord/internal/noc"
+	"cord/internal/obs"
 	"cord/internal/proto"
 	"cord/internal/sim"
 	"cord/internal/stats"
@@ -219,8 +220,13 @@ func (c *cpu) onAck(m *ackMsg) {
 	}
 	c.pendingAcks--
 	if at, ok := c.relSent[m.Tag]; ok {
-		c.PS.ReleaseLatency.Add(c.Now() - at)
+		lat := c.Now() - at
+		c.PS.ReleaseLatency.Add(lat)
 		delete(c.relSent, m.Tag)
+		if rec := c.Sys.Obs; rec.Take() {
+			rec.Record(obs.Event{At: c.Now(), Kind: obs.KRelAck,
+				Src: c.ID.Obs(), Seq: m.Tag, Dur: lat})
+		}
 	}
 	if cont, ok := c.atomicWait[m.Tag]; ok {
 		delete(c.atomicWait, m.Tag)
@@ -334,6 +340,12 @@ func (d *dir) handle(_ noc.NodeID, payload any) {
 				size = proto.AckBytes + 8
 			} else {
 				d.CommitValue(m.Addr, m.Value)
+			}
+			if m.Release {
+				if rec := d.Sys.Obs; rec.Take() {
+					rec.Record(obs.Event{At: d.Sys.Eng.Now(), Kind: obs.KRelCommit,
+						Src: d.ID.Obs(), Dst: m.Src.Obs(), Seq: m.Tag, Addr: uint64(m.Addr)})
+				}
 			}
 			d.Sys.Net.Send(d.ID, m.Src, class, size,
 				&ackMsg{Tag: m.Tag, Release: m.Release, Old: old})

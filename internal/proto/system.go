@@ -5,6 +5,7 @@ import (
 
 	"cord/internal/memsys"
 	"cord/internal/noc"
+	"cord/internal/obs"
 	"cord/internal/sim"
 	"cord/internal/stats"
 )
@@ -54,6 +55,9 @@ type System struct {
 	Timing memsys.Timing
 	Mode   Mode
 	Run    *stats.Run
+	// Obs is the optional observability recorder; nil (the default) disables
+	// event tracing and metrics with no overhead beyond nil checks.
+	Obs *obs.Recorder
 }
 
 // NewSystem wires an engine, network, and address map for the given
@@ -69,6 +73,19 @@ func NewSystem(seed int64, nc noc.Config, mode Mode) *System {
 		Timing: memsys.DefaultTiming(),
 		Mode:   mode,
 		Run:    run,
+	}
+}
+
+// Observe attaches an observability recorder to the system: protocol engines
+// read s.Obs, the network counts and traces every message, and the simulation
+// engine reports event-queue occupancy. Call before Exec. A nil rec detaches.
+func (s *System) Observe(rec *obs.Recorder) {
+	s.Obs = rec
+	s.Net.SetObserver(rec)
+	if rec != nil && rec.Metrics() != nil {
+		s.Eng.SetHook(func(_ sim.Time, pending int) { rec.EngineDepth(pending) })
+	} else {
+		s.Eng.SetHook(nil)
 	}
 }
 

@@ -27,6 +27,7 @@ import (
 
 	"cord/internal/memsys"
 	"cord/internal/noc"
+	"cord/internal/obs"
 	"cord/internal/proto"
 	"cord/internal/stats"
 )
@@ -323,6 +324,12 @@ func (d *dir) handle(_ noc.NodeID, payload any) {
 				class, size = stats.ClassAtomicResp, proto.AckBytes+8
 			} else {
 				d.CommitValue(m.Addr, m.Value)
+			}
+			if !m.Atomic {
+				if rec := d.Sys.Obs; rec.Take() {
+					rec.Record(obs.Event{At: d.Sys.Eng.Now(), Kind: obs.KRelCommit,
+						Src: d.ID.Obs(), Dst: m.Src.Obs(), Seq: m.Tag, Addr: uint64(m.Addr)})
+				}
 			}
 			d.Sys.Net.Send(d.ID, m.Src, class, size, &ackMsg{Tag: m.Tag})
 		})

@@ -83,6 +83,9 @@ type Engine struct {
 	executed uint64
 	// MaxEvents aborts Run with an error when positive and exceeded.
 	MaxEvents uint64
+
+	// hook, when set, observes every executed event (observability layer).
+	hook func(now Time, pending int)
 }
 
 // NewEngine returns an engine whose PRNG is seeded with seed.
@@ -119,6 +122,12 @@ func (e *Engine) ScheduleAt(at Time, fn func()) {
 // Stop makes Run return after the currently executing event completes.
 func (e *Engine) Stop() { e.stopped = true }
 
+// SetHook installs an observer invoked before each executed event with the
+// current time and the number of still-queued events. Pass nil to disable.
+// The hook must not schedule or mutate engine state; it exists so the
+// observability layer can track clock advancement and queue occupancy.
+func (e *Engine) SetHook(fn func(now Time, pending int)) { e.hook = fn }
+
 // Pending reports the number of queued events.
 func (e *Engine) Pending() int { return len(e.queue) }
 
@@ -136,6 +145,9 @@ func (e *Engine) Run() error {
 		e.executed++
 		if e.MaxEvents > 0 && e.executed > e.MaxEvents {
 			return fmt.Errorf("sim: exceeded event budget of %d at t=%d", e.MaxEvents, e.now)
+		}
+		if e.hook != nil {
+			e.hook(e.now, len(e.queue))
 		}
 		ev.fn()
 	}
@@ -155,6 +167,9 @@ func (e *Engine) RunUntil(deadline Time) error {
 		e.executed++
 		if e.MaxEvents > 0 && e.executed > e.MaxEvents {
 			return fmt.Errorf("sim: exceeded event budget of %d at t=%d", e.MaxEvents, e.now)
+		}
+		if e.hook != nil {
+			e.hook(e.now, len(e.queue))
 		}
 		ev.fn()
 	}

@@ -34,6 +34,10 @@ const (
 	numClasses
 )
 
+// NumClasses is the number of message classes, for packages (observability,
+// exporters) that size per-class arrays.
+const NumClasses = int(numClasses)
+
 var classNames = [numClasses]string{
 	"relaxed-data", "release-data", "ack", "req-notify", "notify",
 	"load-req", "load-resp", "own-req", "own-data", "writeback", "barrier",
@@ -137,6 +141,9 @@ const (
 	StallStoreBuf                   // TSO: store buffer full / drain
 	numStallKinds
 )
+
+// NumStallKinds is the number of stall categories, mirroring NumClasses.
+const NumStallKinds = int(numStallKinds)
 
 var stallNames = [numStallKinds]string{
 	"ack-wait", "release", "overflow", "table-full", "acquire", "store-buffer",

@@ -1,0 +1,77 @@
+package cord
+
+import (
+	"io"
+
+	"cord/internal/obs"
+	"cord/internal/proto"
+)
+
+// TraceOptions configures SimulateObserved.
+type TraceOptions struct {
+	// Sample keeps 1-in-Sample traced transactions (deterministic,
+	// counter-based; <= 1 records everything). Metrics are never sampled.
+	Sample int
+	// MetricsOnly skips event capture entirely and keeps only the metrics
+	// registry, for long runs where the event stream would be too large.
+	MetricsOnly bool
+}
+
+// Observation holds what a traced simulation recorded: the structured event
+// stream and the metrics registry.
+type Observation struct {
+	rec *obs.Recorder
+}
+
+// Events returns the recorded event stream (nil under MetricsOnly).
+func (o *Observation) Events() []obs.Event { return o.rec.Events() }
+
+// Metrics returns the metrics registry.
+func (o *Observation) Metrics() *obs.Metrics { return o.rec.Metrics() }
+
+// WriteJSONL exports the event stream as JSON lines.
+func (o *Observation) WriteJSONL(w io.Writer) error {
+	return obs.WriteJSONL(w, o.rec.Events())
+}
+
+// WriteChromeTrace exports the event stream as Chrome trace_event JSON,
+// loadable in Perfetto (https://ui.perfetto.dev) or chrome://tracing.
+func (o *Observation) WriteChromeTrace(w io.Writer) error {
+	return obs.WriteChromeTrace(w, o.rec.Events())
+}
+
+// WriteMetricsJSON exports the metrics registry as indented JSON.
+func (o *Observation) WriteMetricsJSON(w io.Writer) error {
+	return o.rec.Metrics().WriteJSON(w)
+}
+
+// SimulateObserved is Simulate with observability attached: it additionally
+// returns the recorded protocol events and metrics. Tracing never perturbs the
+// simulation — the returned Result is identical to an untraced Simulate run
+// with the same arguments.
+func SimulateObserved(w Workload, p Protocol, s System, opt TraceOptions) (*Result, *Observation, error) {
+	nc, err := s.netConfig()
+	if err != nil {
+		return nil, nil, err
+	}
+	b, err := builder(p)
+	if err != nil {
+		return nil, nil, err
+	}
+	cores, progs, err := w.Programs(nc)
+	if err != nil {
+		return nil, nil, err
+	}
+	rec := obs.New()
+	if opt.MetricsOnly {
+		rec = obs.NewMetricsOnly()
+	}
+	rec.SetSample(opt.Sample)
+	sys := proto.NewSystem(s.Seed, nc, s.mode())
+	sys.Observe(rec)
+	run, err := proto.Exec(sys, b, cores, progs)
+	if err != nil {
+		return nil, nil, err
+	}
+	return &Result{run: run}, &Observation{rec: rec}, nil
+}

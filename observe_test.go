@@ -1,0 +1,171 @@
+package cord
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"testing"
+
+	"cord/internal/obs"
+	"cord/internal/stats"
+)
+
+func smallSystem() System {
+	s := CXLSystem()
+	s.Hosts = 4
+	s.CoresPerHost = 4
+	return s
+}
+
+// TestObservedTrafficMatchesStats is the exporter-fidelity acceptance check:
+// the per-class byte totals recovered from the exported JSONL event stream
+// (at the default sample=1) must exactly equal the stats.Traffic aggregates
+// of the same run, and so must the metrics registry.
+func TestObservedTrafficMatchesStats(t *testing.T) {
+	w := Microbench(64, 1024, 2, 10)
+	r, o, err := SimulateObserved(w, CORD, smallSystem(), TraceOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr := &r.Raw().Traffic
+
+	// Recover per-class byte totals from the JSONL export's send records.
+	var buf bytes.Buffer
+	if err := o.WriteJSONL(&buf); err != nil {
+		t.Fatal(err)
+	}
+	byName := map[string]stats.MsgClass{}
+	for c := 0; c < stats.NumClasses; c++ {
+		byName[stats.MsgClass(c).String()] = stats.MsgClass(c)
+	}
+	var fromJSONL [stats.NumClasses]uint64
+	sc := bufio.NewScanner(&buf)
+	sc.Buffer(make([]byte, 1<<16), 1<<26)
+	for sc.Scan() {
+		var ev struct {
+			K     string `json:"k"`
+			Class string `json:"class"`
+			Bytes uint64 `json:"bytes"`
+		}
+		if err := json.Unmarshal(sc.Bytes(), &ev); err != nil {
+			t.Fatalf("bad JSONL line: %v\n%s", err, sc.Text())
+		}
+		if ev.K != "send" {
+			continue
+		}
+		c, ok := byName[ev.Class]
+		if !ok {
+			t.Fatalf("unknown class %q in JSONL", ev.Class)
+		}
+		fromJSONL[c] += ev.Bytes
+	}
+	if err := sc.Err(); err != nil {
+		t.Fatal(err)
+	}
+	m := o.Metrics()
+	for c := 0; c < stats.NumClasses; c++ {
+		want := tr.InterBytes[c] + tr.IntraBytes[c]
+		if fromJSONL[c] != want {
+			t.Errorf("class %v: JSONL total %d bytes, stats %d",
+				stats.MsgClass(c), fromJSONL[c], want)
+		}
+		if got := m.TotalBytes(stats.MsgClass(c)); got != want {
+			t.Errorf("class %v: metrics total %d bytes, stats %d",
+				stats.MsgClass(c), got, want)
+		}
+		if m.MsgsInter[c] != tr.InterMsgs[c] || m.MsgsIntra[c] != tr.IntraMsgs[c] {
+			t.Errorf("class %v: metrics msgs (%d,%d), stats (%d,%d)",
+				stats.MsgClass(c), m.MsgsIntra[c], m.MsgsInter[c],
+				tr.IntraMsgs[c], tr.InterMsgs[c])
+		}
+	}
+	if tr.TotalInter() == 0 {
+		t.Fatal("vacuous: workload produced no inter-host traffic")
+	}
+}
+
+// TestObservedDoesNotPerturb asserts tracing changes nothing about the
+// simulation: an observed run and a plain run with identical inputs produce
+// identical time and traffic.
+func TestObservedDoesNotPerturb(t *testing.T) {
+	w := Microbench(64, 1024, 2, 10)
+	for _, p := range Protocols() {
+		plain, err := Simulate(w, p, smallSystem())
+		if err != nil {
+			t.Fatalf("%s: %v", p, err)
+		}
+		traced, _, err := SimulateObserved(w, p, smallSystem(), TraceOptions{})
+		if err != nil {
+			t.Fatalf("%s: %v", p, err)
+		}
+		if plain.Raw().Time != traced.Raw().Time {
+			t.Errorf("%s: tracing changed execution time: %d vs %d",
+				p, plain.Raw().Time, traced.Raw().Time)
+		}
+		if plain.Raw().Traffic != traced.Raw().Traffic {
+			t.Errorf("%s: tracing changed traffic accounting", p)
+		}
+	}
+}
+
+// TestObservedChromeTraceValid asserts the Chrome trace export is one valid
+// JSON document with populated traceEvents (the Perfetto loading contract).
+func TestObservedChromeTraceValid(t *testing.T) {
+	w := Microbench(64, 1024, 2, 5)
+	_, o, err := SimulateObserved(w, CORD, smallSystem(), TraceOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := o.WriteChromeTrace(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		TraceEvents []json.RawMessage `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatalf("chrome trace not valid JSON: %v", err)
+	}
+	if len(doc.TraceEvents) == 0 {
+		t.Fatal("chrome trace has no events")
+	}
+}
+
+// TestObservedSampling checks that sampling thins the hop-event stream while
+// metrics stay complete, and that whole message lifecycles are kept coherent:
+// every sampled send has exactly one matching deliver.
+func TestObservedSampling(t *testing.T) {
+	w := Microbench(64, 1024, 2, 10)
+	_, full, err := SimulateObserved(w, CORD, smallSystem(), TraceOptions{Sample: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, thin, err := SimulateObserved(w, CORD, smallSystem(), TraceOptions{Sample: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	count := func(evs []obs.Event, k obs.Kind) int {
+		n := 0
+		for _, ev := range evs {
+			if ev.Kind == k {
+				n++
+			}
+		}
+		return n
+	}
+	fullSends := count(full.Events(), obs.KSend)
+	thinSends := count(thin.Events(), obs.KSend)
+	if thinSends == 0 || thinSends*4 > fullSends {
+		t.Errorf("1-in-8 sampling kept %d of %d sends", thinSends, fullSends)
+	}
+	if got := count(thin.Events(), obs.KDeliver); got != thinSends {
+		t.Errorf("sampled lifecycles incoherent: %d sends but %d delivers", thinSends, got)
+	}
+	// Metrics are never sampled: both runs agree exactly.
+	for c := 0; c < stats.NumClasses; c++ {
+		cl := stats.MsgClass(c)
+		if full.Metrics().TotalBytes(cl) != thin.Metrics().TotalBytes(cl) {
+			t.Errorf("class %v: sampling changed metrics", cl)
+		}
+	}
+}
