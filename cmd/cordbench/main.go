@@ -17,8 +17,11 @@ import (
 	"os"
 	"path/filepath"
 	"strings"
+	"time"
 
 	"cord/internal/exp"
+	"cord/internal/obs"
+	"cord/internal/obs/live"
 )
 
 func main() {
@@ -29,8 +32,35 @@ func main() {
 		ablation = flag.Bool("ablation", false, "run the design-choice ablations")
 		self     = flag.Bool("selfcheck", false, "verify the paper's headline claims end-to-end")
 		csv      = flag.String("csv", "", "directory to also write CSV files into")
+		httpAddr = flag.String("http", "", "serve live sweep progress/metrics/pprof on this address, e.g. localhost:6060")
+		progress = flag.Bool("progress", false, "print sweep progress lines to stderr")
 	)
 	flag.Parse()
+
+	// Sweep progress and aggregate metrics are observable two ways: -progress
+	// prints the tracker to stderr each second, -http serves it (with the
+	// shared metrics registry and pprof) until the process exits. Both hook
+	// the exp package's sweeps.
+	if *progress || *httpAddr != "" {
+		prog := live.NewProgress()
+		exp.SetProgress(prog)
+		if *httpAddr != "" {
+			rec := obs.NewMetricsOnly()
+			exp.SetRecorder(rec)
+			srv, err := live.NewServer(*httpAddr, rec, prog, map[string]string{"cmd": "cordbench"})
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "cordbench:", err)
+				os.Exit(1)
+			}
+			srv.Start()
+			defer srv.Close()
+			fmt.Fprintf(os.Stderr, "live introspection on http://%s\n", srv.Addr())
+		}
+		if *progress {
+			stop := prog.StartPrinter(os.Stderr, time.Second)
+			defer stop()
+		}
+	}
 
 	if *self {
 		lines, ok, err := exp.SelfCheck()
@@ -318,4 +348,3 @@ func table3(w *writer) {
 		w.row(r.Component, r.Entries, f(r.AreaMM2), f(r.PowerMW), f(r.ReadNJ), f(r.WriteNJ))
 	}
 }
-

@@ -14,10 +14,12 @@ import (
 	"fmt"
 	"io"
 	"os"
-	"sort"
 	"strings"
+	"time"
 
 	"cord"
+	"cord/internal/obs"
+	"cord/internal/obs/live"
 )
 
 func main() {
@@ -41,6 +43,8 @@ func main() {
 		traceOut    = flag.String("trace-out", "", "write a Chrome trace_event JSON (Perfetto-loadable) of protocol events to this file, plus a .jsonl event stream alongside")
 		traceSample = flag.Int("trace-sample", 1, "record 1-in-N traced transactions (deterministic; metrics stay complete)")
 		metricsOut  = flag.String("metrics-out", "", "write the observability metrics registry as JSON to this file")
+		httpAddr    = flag.String("http", "", "serve live introspection (/metrics, /progress, /debug/pprof) on this address, e.g. localhost:6060")
+		progressF   = flag.Bool("progress", false, "print progress lines to stderr while simulating")
 	)
 	flag.Parse()
 
@@ -110,20 +114,76 @@ func main() {
 		return
 	}
 
-	if *compare {
-		rs, err := cord.Compare(w, sys)
+	// Live introspection: -progress prints the shared tracker to stderr,
+	// -http additionally serves it (plus the metrics registry and pprof).
+	var prog *live.Progress
+	if *progressF || *httpAddr != "" {
+		prog = live.NewProgress()
+	}
+	var rec *obs.Recorder
+	if *httpAddr != "" {
+		// The server scrapes the metrics registry mid-run; event capture
+		// stays off unless -trace-out asked for it (single-run only).
+		if *traceOut != "" && !*compare {
+			rec = obs.New()
+			rec.SetSample(*traceSample)
+		} else {
+			rec = obs.NewMetricsOnly()
+		}
+		rec.ShareMetrics()
+		srv, err := live.NewServer(*httpAddr, rec, prog, map[string]string{
+			"workload": w.Name,
+			"fabric":   strings.ToUpper(*fabric),
+			"model":    model(*tso),
+		})
 		if err != nil {
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(1)
 		}
-		ps := make([]cord.Protocol, 0, len(rs))
-		for p := range rs {
-			ps = append(ps, p)
+		srv.Start()
+		defer srv.Close()
+		fmt.Fprintf(os.Stderr, "live introspection on http://%s\n", srv.Addr())
+	}
+	if *progressF {
+		stop := prog.StartPrinter(os.Stderr, time.Second)
+		defer stop()
+	}
+	observed := func(p cord.Protocol, opt cord.TraceOptions) (*cord.Result, *cord.Observation, error) {
+		if opt.Recorder == nil && opt.Sample == 0 && !opt.MetricsOnly {
+			r, err := cord.Simulate(w, p, sys)
+			return r, nil, err
 		}
-		sort.Slice(ps, func(i, j int) bool { return ps[i] < ps[j] })
+		return cord.SimulateObserved(w, p, sys, opt)
+	}
+
+	if *compare {
+		// Run the protocols one by one (rather than cord.Compare) so the
+		// progress tracker advances between them.
+		protocols := make([]cord.Protocol, 0, len(cord.Protocols()))
+		for _, p := range cord.Protocols() {
+			if p == cord.MP && w.MPIncompatible {
+				continue
+			}
+			protocols = append(protocols, p)
+		}
+		if prog != nil {
+			prog.Start(w.Name+" compare", len(protocols))
+		}
+		rs := make(map[cord.Protocol]*cord.Result, len(protocols))
+		for _, p := range protocols {
+			r, _, err := observed(p, cord.TraceOptions{Recorder: rec})
+			if err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(1)
+			}
+			rs[p] = r
+			if prog != nil {
+				prog.Step(1)
+			}
+		}
 		base := rs[cord.CORD]
 		fmt.Printf("%-6s %14s %14s %10s %10s\n", "proto", "time(ns)", "traffic(B)", "t/CORD", "B/CORD")
-		for _, p := range ps {
+		for _, p := range protocols {
 			r := rs[p]
 			fmt.Printf("%-6s %14.0f %14d %10.3f %10.3f\n", p, r.ExecNanos(), r.InterHostBytes(),
 				r.ExecNanos()/base.ExecNanos(),
@@ -132,20 +192,28 @@ func main() {
 		return
 	}
 
+	if prog != nil {
+		prog.Start(w.Name, 1)
+	}
 	var (
 		r   *cord.Result
 		o   *cord.Observation
 		err error
 	)
-	if *traceOut != "" || *metricsOut != "" {
+	if rec != nil {
+		r, o, err = observed(cord.Protocol(strings.ToUpper(*protoF)), cord.TraceOptions{Recorder: rec})
+	} else if *traceOut != "" || *metricsOut != "" {
 		opt := cord.TraceOptions{Sample: *traceSample, MetricsOnly: *traceOut == ""}
-		r, o, err = cord.SimulateObserved(w, cord.Protocol(strings.ToUpper(*protoF)), sys, opt)
+		r, o, err = observed(cord.Protocol(strings.ToUpper(*protoF)), opt)
 	} else {
 		r, err = cord.Simulate(w, cord.Protocol(strings.ToUpper(*protoF)), sys)
 	}
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
+	}
+	if prog != nil {
+		prog.Step(1)
 	}
 	if o != nil {
 		writeObservation(o, *traceOut, *metricsOut)

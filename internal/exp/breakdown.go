@@ -1,0 +1,105 @@
+package exp
+
+import (
+	"sync"
+
+	"cord/internal/obs"
+	"cord/internal/obs/analyze"
+	"cord/internal/proto"
+	"cord/internal/workload"
+)
+
+// ---------------------------------------------------------------------------
+// Live introspection hooks: sweep progress and a shared metrics recorder.
+// ---------------------------------------------------------------------------
+
+// ProgressSink receives sweep progress: Start announces a phase of total
+// runs, Step reports completed ones. live.Progress implements it; cordbench
+// -http/-progress install one with SetProgress. Implementations must be safe
+// for concurrent Step calls — the sweeps run on worker pools.
+type ProgressSink interface {
+	Start(label string, total int)
+	Step(n int)
+}
+
+var (
+	hookMu   sync.RWMutex
+	progress ProgressSink
+	liveRec  *obs.Recorder
+)
+
+// SetProgress installs (or, with nil, removes) the sink every figure sweep
+// reports to.
+func SetProgress(p ProgressSink) {
+	hookMu.Lock()
+	defer hookMu.Unlock()
+	progress = p
+}
+
+// SetRecorder attaches a recorder to every subsequent RunScheme simulation,
+// so a live /metrics endpoint can watch a sweep's aggregate traffic, latency
+// and stall counters grow. Pass an obs.NewMetricsOnly() recorder: sweeps run
+// many simulations concurrently, and only the metrics registry is
+// cross-goroutine safe (SetRecorder enforces that by calling ShareMetrics).
+// Explicit RunObserved calls are unaffected. nil detaches.
+func SetRecorder(r *obs.Recorder) {
+	r.ShareMetrics()
+	hookMu.Lock()
+	defer hookMu.Unlock()
+	liveRec = r
+}
+
+func progressStart(label string, total int) {
+	hookMu.RLock()
+	p := progress
+	hookMu.RUnlock()
+	if p != nil {
+		p.Start(label, total)
+	}
+}
+
+func progressStep(n int) {
+	hookMu.RLock()
+	p := progress
+	hookMu.RUnlock()
+	if p != nil {
+		p.Step(n)
+	}
+}
+
+func liveRecorder() *obs.Recorder {
+	hookMu.RLock()
+	defer hookMu.RUnlock()
+	return liveRec
+}
+
+// ---------------------------------------------------------------------------
+// Trace-derived breakdown rows (Fig. 2 / Fig. 7 companion data).
+// ---------------------------------------------------------------------------
+
+// BreakdownRow is one run's identity plus its execution-time and traffic
+// decomposition reconstructed from the event trace alone.
+type BreakdownRow struct {
+	App    string
+	Scheme Scheme
+	Fabric Interconnect
+	analyze.Breakdown
+}
+
+// Breakdown runs one configuration with full tracing and derives the
+// decomposition from the events — the same numbers stats.Run reports, but
+// computed the way cordtrace computes them from an exported trace. Fig. 2's
+// ack-overhead percentages are BreakdownRow.AckTimePct and AckTrafficPct of
+// the SO rows; diffing a CORD row against an SO row gives the Fig. 7 story
+// for one app.
+func Breakdown(p workload.Pattern, s Scheme, ic Interconnect, mode proto.Mode, seed int64) (BreakdownRow, error) {
+	rec := obs.New()
+	_, err := RunObserved(p, Builder(s), NetConfig(ic), mode, seed, rec)
+	if err != nil {
+		return BreakdownRow{}, err
+	}
+	return BreakdownRow{
+		App: p.Name, Scheme: s, Fabric: ic,
+		Breakdown: analyze.BreakdownOf(rec.Events()),
+	}, nil
+}

@@ -1,0 +1,162 @@
+package exp
+
+import (
+	"math"
+	"sync"
+	"testing"
+
+	"cord/internal/obs"
+	"cord/internal/proto"
+	"cord/internal/stats"
+	"cord/internal/workload"
+)
+
+// TestBreakdownMatchesRunStats is the "from the trace alone" acceptance
+// check: the decomposition analyze reconstructs from events must agree with
+// the simulator's own aggregate accounting for the same seeded run.
+func TestBreakdownMatchesRunStats(t *testing.T) {
+	p := workload.Micro(64, 1024, 2, 6)
+	for _, s := range []Scheme{SchemeCORD, SchemeSO} {
+		s := s
+		t.Run(string(s), func(t *testing.T) {
+			t.Parallel()
+			row, err := Breakdown(p, s, CXL, proto.RC, 42)
+			if err != nil {
+				t.Fatal(err)
+			}
+			r, err := RunScheme(p, s, CXL, proto.RC)
+			if err != nil {
+				t.Fatal(err)
+			}
+			wantTime := 100 * r.StallFraction(stats.StallAckWait)
+			if got := row.AckTimePct(); math.Abs(got-wantTime) > 1e-9 {
+				t.Errorf("ack time share from trace %.6f%%, run stats say %.6f%%", got, wantTime)
+			}
+			wantTraffic := 100 * r.AckTrafficFraction()
+			if got := row.AckTrafficPct; math.Abs(got-wantTraffic) > 1e-9 {
+				t.Errorf("ack traffic share from trace %.6f%%, run stats say %.6f%%", got, wantTraffic)
+			}
+		})
+	}
+}
+
+// TestBreakdownReproducesFig2 regenerates Fig. 2 rows from traces and checks
+// them against the figure pipeline's own numbers.
+func TestBreakdownReproducesFig2(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full Fig. 2 sweep")
+	}
+	rows, err := Fig2()
+	if err != nil {
+		t.Fatal(err)
+	}
+	checked := 0
+	for _, app := range workload.Apps() {
+		if app.Name != "PR" && app.Name != "TQH" {
+			continue
+		}
+		row, err := Breakdown(app, SchemeSO, CXL, proto.RC, 42)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, f := range rows {
+			if f.App != app.Name || f.Fabric != CXL {
+				continue
+			}
+			checked++
+			if math.Abs(row.AckTimePct()-f.TimePct) > 0.01 {
+				t.Errorf("%s: trace-derived ack time %.3f%%, Fig. 2 says %.3f%%",
+					app.Name, row.AckTimePct(), f.TimePct)
+			}
+			if math.Abs(row.AckTrafficPct-f.TrafficPct) > 0.01 {
+				t.Errorf("%s: trace-derived ack traffic %.3f%%, Fig. 2 says %.3f%%",
+					app.Name, row.AckTrafficPct, f.TrafficPct)
+			}
+		}
+	}
+	if checked != 2 {
+		t.Fatalf("checked %d Fig. 2 rows, want 2", checked)
+	}
+}
+
+type countingSink struct {
+	mu            sync.Mutex
+	label         string
+	total, steps  int
+	startsSeen    int
+	stepCallsSeen int
+}
+
+func (c *countingSink) Start(label string, total int) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.label, c.total, c.steps = label, total, 0
+	c.startsSeen++
+}
+
+func (c *countingSink) Step(n int) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.steps += n
+	c.stepCallsSeen++
+}
+
+// TestProgressHook checks the sweep machinery reports every run exactly once.
+func TestProgressHook(t *testing.T) {
+	sink := &countingSink{}
+	SetProgress(sink)
+	t.Cleanup(func() { SetProgress(nil) })
+
+	progressStart("unit", 7)
+	if err := forEach(7, func(i int) error { return nil }); err != nil {
+		t.Fatal(err)
+	}
+	sink.mu.Lock()
+	label, total, steps := sink.label, sink.total, sink.steps
+	sink.mu.Unlock()
+	if label != "unit" || total != 7 || steps != 7 {
+		t.Fatalf("sink saw label=%q total=%d steps=%d, want unit/7/7", label, total, steps)
+	}
+
+	SetProgress(nil)
+	progressStep(1) // must not panic or count
+	sink.mu.Lock()
+	if sink.steps != 7 {
+		t.Errorf("detached sink still stepped: %d", sink.steps)
+	}
+	sink.mu.Unlock()
+}
+
+// TestLiveRecorderHook checks SetRecorder feeds RunScheme's traffic into the
+// shared registry, mirroring stats.Traffic exactly.
+func TestLiveRecorderHook(t *testing.T) {
+	rec := obs.NewMetricsOnly()
+	SetRecorder(rec)
+	t.Cleanup(func() { SetRecorder(nil) })
+
+	p := workload.Micro(64, 1024, 2, 6)
+	r, err := RunScheme(p, SchemeCORD, CXL, proto.RC)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := rec.MetricsSnapshot()
+	for c := 0; c < stats.NumClasses; c++ {
+		if m.BytesInter[c] != r.Traffic.InterBytes[c] || m.BytesIntra[c] != r.Traffic.IntraBytes[c] {
+			t.Fatalf("class %s: live registry %d/%d B, run stats %d/%d B",
+				stats.MsgClass(c), m.BytesInter[c], m.BytesIntra[c],
+				r.Traffic.InterBytes[c], r.Traffic.IntraBytes[c])
+		}
+	}
+	if len(rec.Events()) != 0 {
+		t.Errorf("metrics-only live recorder captured %d events", len(rec.Events()))
+	}
+
+	SetRecorder(nil)
+	before := rec.MetricsSnapshot().MsgsInter
+	if _, err := RunScheme(p, SchemeCORD, CXL, proto.RC); err != nil {
+		t.Fatal(err)
+	}
+	if after := rec.MetricsSnapshot().MsgsInter; after != before {
+		t.Error("detached recorder still received updates")
+	}
+}

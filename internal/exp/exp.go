@@ -95,9 +95,10 @@ func RunObserved(p workload.Pattern, b proto.Builder, nc noc.Config, mode proto.
 	return r, nil
 }
 
-// RunScheme is Run with a named scheme and fabric.
+// RunScheme is Run with a named scheme and fabric. When SetRecorder attached
+// a live metrics recorder, the run reports into it.
 func RunScheme(p workload.Pattern, s Scheme, ic Interconnect, mode proto.Mode) (*stats.Run, error) {
-	return Run(p, Builder(s), NetConfig(ic), mode, 42)
+	return RunObserved(p, Builder(s), NetConfig(ic), mode, 42, liveRecorder())
 }
 
 // Cell is one (scheme, app, fabric) measurement.

@@ -37,6 +37,7 @@ func Fig2() ([]Fig2Row, error) {
 		}
 	}
 	rows := make([]Fig2Row, len(jobs))
+	progressStart("fig2", len(jobs))
 	err := forEach(len(jobs), func(i int) error {
 		j := jobs[i]
 		r, err := RunScheme(j.app, SchemeSO, j.ic, proto.RC)
@@ -79,6 +80,7 @@ func EndToEnd(mode proto.Mode) ([]Cell, error) {
 		}
 	}
 	cells := make([]Cell, len(jobs))
+	progressStart("end-to-end "+mode.String(), len(jobs))
 	err := forEach(len(jobs), func(i int) error {
 		j := jobs[i]
 		if j.s == SchemeMP && j.app.MPIncompatible {
@@ -191,6 +193,8 @@ func runSens(panel string, x int, mk func() workload.Pattern, ic Interconnect) (
 // Fig8 sweeps the three application characteristics on both fabrics.
 func Fig8() ([]SensPoint, error) {
 	var pts []SensPoint
+	progressStart("fig8", len(Interconnects())*
+		(len(Fig8StoreGrans)+len(Fig8SyncGrans)+len(Fig8Fanouts)))
 	for _, ic := range Interconnects() {
 		for _, g := range Fig8StoreGrans {
 			g := g
@@ -205,6 +209,7 @@ func Fig8() ([]SensPoint, error) {
 				return nil, err
 			}
 			pts = append(pts, pt)
+			progressStep(1)
 		}
 		for _, y := range Fig8SyncGrans {
 			y := y
@@ -215,6 +220,7 @@ func Fig8() ([]SensPoint, error) {
 				return nil, err
 			}
 			pts = append(pts, pt)
+			progressStep(1)
 		}
 		for _, f := range Fig8Fanouts {
 			f := f
@@ -225,6 +231,7 @@ func Fig8() ([]SensPoint, error) {
 				return nil, err
 			}
 			pts = append(pts, pt)
+			progressStep(1)
 		}
 	}
 	return pts, nil
@@ -278,6 +285,7 @@ func Fig9() ([]Fig9Point, error) {
 		}})
 	}
 	var pts []Fig9Point
+	progressStart("fig9", len(vs)*len(Fig9Latencies))
 	for _, v := range vs {
 		for _, lat := range Fig9Latencies {
 			nc := NetConfig(CXL)
@@ -295,6 +303,7 @@ func Fig9() ([]Fig9Point, error) {
 				TimeRatio: soRun.ExecNanos() / cordRun.ExecNanos(),
 				ByteRatio: float64(soRun.Traffic.TotalInter()) / float64(cordRun.Traffic.TotalInter()),
 			})
+			progressStep(1)
 		}
 	}
 	return pts, nil
@@ -329,15 +338,19 @@ func fig10Workload() workload.Pattern {
 // Fig10 sweeps the two bit-widths on both fabrics.
 func Fig10() ([]Fig10Point, error) {
 	var pts []Fig10Point
+	progressStart("fig10", len(Interconnects())*
+		(2+len(Fig10CntBits)+len(Fig10EpochBits)))
 	for _, ic := range Interconnects() {
 		seq8, err := Run(fig10Workload(), seqBuilder(8), NetConfig(ic), proto.RC, 42)
 		if err != nil {
 			return nil, err
 		}
+		progressStep(1)
 		seq40, err := Run(fig10Workload(), seqBuilder(40), NetConfig(ic), proto.RC, 42)
 		if err != nil {
 			return nil, err
 		}
+		progressStep(1)
 		sweep := func(panel string, bits []int, mk func(int) proto.Builder) error {
 			for _, b := range bits {
 				r, err := Run(fig10Workload(), mk(b), NetConfig(ic), proto.RC, 42)
@@ -351,6 +364,7 @@ func Fig10() ([]Fig10Point, error) {
 					Seq8Bytes:  float64(seq8.Traffic.TotalInter()),
 					Seq40Bytes: float64(seq40.Traffic.TotalInter()),
 				})
+				progressStep(1)
 			}
 			return nil
 		}
@@ -389,6 +403,11 @@ var Fig11Hosts = []int{2, 4, 8}
 // Fig11 measures CORD's peak storage for SSSP, PAD, PR and ATA.
 func Fig11() ([]StorageRow, error) {
 	var rows []StorageRow
+	total := 0
+	for _, hosts := range Fig11Hosts {
+		total += len(Interconnects()) * len(workload.StorageApps(hosts))
+	}
+	progressStart("fig11", total)
 	for _, ic := range Interconnects() {
 		for _, hosts := range Fig11Hosts {
 			for _, app := range workload.StorageApps(hosts) {
@@ -409,6 +428,7 @@ func Fig11() ([]StorageRow, error) {
 					DirNetBuf:    netBuf,
 					DirTables:    r.PeakPerInstance("dir/") - netBuf,
 				})
+				progressStep(1)
 			}
 		}
 	}

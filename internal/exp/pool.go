@@ -20,6 +20,7 @@ func forEach(n int, fn func(i int) error) error {
 	if workers <= 1 {
 		for i := 0; i < n; i++ {
 			errs[i] = fn(i)
+			progressStep(1)
 		}
 		return errors.Join(errs...)
 	}
@@ -48,6 +49,7 @@ func forEach(n int, fn func(i int) error) error {
 					return
 				}
 				errs[i] = fn(i)
+				progressStep(1)
 			}
 		}()
 	}

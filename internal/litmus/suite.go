@@ -114,7 +114,7 @@ func BaseTests() []Test {
 				{StRel(X, 1), LdAcq(Y, 0)},
 				{StRel(Y, 1), LdAcq(X, 0)},
 			},
-			Home: []int{0, 1},
+			Home:      []int{0, 1},
 			Forbidden: func(o Outcome) bool { return false },
 			MustReach: func(o Outcome) bool {
 				return o.Regs[0][0] == 0 && o.Regs[1][0] == 0
@@ -284,10 +284,10 @@ func CordConfigs() []ConfigVariant {
 
 // SuiteResult summarizes a suite run.
 type SuiteResult struct {
-	Total   int
-	Passed  int
-	States  int
-	Failed  []string
+	Total  int
+	Passed int
+	States int
+	Failed []string
 }
 
 // RunSuite checks every test under cfg and requires Pass() for each.

@@ -46,10 +46,10 @@ func TestMeshHops(t *testing.T) {
 		{0, 0, 0},
 		{0, 1, 1},
 		{0, 3, 3},
-		{0, 4, 1},  // directly below
-		{0, 7, 4},  // opposite corner: 3 + 1
-		{3, 4, 4},  // corner to corner of the other row
-		{1, 6, 2},  // (1,0) -> (2,1)
+		{0, 4, 1}, // directly below
+		{0, 7, 4}, // opposite corner: 3 + 1
+		{3, 4, 4}, // corner to corner of the other row
+		{1, 6, 2}, // (1,0) -> (2,1)
 	}
 	for _, tc := range cases {
 		if got := c.meshHops(tc.a, tc.b); got != tc.want {

@@ -1,0 +1,196 @@
+// Package analyze is the post-hoc analysis engine over the obs event stream:
+// it turns a recorded trace (in memory, or parsed back from JSONL) into the
+// attribution claims the paper argues with — where each core's cycles went
+// (compute, issue occupancy, every stall kind, memory/NoC wait), what the
+// critical path of each Release looked like (issue → transit → directory
+// ordering → ack), and how the traffic splits by message class.
+//
+// The attribution is exact, not approximate: at sample=1 the per-core buckets
+// sum to the core's wall clock cycle for cycle, and the per-class byte counts
+// equal stats.Traffic bit for bit (asserted by the conservation tests). The
+// accounting identity comes from how internal/proto emits op lifecycles:
+//
+//	wall = Σ compute cycles                      (KOpIssue, Op=compute, Dur)
+//	     + Σ IssueCycles per memory op           (one KOpDone per op)
+//	     + Σ KOpDone.Dur                         (cycles the op blocked the core)
+//
+// and each KOpDone.Dur decomposes into explicitly-bracketed stalls
+// (KStallEnd.Dur, keyed by stats.StallKind) plus the remainder — time the
+// core waited on the memory system with no stall charged: NoC transit and
+// directory/LLC service of blocking operations. Acquire ops charge their
+// whole duration to StallAcquire without stall events (internal/proto's
+// beginAcquire), so the analyzer folds them in the same bucket.
+package analyze
+
+import (
+	"sort"
+
+	"cord/internal/obs"
+	"cord/internal/proto"
+	"cord/internal/sim"
+	"cord/internal/stats"
+)
+
+// CoreAttribution is one core's complete execution-time decomposition.
+// Compute + Issue + MemWait + ΣStall == Wall, exactly, at sample=1.
+type CoreAttribution struct {
+	Core obs.Node
+	// Wall is the core's program completion time (== stats.ProcStats.Finished).
+	Wall sim.Time
+	// Compute is cycles spent in compute ops.
+	Compute sim.Time
+	// Issue is pipeline issue occupancy: IssueCycles per memory operation.
+	Issue sim.Time
+	// Stall holds the explicitly-charged stall cycles by kind, including
+	// acquire waits (which the processor charges without stall events).
+	Stall [stats.NumStallKinds]sim.Time
+	// MemWait is the un-stalled remainder of blocking memory operations:
+	// NoC transit plus directory/LLC service time on the program's critical
+	// path (e.g. write-back line fills, store-buffer drains outside stalls).
+	MemWait sim.Time
+	// Ops counts memory operations (stores, barriers, acquires, atomics);
+	// ComputeOps counts compute blocks.
+	Ops        int
+	ComputeOps int
+}
+
+// StallTotal sums all stall kinds.
+func (c *CoreAttribution) StallTotal() sim.Time {
+	var s sim.Time
+	for _, v := range c.Stall {
+		s += v
+	}
+	return s
+}
+
+// Total re-adds the buckets; it equals Wall by the accounting identity.
+func (c *CoreAttribution) Total() sim.Time {
+	return c.Compute + c.Issue + c.MemWait + c.StallTotal()
+}
+
+// Attribution is the whole run's per-core decomposition.
+type Attribution struct {
+	// Cores, sorted by (host, tile). Only cores that executed at least one
+	// operation appear (a core with an empty program emits no events).
+	Cores []CoreAttribution
+	// Time is the run's wall clock: the latest core completion.
+	Time sim.Time
+}
+
+// Attribute decomposes every core's execution time from the event stream.
+// The stream must be recorded at sample=1 for the totals to conserve; at
+// coarser sampling the result is a proportional estimate.
+func Attribute(events []obs.Event) *Attribution {
+	type acc struct {
+		CoreAttribution
+		memDur   sim.Time // Σ KOpDone.Dur over non-acquire ops
+		stallDur sim.Time // Σ KStallEnd.Dur, all kinds
+	}
+	cores := map[obs.Node]*acc{}
+	get := func(n obs.Node) *acc {
+		a := cores[n]
+		if a == nil {
+			a = &acc{CoreAttribution: CoreAttribution{Core: n}}
+			cores[n] = a
+		}
+		return a
+	}
+	for i := range events {
+		ev := &events[i]
+		switch ev.Kind {
+		case obs.KOpIssue:
+			if proto.OpKind(ev.Op) == proto.OpCompute {
+				a := get(ev.Src)
+				a.Compute += ev.Dur
+				a.ComputeOps++
+			}
+		case obs.KOpDone:
+			a := get(ev.Src)
+			a.Ops++
+			a.Issue += proto.IssueCycles
+			if proto.OpKind(ev.Op) == proto.OpAcquire {
+				a.Stall[stats.StallAcquire] += ev.Dur
+			} else {
+				a.memDur += ev.Dur
+			}
+		case obs.KStallEnd:
+			a := get(ev.Src)
+			if k := stats.StallKind(ev.Seq); k >= 0 && int(k) < stats.NumStallKinds {
+				a.Stall[k] += ev.Dur
+			}
+			a.stallDur += ev.Dur
+		}
+	}
+	out := &Attribution{Cores: make([]CoreAttribution, 0, len(cores))}
+	for _, a := range cores {
+		a.MemWait = a.memDur - a.stallDur
+		a.Wall = a.Total()
+		if a.Wall > out.Time {
+			out.Time = a.Wall
+		}
+		out.Cores = append(out.Cores, a.CoreAttribution)
+	}
+	sort.Slice(out.Cores, func(i, j int) bool {
+		a, b := out.Cores[i].Core, out.Cores[j].Core
+		if a.Host != b.Host {
+			return a.Host < b.Host
+		}
+		return a.Tile < b.Tile
+	})
+	return out
+}
+
+// Breakdown is a paper-style aggregate decomposition: each bucket as a
+// percentage of total machine time (wall clock × cores), the Fig. 2/Fig. 7
+// shape. IdlePct covers cores that finished before the slowest one, so the
+// rows sum to 100.
+type Breakdown struct {
+	Cores int
+	Time  sim.Time
+	// Percentages of Time × Cores.
+	ComputePct float64
+	IssuePct   float64
+	MemWaitPct float64
+	IdlePct    float64
+	StallPct   [stats.NumStallKinds]float64
+	// AckTrafficPct is the share of inter-host bytes carried by
+	// acknowledgment messages — Fig. 2's traffic metric, from KSend events.
+	AckTrafficPct float64
+}
+
+// AckTimePct is Fig. 2's time metric: the percentage of execution time the
+// average core spent stalled waiting for write-through acknowledgments. It
+// equals 100 × stats.Run.StallFraction(StallAckWait) exactly at sample=1.
+func (b *Breakdown) AckTimePct() float64 { return b.StallPct[stats.StallAckWait] }
+
+// BreakdownOf computes the aggregate decomposition of one event stream.
+func BreakdownOf(events []obs.Event) Breakdown {
+	return Attribute(events).Breakdown(TrafficOf(events))
+}
+
+// Breakdown aggregates the per-core attribution into machine-time
+// percentages; t (optional) supplies the traffic share.
+func (a *Attribution) Breakdown(t *TrafficBreakdown) Breakdown {
+	b := Breakdown{Cores: len(a.Cores), Time: a.Time}
+	if b.Cores == 0 || a.Time == 0 {
+		return b
+	}
+	denom := float64(a.Time) * float64(b.Cores)
+	pct := func(v sim.Time) float64 { return 100 * float64(v) / denom }
+	var busy sim.Time
+	for i := range a.Cores {
+		c := &a.Cores[i]
+		b.ComputePct += pct(c.Compute)
+		b.IssuePct += pct(c.Issue)
+		b.MemWaitPct += pct(c.MemWait)
+		for k := range c.Stall {
+			b.StallPct[k] += pct(c.Stall[k])
+		}
+		busy += c.Wall
+	}
+	b.IdlePct = 100 * (denom - float64(busy)) / denom
+	if t != nil {
+		b.AckTrafficPct = t.AckTrafficPct()
+	}
+	return b
+}

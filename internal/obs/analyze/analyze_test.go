@@ -1,0 +1,143 @@
+package analyze_test
+
+import (
+	"bytes"
+	"math"
+	"reflect"
+	"testing"
+
+	"cord/internal/exp"
+	"cord/internal/obs"
+	"cord/internal/obs/analyze"
+	"cord/internal/proto"
+	"cord/internal/stats"
+	"cord/internal/workload"
+)
+
+func cordMicroEvents(t *testing.T) []obs.Event {
+	t.Helper()
+	rec := obs.New()
+	_, err := exp.RunObserved(workload.Micro(64, 1024, 2, 6), exp.Builder(exp.SchemeCORD),
+		exp.NetConfig(exp.CXL), proto.RC, 42, rec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return rec.Events()
+}
+
+// TestCriticalPathSegments checks the reconstructed Release paths are
+// internally consistent: issue precedes commit precedes ack, and for fully
+// matched releases the three segments tile the total latency exactly.
+func TestCriticalPathSegments(t *testing.T) {
+	cp := analyze.CriticalPath(cordMicroEvents(t))
+	if len(cp.Releases) == 0 {
+		t.Fatal("vacuous: no releases reconstructed")
+	}
+	matched := 0
+	for _, r := range cp.Releases {
+		if r.Total != r.AckAt-r.IssueAt {
+			t.Fatalf("release %v/%d: total %d != ack-issue %d", r.Core, r.Epoch,
+				r.Total, r.AckAt-r.IssueAt)
+		}
+		if r.CommitAt == 0 || r.Transit == 0 {
+			continue // sampled-out or unmatched; segments stay zero
+		}
+		matched++
+		if r.CommitAt < r.IssueAt || r.AckAt < r.CommitAt {
+			t.Errorf("release %v/%d: path not ordered: issue %d commit %d ack %d",
+				r.Core, r.Epoch, r.IssueAt, r.CommitAt, r.AckAt)
+		}
+		if got := r.Transit + r.OrderWait + r.AckTransit; got != r.Total {
+			t.Errorf("release %v/%d: segments %d+%d+%d = %d != total %d",
+				r.Core, r.Epoch, r.Transit, r.OrderWait, r.AckTransit, got, r.Total)
+		}
+	}
+	if matched < len(cp.Releases)*8/10 {
+		t.Errorf("only %d of %d releases matched to send+commit", matched, len(cp.Releases))
+	}
+	if cp.Total.Count() != uint64(len(cp.Releases)) {
+		t.Errorf("total histogram has %d samples for %d releases",
+			cp.Total.Count(), len(cp.Releases))
+	}
+	top := cp.TopK(5)
+	for i := 1; i < len(top); i++ {
+		if top[i].Total > top[i-1].Total {
+			t.Fatalf("TopK not sorted: %d after %d", top[i].Total, top[i-1].Total)
+		}
+	}
+}
+
+// TestBreakdownSumsTo100 checks the aggregate decomposition's rows tile the
+// whole machine-time rectangle.
+func TestBreakdownSumsTo100(t *testing.T) {
+	b := analyze.BreakdownOf(cordMicroEvents(t))
+	sum := b.ComputePct + b.IssuePct + b.MemWaitPct + b.IdlePct
+	for _, s := range b.StallPct {
+		sum += s
+	}
+	if math.Abs(sum-100) > 1e-6 {
+		t.Errorf("breakdown sums to %.9f%%, want 100%%", sum)
+	}
+	if b.Cores == 0 || b.Time == 0 {
+		t.Error("empty breakdown from a non-empty run")
+	}
+}
+
+// TestAnalysisSurvivesJSONLRoundTrip proves "from the trace alone": exporting
+// the stream to JSONL and parsing it back yields the identical attribution,
+// critical path, and traffic split.
+func TestAnalysisSurvivesJSONLRoundTrip(t *testing.T) {
+	events := cordMicroEvents(t)
+	var buf bytes.Buffer
+	if err := obs.WriteJSONL(&buf, events); err != nil {
+		t.Fatal(err)
+	}
+	parsed, err := obs.ReadJSONL(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(parsed) != len(events) {
+		t.Fatalf("parsed %d events, recorded %d", len(parsed), len(events))
+	}
+	if !reflect.DeepEqual(analyze.Attribute(events), analyze.Attribute(parsed)) {
+		t.Error("attribution diverges after JSONL round trip")
+	}
+	if !reflect.DeepEqual(analyze.CriticalPath(events), analyze.CriticalPath(parsed)) {
+		t.Error("critical path diverges after JSONL round trip")
+	}
+	if !reflect.DeepEqual(analyze.TrafficOf(events), analyze.TrafficOf(parsed)) {
+		t.Error("traffic split diverges after JSONL round trip")
+	}
+}
+
+// TestDiffTraffic pits CORD against SO on the same workload: SO must carry
+// strictly more acknowledgment traffic, and the diff must say so.
+func TestDiffTraffic(t *testing.T) {
+	run := func(s exp.Scheme) *analyze.TrafficBreakdown {
+		rec := obs.New()
+		_, err := exp.RunObserved(workload.Micro(64, 1024, 2, 6), exp.Builder(s),
+			exp.NetConfig(exp.CXL), proto.RC, 42, rec)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return analyze.TrafficOf(rec.Events())
+	}
+	cord, so := run(exp.SchemeCORD), run(exp.SchemeSO)
+	rows := analyze.DiffTraffic(cord, so)
+	if len(rows) == 0 {
+		t.Fatal("vacuous: no traffic rows")
+	}
+	var ackRow *analyze.TrafficDiffRow
+	for i := range rows {
+		if rows[i].Class == stats.ClassAck {
+			ackRow = &rows[i]
+		}
+	}
+	if ackRow == nil {
+		t.Fatal("no ack row in diff")
+	}
+	if ackRow.DeltaBytes <= 0 {
+		t.Errorf("SO-CORD ack delta = %d bytes, want positive (SO acks every store)",
+			ackRow.DeltaBytes)
+	}
+}

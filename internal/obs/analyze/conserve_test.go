@@ -1,0 +1,169 @@
+package analyze_test
+
+import (
+	"fmt"
+	"testing"
+
+	"cord/internal/exp"
+	"cord/internal/obs"
+	"cord/internal/obs/analyze"
+	"cord/internal/proto"
+	"cord/internal/workload"
+)
+
+// conserveCase is one protocol × fabric × consistency-mode combination the
+// conservation property must hold for.
+type conserveCase struct {
+	scheme exp.Scheme
+	ic     exp.Interconnect
+	mode   proto.Mode
+}
+
+func conserveCases() []conserveCase {
+	var cs []conserveCase
+	for _, ic := range exp.Interconnects() {
+		for _, s := range exp.Schemes() {
+			cs = append(cs, conserveCase{s, ic, proto.RC})
+		}
+	}
+	// The TSO variants exercise the store-buffer stall paths (§6).
+	cs = append(cs,
+		conserveCase{exp.SchemeCORD, exp.CXL, proto.TSO},
+		conserveCase{exp.SchemeSO, exp.CXL, proto.TSO},
+	)
+	return cs
+}
+
+// TestAttributionConservation is the tentpole's exactness guarantee: for
+// every protocol on both fabrics, the analyzer's per-core buckets sum to the
+// core's wall clock cycle for cycle (== stats.ProcStats.Finished), the stall
+// and compute buckets equal the simulator's own accounting, and the
+// trace-derived traffic equals stats.Traffic byte for byte — all at sample=1.
+func TestAttributionConservation(t *testing.T) {
+	p := workload.Micro(64, 1024, 2, 6)
+	for _, tc := range conserveCases() {
+		tc := tc
+		t.Run(fmt.Sprintf("%s-%s-%v", tc.scheme, tc.ic, tc.mode), func(t *testing.T) {
+			t.Parallel()
+			nc := exp.NetConfig(tc.ic)
+			rec := obs.New()
+			r, err := exp.RunObserved(p, exp.Builder(tc.scheme), nc, tc.mode, 42, rec)
+			if err != nil {
+				t.Fatal(err)
+			}
+			events := rec.Events()
+			if len(events) == 0 {
+				t.Fatal("vacuous: no events recorded")
+			}
+			att := analyze.Attribute(events)
+			if att.Time != r.Time {
+				t.Errorf("analyzer wall clock = %d, run reports %d", att.Time, r.Time)
+			}
+
+			byNode := map[obs.Node]*analyze.CoreAttribution{}
+			for i := range att.Cores {
+				byNode[att.Cores[i].Core] = &att.Cores[i]
+			}
+			cores, _, err := p.Programs(nc)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(cores) != len(r.Procs) {
+				t.Fatalf("%d program cores vs %d proc stats", len(cores), len(r.Procs))
+			}
+			matched := 0
+			for i := range r.Procs {
+				ps := &r.Procs[i]
+				node := cores[i].Obs()
+				ca := byNode[node]
+				if ca == nil {
+					if ps.Finished != 0 || ps.Ops != 0 {
+						t.Errorf("core %s: active (finished %d, %d ops) but absent from trace",
+							node, ps.Finished, ps.Ops)
+					}
+					continue
+				}
+				matched++
+				if ca.Wall != ps.Finished {
+					t.Errorf("core %s: attributed wall %d != finished %d (leak %d cycles)",
+						node, ca.Wall, ps.Finished, int64(ps.Finished)-int64(ca.Wall))
+				}
+				if ca.Compute != ps.ComputeCyc {
+					t.Errorf("core %s: compute %d != %d", node, ca.Compute, ps.ComputeCyc)
+				}
+				if ca.Stall != ps.Stall {
+					t.Errorf("core %s: stalls %v != %v", node, ca.Stall, ps.Stall)
+				}
+				if ca.MemWait < 0 {
+					t.Errorf("core %s: negative mem-wait %d", node, ca.MemWait)
+				}
+				if got := ca.Total(); got != ca.Wall {
+					t.Errorf("core %s: buckets sum to %d, wall %d", node, got, ca.Wall)
+				}
+			}
+			if matched == 0 {
+				t.Fatal("vacuous: no cores matched")
+			}
+
+			tr := analyze.TrafficOf(events)
+			if tr.InterBytes != r.Traffic.InterBytes || tr.IntraBytes != r.Traffic.IntraBytes {
+				t.Errorf("trace bytes diverge from stats.Traffic:\n trace inter %v intra %v\n stats inter %v intra %v",
+					tr.InterBytes, tr.IntraBytes, r.Traffic.InterBytes, r.Traffic.IntraBytes)
+			}
+			if tr.InterMsgs != r.Traffic.InterMsgs || tr.IntraMsgs != r.Traffic.IntraMsgs {
+				t.Errorf("trace message counts diverge from stats.Traffic")
+			}
+		})
+	}
+}
+
+// TestAttributionConservationAtomics repeats the conservation check on an
+// atomic-heavy workload (TQH's task queue), covering the OpAtomic path and
+// its StallAcquire bracketing, under the two protocols the paper contrasts.
+func TestAttributionConservationAtomics(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full TQH runs are slow under -short")
+	}
+	var tqh workload.Pattern
+	found := false
+	for _, app := range workload.Apps() {
+		if app.Name == "TQH" {
+			tqh, found = app, true
+		}
+	}
+	if !found {
+		t.Fatal("TQH workload missing")
+	}
+	for _, s := range []exp.Scheme{exp.SchemeCORD, exp.SchemeSO} {
+		s := s
+		t.Run(string(s), func(t *testing.T) {
+			t.Parallel()
+			nc := exp.NetConfig(exp.CXL)
+			rec := obs.New()
+			r, err := exp.RunObserved(tqh, exp.Builder(s), nc, proto.RC, 42, rec)
+			if err != nil {
+				t.Fatal(err)
+			}
+			att := analyze.Attribute(rec.Events())
+			byNode := map[obs.Node]*analyze.CoreAttribution{}
+			for i := range att.Cores {
+				byNode[att.Cores[i].Core] = &att.Cores[i]
+			}
+			cores, _, err := tqh.Programs(nc)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for i := range r.Procs {
+				ps := &r.Procs[i]
+				ca := byNode[cores[i].Obs()]
+				if ca == nil {
+					continue
+				}
+				if ca.Wall != ps.Finished || ca.Stall != ps.Stall {
+					t.Errorf("core %s: wall %d/%d stalls %v/%v", cores[i].Obs(),
+						ca.Wall, ps.Finished, ca.Stall, ps.Stall)
+				}
+			}
+		})
+	}
+}

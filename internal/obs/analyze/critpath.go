@@ -1,0 +1,173 @@
+package analyze
+
+import (
+	"sort"
+
+	"cord/internal/obs"
+	"cord/internal/sim"
+	"cord/internal/stats"
+)
+
+// Release is one acknowledged Release's reconstructed critical path:
+//
+//	issue ──transit──▶ directory ──order wait──▶ commit ──ack transit──▶ ack
+//
+// Issue and ack are observed at the core (KRelAck carries the issue-to-ack
+// latency); the commit point is the epoch's last KRelCommit (a barrier epoch
+// fans out to several directories and the slowest one gates the ack); the
+// transit leg is the Release's own KSend.
+type Release struct {
+	Core  obs.Node
+	Dir   obs.Node // directory whose commit gated the ack
+	Epoch uint64   // epoch (CORD) or release tag (SO/WB)
+
+	IssueAt  sim.Time
+	CommitAt sim.Time
+	AckAt    sim.Time
+
+	// Transit is the Release message's source-to-directory latency;
+	// OrderWait the cycles the directory sat on it before committing
+	// (waiting for covered Relaxed stores, prior epochs, notifications);
+	// AckTransit the commit-to-ack return leg. Total is the full
+	// issue-to-ack latency. Segments are zero when the trace was sampled
+	// and the matching events were dropped.
+	Transit    sim.Time
+	OrderWait  sim.Time
+	AckTransit sim.Time
+	Total      sim.Time
+
+	// Ordered counts the Relaxed stores directory-ordered under this epoch
+	// (KOrdered events) — the work the Release's commit had to wait behind.
+	Ordered int
+}
+
+// CritPath is the run's Release critical-path extraction: every acknowledged
+// Release plus per-segment latency distributions.
+type CritPath struct {
+	// Releases in event order (per core: program order).
+	Releases []Release
+	// Per-segment latency histograms across all releases.
+	Transit    stats.Dist
+	OrderWait  stats.Dist
+	AckTransit stats.Dist
+	Total      stats.Dist
+}
+
+type coreSeq struct {
+	core obs.Node
+	seq  uint64
+}
+
+type coreAt struct {
+	core obs.Node
+	at   sim.Time
+}
+
+// releaseSendClass reports whether a KSend can open a Release critical path.
+func releaseSendClass(c stats.MsgClass) bool {
+	switch c {
+	case stats.ClassReleaseData, stats.ClassBarrier, stats.ClassAtomic:
+		return true
+	}
+	return false
+}
+
+// CriticalPath reconstructs every acknowledged Release's path from the event
+// stream. Releases whose protocol does not report an issue-to-ack latency
+// (message passing's flush acks) are skipped; at sample<1 only fully-sampled
+// lifecycles reconstruct completely.
+func CriticalPath(events []obs.Event) *CritPath {
+	type commit struct {
+		at  sim.Time
+		dir obs.Node
+	}
+	commits := map[coreSeq][]commit{}
+	sends := map[coreAt][]*obs.Event{}
+	ordered := map[coreSeq]int{}
+	for i := range events {
+		ev := &events[i]
+		switch ev.Kind {
+		case obs.KRelCommit:
+			k := coreSeq{ev.Dst, ev.Seq}
+			commits[k] = append(commits[k], commit{ev.At, ev.Src})
+		case obs.KSend:
+			if releaseSendClass(ev.Class) && !ev.Src.Dir {
+				k := coreAt{ev.Src, ev.At}
+				sends[k] = append(sends[k], ev)
+			}
+		case obs.KOrdered:
+			ordered[coreSeq{ev.Dst, ev.Seq}]++
+		}
+	}
+
+	cp := &CritPath{}
+	for i := range events {
+		ev := &events[i]
+		if ev.Kind != obs.KRelAck || ev.Dur == 0 {
+			continue
+		}
+		r := Release{
+			Core:    ev.Src,
+			Epoch:   ev.Seq,
+			AckAt:   ev.At,
+			Total:   ev.Dur,
+			IssueAt: ev.At - ev.Dur,
+			Ordered: ordered[coreSeq{ev.Src, ev.Seq}],
+		}
+		if cs := commits[coreSeq{ev.Src, ev.Seq}]; len(cs) > 0 {
+			last := cs[0]
+			for _, c := range cs[1:] {
+				if c.at > last.at {
+					last = c
+				}
+			}
+			r.CommitAt, r.Dir = last.at, last.dir
+			if d := r.AckAt - r.CommitAt; d > 0 {
+				r.AckTransit = d
+			}
+			if ss := sends[coreAt{r.Core, r.IssueAt}]; len(ss) > 0 {
+				send := ss[0]
+				for _, s := range ss[1:] {
+					if s.Dst == r.Dir {
+						send = s
+						break
+					}
+				}
+				r.Transit = send.Dur
+				if w := r.CommitAt - (send.At + send.Dur); w > 0 {
+					r.OrderWait = w
+				}
+			}
+			cp.Transit.Add(r.Transit)
+			cp.OrderWait.Add(r.OrderWait)
+			cp.AckTransit.Add(r.AckTransit)
+		}
+		cp.Total.Add(r.Total)
+		cp.Releases = append(cp.Releases, r)
+	}
+	return cp
+}
+
+// TopK returns the k slowest releases by total issue-to-ack latency,
+// deterministically ordered (latency, then issue time, then core).
+func (cp *CritPath) TopK(k int) []Release {
+	out := make([]Release, len(cp.Releases))
+	copy(out, cp.Releases)
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Total != out[j].Total {
+			return out[i].Total > out[j].Total
+		}
+		if out[i].IssueAt != out[j].IssueAt {
+			return out[i].IssueAt < out[j].IssueAt
+		}
+		a, b := out[i].Core, out[j].Core
+		if a.Host != b.Host {
+			return a.Host < b.Host
+		}
+		return a.Tile < b.Tile
+	})
+	if k < len(out) {
+		out = out[:k]
+	}
+	return out
+}

@@ -1,0 +1,237 @@
+package analyze
+
+import (
+	"fmt"
+	"io"
+	"text/tabwriter"
+
+	"cord/internal/sim"
+	"cord/internal/stats"
+)
+
+// Renderers for the cordtrace CLI: aligned ASCII tables for humans, CSV for
+// spreadsheets. All cycle figures are exact; nanoseconds are derived via the
+// simulated clock (sim.Nanos).
+
+func tw(w io.Writer) *tabwriter.Writer {
+	return tabwriter.NewWriter(w, 2, 4, 2, ' ', tabwriter.AlignRight)
+}
+
+// activeStalls lists the stall kinds that occurred anywhere in the run, so
+// tables only carry columns with content.
+func (a *Attribution) activeStalls() []stats.StallKind {
+	var ks []stats.StallKind
+	for k := 0; k < stats.NumStallKinds; k++ {
+		for i := range a.Cores {
+			if a.Cores[i].Stall[k] != 0 {
+				ks = append(ks, stats.StallKind(k))
+				break
+			}
+		}
+	}
+	return ks
+}
+
+// WriteTable renders the per-core attribution as an aligned table; every row
+// sums to the core's wall clock.
+func (a *Attribution) WriteTable(w io.Writer) error {
+	ks := a.activeStalls()
+	t := tw(w)
+	fmt.Fprint(t, "core\twall\tcompute\tissue\tmem-wait")
+	for _, k := range ks {
+		fmt.Fprintf(t, "\t%s", k)
+	}
+	fmt.Fprint(t, "\t\n")
+	for i := range a.Cores {
+		c := &a.Cores[i]
+		fmt.Fprintf(t, "%s\t%d\t%d\t%d\t%d", c.Core, uint64(c.Wall),
+			uint64(c.Compute), uint64(c.Issue), uint64(c.MemWait))
+		for _, k := range ks {
+			fmt.Fprintf(t, "\t%d", uint64(c.Stall[k]))
+		}
+		fmt.Fprint(t, "\t\n")
+	}
+	if err := t.Flush(); err != nil {
+		return err
+	}
+	_, err := fmt.Fprintf(w, "%d cores, wall clock %d cycles (%.0f ns); all figures cycles\n",
+		len(a.Cores), uint64(a.Time), sim.Nanos(a.Time))
+	return err
+}
+
+// WriteCSV renders the per-core attribution with every stall column.
+func (a *Attribution) WriteCSV(w io.Writer) error {
+	fmt.Fprint(w, "core,wall_cyc,compute_cyc,issue_cyc,memwait_cyc")
+	for k := 0; k < stats.NumStallKinds; k++ {
+		fmt.Fprintf(w, ",stall_%s_cyc", stats.StallKind(k))
+	}
+	fmt.Fprintln(w, ",mem_ops,compute_ops")
+	for i := range a.Cores {
+		c := &a.Cores[i]
+		fmt.Fprintf(w, "%s,%d,%d,%d,%d", c.Core, uint64(c.Wall),
+			uint64(c.Compute), uint64(c.Issue), uint64(c.MemWait))
+		for k := 0; k < stats.NumStallKinds; k++ {
+			fmt.Fprintf(w, ",%d", uint64(c.Stall[k]))
+		}
+		if _, err := fmt.Fprintf(w, ",%d,%d\n", c.Ops, c.ComputeOps); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// WriteTable renders the aggregate breakdown: one percentage per bucket,
+// summing to 100.
+func (b *Breakdown) WriteTable(w io.Writer) error {
+	t := tw(w)
+	fmt.Fprintf(t, "compute\t%.2f%%\t\n", b.ComputePct)
+	fmt.Fprintf(t, "issue\t%.2f%%\t\n", b.IssuePct)
+	fmt.Fprintf(t, "mem-wait\t%.2f%%\t\n", b.MemWaitPct)
+	for k := 0; k < stats.NumStallKinds; k++ {
+		if b.StallPct[k] == 0 {
+			continue
+		}
+		fmt.Fprintf(t, "stall:%s\t%.2f%%\t\n", stats.StallKind(k), b.StallPct[k])
+	}
+	fmt.Fprintf(t, "idle\t%.2f%%\t\n", b.IdlePct)
+	if err := t.Flush(); err != nil {
+		return err
+	}
+	_, err := fmt.Fprintf(w,
+		"%d cores over %d cycles; ack share of inter-host traffic %.2f%%\n",
+		b.Cores, uint64(b.Time), b.AckTrafficPct)
+	return err
+}
+
+// WriteCSV renders the breakdown as one CSV row (plus header).
+func (b *Breakdown) WriteCSV(w io.Writer) error {
+	fmt.Fprint(w, "cores,time_cyc,compute_pct,issue_pct,memwait_pct,idle_pct")
+	for k := 0; k < stats.NumStallKinds; k++ {
+		fmt.Fprintf(w, ",stall_%s_pct", stats.StallKind(k))
+	}
+	fmt.Fprintln(w, ",ack_traffic_pct")
+	fmt.Fprintf(w, "%d,%d,%.4f,%.4f,%.4f,%.4f", b.Cores, uint64(b.Time),
+		b.ComputePct, b.IssuePct, b.MemWaitPct, b.IdlePct)
+	for k := 0; k < stats.NumStallKinds; k++ {
+		fmt.Fprintf(w, ",%.4f", b.StallPct[k])
+	}
+	_, err := fmt.Fprintf(w, ",%.4f\n", b.AckTrafficPct)
+	return err
+}
+
+func distRow(t *tabwriter.Writer, name string, d *stats.Dist) {
+	fmt.Fprintf(t, "%s\t%d\t%.0f\t%d\t%d\t%d\t%d\t\n", name, d.Count(),
+		d.Mean(), uint64(d.Quantile(0.5)), uint64(d.Quantile(0.95)),
+		uint64(d.Quantile(0.99)), uint64(d.Max()))
+}
+
+// WriteTable renders the per-segment latency histograms of the Release
+// critical path.
+func (cp *CritPath) WriteTable(w io.Writer) error {
+	t := tw(w)
+	fmt.Fprint(t, "segment\tcount\tmean\tp50\tp95\tp99\tmax\t\n")
+	distRow(t, "transit", &cp.Transit)
+	distRow(t, "order-wait", &cp.OrderWait)
+	distRow(t, "ack-transit", &cp.AckTransit)
+	distRow(t, "total", &cp.Total)
+	if err := t.Flush(); err != nil {
+		return err
+	}
+	_, err := fmt.Fprintf(w, "%d acknowledged releases; latencies in cycles\n",
+		len(cp.Releases))
+	return err
+}
+
+// WriteTop renders the k slowest releases.
+func (cp *CritPath) WriteTop(w io.Writer, k int) error {
+	t := tw(w)
+	fmt.Fprint(t, "core\tepoch\tdir\tissue@\ttotal\ttransit\torder-wait\tack-transit\tordered\ttotal(ns)\t\n")
+	for _, r := range cp.TopK(k) {
+		dir := r.Dir.String()
+		if r.CommitAt == 0 {
+			dir = "?"
+		}
+		fmt.Fprintf(t, "%s\t%d\t%s\t%d\t%d\t%d\t%d\t%d\t%d\t%.0f\t\n",
+			r.Core, r.Epoch, dir, uint64(r.IssueAt), uint64(r.Total),
+			uint64(r.Transit), uint64(r.OrderWait), uint64(r.AckTransit),
+			r.Ordered, sim.Nanos(r.Total))
+	}
+	return t.Flush()
+}
+
+// WriteTopCSV renders the k slowest releases as CSV.
+func (cp *CritPath) WriteTopCSV(w io.Writer, k int) error {
+	fmt.Fprintln(w, "core,epoch,dir,issue_cyc,total_cyc,transit_cyc,orderwait_cyc,acktransit_cyc,ordered_stores")
+	for _, r := range cp.TopK(k) {
+		if _, err := fmt.Fprintf(w, "%s,%d,%s,%d,%d,%d,%d,%d,%d\n",
+			r.Core, r.Epoch, r.Dir, uint64(r.IssueAt), uint64(r.Total),
+			uint64(r.Transit), uint64(r.OrderWait), uint64(r.AckTransit),
+			r.Ordered); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// WriteTable renders the per-class traffic split, inter-host first.
+func (t *TrafficBreakdown) WriteTable(w io.Writer) error {
+	tab := tw(w)
+	fmt.Fprint(tab, "class\tinter-B\tinter-msgs\tintra-B\tintra-msgs\t\n")
+	for c := 0; c < stats.NumClasses; c++ {
+		if t.InterMsgs[c]+t.IntraMsgs[c] == 0 {
+			continue
+		}
+		fmt.Fprintf(tab, "%s\t%d\t%d\t%d\t%d\t\n", stats.MsgClass(c),
+			t.InterBytes[c], t.InterMsgs[c], t.IntraBytes[c], t.IntraMsgs[c])
+	}
+	if err := tab.Flush(); err != nil {
+		return err
+	}
+	_, err := fmt.Fprintf(w, "total inter %d B, intra %d B; ack share %.2f%%\n",
+		t.TotalInter(), t.TotalIntra(), t.AckTrafficPct())
+	return err
+}
+
+// WriteCSV renders the per-class traffic split as CSV.
+func (t *TrafficBreakdown) WriteCSV(w io.Writer) error {
+	fmt.Fprintln(w, "class,inter_bytes,inter_msgs,intra_bytes,intra_msgs")
+	for c := 0; c < stats.NumClasses; c++ {
+		if t.InterMsgs[c]+t.IntraMsgs[c] == 0 {
+			continue
+		}
+		if _, err := fmt.Fprintf(w, "%s,%d,%d,%d,%d\n", stats.MsgClass(c),
+			t.InterBytes[c], t.InterMsgs[c], t.IntraBytes[c], t.IntraMsgs[c]); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// WriteTrafficDiff renders a class-by-class comparison of two runs.
+func WriteTrafficDiff(w io.Writer, rows []TrafficDiffRow) error {
+	t := tw(w)
+	fmt.Fprint(t, "class\tA-inter-B\tB-inter-B\tdelta-B\tB/A\tA-msgs\tB-msgs\t\n")
+	for _, r := range rows {
+		ratio := "-"
+		if r.Ratio != 0 {
+			ratio = fmt.Sprintf("%.3f", r.Ratio)
+		}
+		fmt.Fprintf(t, "%s\t%d\t%d\t%+d\t%s\t%d\t%d\t\n", r.Class,
+			r.AInterBytes, r.BInterBytes, r.DeltaBytes, ratio,
+			r.AInterMsgs, r.BInterMsgs)
+	}
+	return t.Flush()
+}
+
+// WriteTrafficDiffCSV renders the comparison as CSV.
+func WriteTrafficDiffCSV(w io.Writer, rows []TrafficDiffRow) error {
+	fmt.Fprintln(w, "class,a_inter_bytes,b_inter_bytes,delta_bytes,ratio,a_inter_msgs,b_inter_msgs")
+	for _, r := range rows {
+		if _, err := fmt.Fprintf(w, "%s,%d,%d,%d,%.4f,%d,%d\n", r.Class,
+			r.AInterBytes, r.BInterBytes, r.DeltaBytes, r.Ratio,
+			r.AInterMsgs, r.BInterMsgs); err != nil {
+			return err
+		}
+	}
+	return nil
+}

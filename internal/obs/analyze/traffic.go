@@ -1,0 +1,107 @@
+package analyze
+
+import (
+	"cord/internal/obs"
+	"cord/internal/stats"
+)
+
+// TrafficBreakdown reconstructs the per-class traffic split from KSend
+// events. At sample=1 every message has exactly one KSend, so the arrays
+// equal stats.Traffic exactly (asserted by the conservation tests); a message
+// is inter-host when its endpoints live on different hosts.
+type TrafficBreakdown struct {
+	InterMsgs  [stats.NumClasses]uint64
+	IntraMsgs  [stats.NumClasses]uint64
+	InterBytes [stats.NumClasses]uint64
+	IntraBytes [stats.NumClasses]uint64
+}
+
+// TrafficOf tallies every KSend in the stream.
+func TrafficOf(events []obs.Event) *TrafficBreakdown {
+	t := &TrafficBreakdown{}
+	for i := range events {
+		ev := &events[i]
+		if ev.Kind != obs.KSend {
+			continue
+		}
+		if ev.Src.Host != ev.Dst.Host {
+			t.InterMsgs[ev.Class]++
+			t.InterBytes[ev.Class] += uint64(ev.Bytes)
+		} else {
+			t.IntraMsgs[ev.Class]++
+			t.IntraBytes[ev.Class] += uint64(ev.Bytes)
+		}
+	}
+	return t
+}
+
+// TotalInter returns total inter-host bytes — the paper's headline traffic
+// metric.
+func (t *TrafficBreakdown) TotalInter() uint64 {
+	var s uint64
+	for _, b := range t.InterBytes {
+		s += b
+	}
+	return s
+}
+
+// TotalIntra returns total intra-host bytes.
+func (t *TrafficBreakdown) TotalIntra() uint64 {
+	var s uint64
+	for _, b := range t.IntraBytes {
+		s += b
+	}
+	return s
+}
+
+// Total returns one class's bytes across both scopes.
+func (t *TrafficBreakdown) Total(c stats.MsgClass) uint64 {
+	return t.InterBytes[c] + t.IntraBytes[c]
+}
+
+// AckTrafficPct is Fig. 2's traffic metric: the percentage of inter-host
+// bytes carried by acknowledgments.
+func (t *TrafficBreakdown) AckTrafficPct() float64 {
+	tot := t.TotalInter()
+	if tot == 0 {
+		return 0
+	}
+	return 100 * float64(t.InterBytes[stats.ClassAck]) / float64(tot)
+}
+
+// TrafficDiffRow compares one message class across two runs (A vs B, e.g.
+// CORD vs SO): inter-host bytes and messages side by side with the delta.
+type TrafficDiffRow struct {
+	Class       stats.MsgClass
+	AInterBytes uint64
+	BInterBytes uint64
+	AInterMsgs  uint64
+	BInterMsgs  uint64
+	DeltaBytes  int64   // B - A
+	Ratio       float64 // B / A; 0 when A is empty
+	AIntraBytes uint64
+	BIntraBytes uint64
+}
+
+// DiffTraffic compares two traffic breakdowns class by class, skipping
+// classes idle in both runs. Rows come out in class order.
+func DiffTraffic(a, b *TrafficBreakdown) []TrafficDiffRow {
+	var rows []TrafficDiffRow
+	for c := 0; c < stats.NumClasses; c++ {
+		if a.InterMsgs[c]+a.IntraMsgs[c]+b.InterMsgs[c]+b.IntraMsgs[c] == 0 {
+			continue
+		}
+		row := TrafficDiffRow{
+			Class:       stats.MsgClass(c),
+			AInterBytes: a.InterBytes[c], BInterBytes: b.InterBytes[c],
+			AInterMsgs: a.InterMsgs[c], BInterMsgs: b.InterMsgs[c],
+			AIntraBytes: a.IntraBytes[c], BIntraBytes: b.IntraBytes[c],
+			DeltaBytes: int64(b.InterBytes[c]) - int64(a.InterBytes[c]),
+		}
+		if a.InterBytes[c] > 0 {
+			row.Ratio = float64(b.InterBytes[c]) / float64(a.InterBytes[c])
+		}
+		rows = append(rows, row)
+	}
+	return rows
+}

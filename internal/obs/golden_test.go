@@ -1,0 +1,126 @@
+package obs_test
+
+import (
+	"bytes"
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"cord/internal/exp"
+	"cord/internal/obs"
+	"cord/internal/proto"
+	"cord/internal/stats"
+	"cord/internal/workload"
+)
+
+var update = flag.Bool("update", false, "rewrite the exporter golden files")
+
+// goldenEvents is a hand-built stream covering every event kind and every
+// conditionally-emitted field, so a change to the exporters' field selection
+// or ordering shows up as a golden diff.
+func goldenEvents() []obs.Event {
+	core := obs.Node{Host: 0, Tile: 1}
+	dir := obs.Node{Host: 1, Tile: 2, Dir: true}
+	return []obs.Event{
+		{At: 10, Kind: obs.KSend, Src: core, Dst: dir, Class: stats.ClassRelaxedData, Bytes: 96, Dur: 342, Wait: 12},
+		{At: 15, Kind: obs.KLink, Src: core, Dst: dir, Class: stats.ClassRelaxedData, Bytes: 96, Wait: 5},
+		{At: 352, Kind: obs.KDeliver, Src: core, Dst: dir, Class: stats.ClassRelaxedData, Bytes: 96, Dur: 342},
+		{At: 360, Kind: obs.KRetry, Src: dir, Dst: dir, Class: stats.ClassReleaseData, Bytes: 30, Seq: 3},
+		{At: 400, Kind: obs.KStallBegin, Src: core, Seq: uint64(stats.StallAckWait)},
+		{At: 460, Kind: obs.KStallEnd, Src: core, Seq: uint64(stats.StallAckWait), Dur: 60},
+		{At: 500, Kind: obs.KOpIssue, Src: core, Seq: 7, Op: 2, Ord: 1},
+		{At: 520, Kind: obs.KOpDone, Src: core, Seq: 7, Op: 2, Ord: 1, Dur: 20},
+		{At: 530, Kind: obs.KOpIssue, Src: core, Seq: 8, Op: 0, Ord: 0, Dur: 11},
+		{At: 600, Kind: obs.KOrdered, Src: dir, Dst: core, Seq: 4},
+		{At: 610, Kind: obs.KRelCommit, Src: dir, Dst: core, Seq: 4},
+		{At: 700, Kind: obs.KRelAck, Src: core, Seq: 4, Dur: 180},
+		{At: 710, Kind: obs.KCommit, Src: dir, Addr: 0xdeadbeef},
+		{At: 720, Kind: obs.KNotify, Src: dir, Dst: obs.Node{Host: 2, Tile: 0, Dir: true}, Seq: 5},
+	}
+}
+
+func checkGolden(t *testing.T, name string, got []byte) {
+	t.Helper()
+	path := filepath.Join("testdata", name)
+	if *update {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, got, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("%v (run `go test ./internal/obs -run Golden -update` to create)", err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Errorf("%s drifted from golden file.\ngot:\n%s\nwant:\n%s\n(re-run with -update if the change is intentional)",
+			name, got, want)
+	}
+}
+
+// TestGoldenJSONL pins the JSONL exporter's exact byte output: stable field
+// order, per-kind field selection, zero-suppression.
+func TestGoldenJSONL(t *testing.T) {
+	var buf bytes.Buffer
+	if err := obs.WriteJSONL(&buf, goldenEvents()); err != nil {
+		t.Fatal(err)
+	}
+	checkGolden(t, "events.golden.jsonl", buf.Bytes())
+
+	// The golden stream must also survive parsing (it documents the wire
+	// format the cordtrace CLI consumes).
+	parsed, err := obs.ReadJSONL(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(parsed) != len(goldenEvents()) {
+		t.Fatalf("parsed %d of %d golden events", len(parsed), len(goldenEvents()))
+	}
+}
+
+// TestGoldenChromeTrace pins the Chrome trace_event exporter's byte output.
+func TestGoldenChromeTrace(t *testing.T) {
+	var buf bytes.Buffer
+	if err := obs.WriteChromeTrace(&buf, goldenEvents()); err != nil {
+		t.Fatal(err)
+	}
+	checkGolden(t, "events.golden.chrome.json", buf.Bytes())
+}
+
+// TestExportByteIdentityAcrossRuns asserts the full pipeline — simulate,
+// record, export — is byte-deterministic: two same-seed runs must export
+// byte-identical JSONL and Chrome traces.
+func TestExportByteIdentityAcrossRuns(t *testing.T) {
+	export := func() (jsonl, chrome []byte) {
+		t.Helper()
+		rec := obs.New()
+		_, err := exp.RunObserved(workload.Micro(64, 1024, 2, 6),
+			exp.Builder(exp.SchemeCORD), exp.NetConfig(exp.CXL), proto.RC, 42, rec)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var j, c bytes.Buffer
+		if err := obs.WriteJSONL(&j, rec.Events()); err != nil {
+			t.Fatal(err)
+		}
+		if err := obs.WriteChromeTrace(&c, rec.Events()); err != nil {
+			t.Fatal(err)
+		}
+		return j.Bytes(), c.Bytes()
+	}
+	j1, c1 := export()
+	j2, c2 := export()
+	if !bytes.Equal(j1, j2) {
+		t.Error("same-seed runs exported different JSONL bytes")
+	}
+	if !bytes.Equal(c1, c2) {
+		t.Error("same-seed runs exported different Chrome trace bytes")
+	}
+	if len(j1) == 0 || len(c1) == 0 {
+		t.Fatal("vacuous: empty exports")
+	}
+}

@@ -1,0 +1,268 @@
+package live_test
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"cord/internal/obs"
+	"cord/internal/obs/live"
+	"cord/internal/stats"
+)
+
+func get(t *testing.T, url string) (int, string) {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp.StatusCode, string(body)
+}
+
+func newTestServer(t *testing.T, rec *obs.Recorder, prog *live.Progress, info map[string]string) *live.Server {
+	t.Helper()
+	srv, err := live.NewServer("127.0.0.1:0", rec, prog, info)
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv.Start()
+	t.Cleanup(func() { srv.Close() })
+	return srv
+}
+
+func TestProgressSnapshot(t *testing.T) {
+	p := live.NewProgress()
+	s := p.Snapshot()
+	if s.Done != 0 || s.Total != 0 || s.ETA != -1 {
+		t.Fatalf("idle snapshot = %+v", s)
+	}
+	p.Start("fig2", 8)
+	if s := p.Snapshot(); s.ETA != -1 {
+		t.Errorf("ETA before first step = %v, want -1", s.ETA)
+	}
+	p.Step(2)
+	s = p.Snapshot()
+	if s.Label != "fig2" || s.Done != 2 || s.Total != 8 {
+		t.Fatalf("snapshot = %+v", s)
+	}
+	if s.Pct != 25 {
+		t.Errorf("pct = %v, want 25", s.Pct)
+	}
+	if s.Elapsed > 0 && s.ETA < 0 {
+		t.Errorf("no ETA after steps: %+v", s)
+	}
+	if !strings.Contains(s.String(), "fig2 2/8 (25.0%)") {
+		t.Errorf("String() = %q", s.String())
+	}
+}
+
+func TestProgressPrinter(t *testing.T) {
+	p := live.NewProgress()
+	p.Start("sweep", 4)
+	p.Step(4)
+	var mu sync.Mutex
+	var buf strings.Builder
+	w := writerFunc(func(b []byte) (int, error) {
+		mu.Lock()
+		defer mu.Unlock()
+		return buf.Write(b)
+	})
+	stop := p.StartPrinter(w, time.Millisecond)
+	time.Sleep(10 * time.Millisecond)
+	stop()
+	stop() // idempotent
+	mu.Lock()
+	out := buf.String()
+	mu.Unlock()
+	if !strings.Contains(out, "sweep 4/4 (100.0%)") {
+		t.Errorf("printer output %q missing final line", out)
+	}
+}
+
+type writerFunc func([]byte) (int, error)
+
+func (f writerFunc) Write(b []byte) (int, error) { return f(b) }
+
+func seedMetrics(rec *obs.Recorder) {
+	rec.CountMsg(stats.ClassAck, 8, true)
+	rec.CountMsg(stats.ClassAck, 8, false)
+	rec.CountMsg(stats.ClassReleaseData, 72, true)
+	rec.ObserveLatency(stats.ClassAck, 120)
+	rec.ObserveLatency(stats.ClassAck, 340)
+	rec.AddStall(stats.StallAckWait, 500)
+	rec.DirDepth(7)
+	rec.EngineDepth(31)
+}
+
+func TestServerEndpoints(t *testing.T) {
+	rec := obs.NewMetricsOnly()
+	rec.ShareMetrics()
+	seedMetrics(rec)
+	prog := live.NewProgress()
+	prog.Start("fig7", 10)
+	prog.Step(3)
+	srv := newTestServer(t, rec, prog, map[string]string{"workload": "Micro", "scheme": "cord"})
+	base := "http://" + srv.Addr()
+
+	code, body := get(t, base+"/")
+	if code != http.StatusOK || !strings.Contains(body, "/metrics") {
+		t.Errorf("index: code %d body %q", code, body)
+	}
+	if code, _ := get(t, base+"/nope"); code != http.StatusNotFound {
+		t.Errorf("unknown path: code %d, want 404", code)
+	}
+
+	code, body = get(t, base+"/metrics")
+	if code != http.StatusOK {
+		t.Fatalf("/metrics: code %d", code)
+	}
+	for _, want := range []string{
+		`cord_info{scheme="cord",workload="Micro"} 1`,
+		`cord_msgs_total{class="ack",scope="inter"} 1`,
+		`cord_bytes_total{class="release-data",scope="inter"} 72`,
+		`cord_msg_latency_cycles{class="ack",quantile="0.5"}`,
+		`cord_msg_latency_cycles_count{class="ack"} 2`,
+		`cord_stall_cycles_total{kind="ack-wait"} 500`,
+		"cord_dir_queue_peak 7",
+		"cord_engine_queue_peak 31",
+		"cord_progress_done 3",
+		"cord_progress_total 10",
+	} {
+		if !strings.Contains(body, want) {
+			t.Errorf("/metrics missing %q\n%s", want, body)
+		}
+	}
+
+	code, body = get(t, base+"/progress")
+	if code != http.StatusOK {
+		t.Fatalf("/progress: code %d", code)
+	}
+	var snap live.Snapshot
+	if err := json.Unmarshal([]byte(body), &snap); err != nil {
+		t.Fatalf("/progress not JSON: %v\n%s", err, body)
+	}
+	if snap.Label != "fig7" || snap.Done != 3 || snap.Total != 10 {
+		t.Errorf("/progress snapshot = %+v", snap)
+	}
+
+	code, body = get(t, base+"/debug/vars")
+	if code != http.StatusOK {
+		t.Fatalf("/debug/vars: code %d", code)
+	}
+	var vars map[string]json.RawMessage
+	if err := json.Unmarshal([]byte(body), &vars); err != nil {
+		t.Fatalf("/debug/vars not JSON: %v", err)
+	}
+	cord, ok := vars["cord"]
+	if !ok {
+		t.Fatal("/debug/vars missing cord var")
+	}
+	var doc struct {
+		Metrics  json.RawMessage   `json:"metrics"`
+		Progress live.Snapshot     `json:"progress"`
+		Info     map[string]string `json:"info"`
+	}
+	if err := json.Unmarshal(cord, &doc); err != nil {
+		t.Fatalf("cord var: %v", err)
+	}
+	if doc.Progress.Label != "fig7" || doc.Info["workload"] != "Micro" {
+		t.Errorf("cord var = %+v", doc)
+	}
+	if !strings.Contains(string(doc.Metrics), `"class": "ack"`) &&
+		!strings.Contains(string(doc.Metrics), `"class":"ack"`) {
+		t.Errorf("cord var metrics missing ack class: %s", doc.Metrics)
+	}
+
+	if code, body := get(t, base+"/debug/pprof/"); code != http.StatusOK ||
+		!strings.Contains(body, "goroutine") {
+		t.Errorf("/debug/pprof/: code %d", code)
+	}
+}
+
+// TestServerNilRecorder checks progress-only servers (no metrics source) stay
+// functional.
+func TestServerNilRecorder(t *testing.T) {
+	prog := live.NewProgress()
+	prog.Start("x", 1)
+	srv := newTestServer(t, nil, prog, nil)
+	base := "http://" + srv.Addr()
+	code, body := get(t, base+"/metrics")
+	if code != http.StatusOK {
+		t.Fatalf("/metrics: code %d", code)
+	}
+	if strings.Contains(body, "cord_msgs_total{") {
+		t.Errorf("nil recorder exported counters:\n%s", body)
+	}
+	if !strings.Contains(body, "cord_progress_total 1") {
+		t.Errorf("/metrics missing progress:\n%s", body)
+	}
+}
+
+// TestConcurrentScrape hammers /metrics and /progress while a writer updates
+// the shared registry and the progress tracker — the -race CI job turns any
+// unsynchronised access into a failure.
+func TestConcurrentScrape(t *testing.T) {
+	rec := obs.NewMetricsOnly()
+	rec.ShareMetrics()
+	prog := live.NewProgress()
+	prog.Start("race", 1000)
+	srv := newTestServer(t, rec, prog, nil)
+	base := "http://" + srv.Addr()
+
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for i := 0; i < 1000; i++ {
+			seedMetrics(rec)
+			prog.Step(1)
+		}
+	}()
+	var wg sync.WaitGroup
+	for i := 0; i < 4; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 20; j++ {
+				if code, _ := get(t, base+"/metrics"); code != http.StatusOK {
+					t.Errorf("/metrics code %d", code)
+				}
+				if code, _ := get(t, base+"/progress"); code != http.StatusOK {
+					t.Errorf("/progress code %d", code)
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	<-done
+	if got := rec.MetricsSnapshot().MsgsInter[stats.ClassAck]; got != 1000 {
+		t.Errorf("lost updates: %d ack msgs, want 1000", got)
+	}
+}
+
+// TestMultipleServers ensures constructing a second server (as every test
+// binary does) neither panics on expvar re-publish nor serves stale data.
+func TestMultipleServers(t *testing.T) {
+	for i := 0; i < 2; i++ {
+		prog := live.NewProgress()
+		prog.Start(fmt.Sprintf("gen%d", i), 5)
+		srv := newTestServer(t, nil, prog, nil)
+		code, body := get(t, "http://"+srv.Addr()+"/debug/vars")
+		if code != http.StatusOK {
+			t.Fatalf("server %d: code %d", i, code)
+		}
+		if !strings.Contains(body, fmt.Sprintf("gen%d", i)) {
+			t.Errorf("server %d: /debug/vars shows stale progress:\n%s", i, body)
+		}
+		srv.Close()
+	}
+}

@@ -1,0 +1,130 @@
+// Package live is the simulator's live introspection surface: a sweep
+// progress tracker shared by the -progress stderr printer and the HTTP
+// endpoint, plus an HTTP server exporting the obs metrics registry
+// (Prometheus text + expvar), sweep progress with an ETA, and net/http/pprof.
+//
+// Everything here reads host wall-clock time, never simulated time, and never
+// touches the simulation: the Progress counters are updated from the sweep
+// driver between runs, and the metrics registry is scraped through
+// Recorder.MetricsSnapshot after Recorder.ShareMetrics made it
+// concurrency-safe. Attaching the server cannot perturb results.
+package live
+
+import (
+	"fmt"
+	"io"
+	"sync"
+	"time"
+)
+
+// Progress tracks a sweep's completed-of-total run count. It satisfies
+// exp.ProgressSink, so exp.SetProgress(p) wires every figure sweep into it.
+// All methods are safe for concurrent use (the sweeps run on worker pools).
+type Progress struct {
+	mu      sync.Mutex
+	label   string
+	done    int
+	total   int
+	started time.Time
+}
+
+// NewProgress returns an idle tracker.
+func NewProgress() *Progress { return &Progress{} }
+
+// Start begins (or re-begins) a phase of total steps. The clock restarts so
+// the ETA reflects the current phase only.
+func (p *Progress) Start(label string, total int) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.label = label
+	p.total = total
+	p.done = 0
+	p.started = time.Now()
+}
+
+// Step records n completed steps.
+func (p *Progress) Step(n int) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.done += n
+}
+
+// Snapshot is one observation of a tracker.
+type Snapshot struct {
+	Label   string  `json:"label"`
+	Done    int     `json:"done"`
+	Total   int     `json:"total"`
+	Pct     float64 `json:"pct"`
+	Elapsed float64 `json:"elapsed_s"`
+	// ETA is the projected seconds remaining at the observed rate
+	// (-1 until the first step completes).
+	ETA  float64 `json:"eta_s"`
+	Rate float64 `json:"rate_per_s"`
+}
+
+// Snapshot returns the current state with derived pct/rate/ETA.
+func (p *Progress) Snapshot() Snapshot {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	s := Snapshot{Label: p.label, Done: p.done, Total: p.total, ETA: -1}
+	if p.started.IsZero() {
+		return s
+	}
+	s.Elapsed = time.Since(p.started).Seconds()
+	if p.total > 0 {
+		s.Pct = 100 * float64(p.done) / float64(p.total)
+	}
+	if p.done > 0 && s.Elapsed > 0 {
+		s.Rate = float64(p.done) / s.Elapsed
+		if remaining := p.total - p.done; remaining >= 0 && s.Rate > 0 {
+			s.ETA = float64(remaining) / s.Rate
+		}
+	}
+	return s
+}
+
+// String renders one progress line.
+func (s Snapshot) String() string {
+	label := s.Label
+	if label == "" {
+		label = "run"
+	}
+	line := fmt.Sprintf("progress: %s %d/%d (%.1f%%) elapsed %.1fs",
+		label, s.Done, s.Total, s.Pct, s.Elapsed)
+	if s.ETA >= 0 {
+		line += fmt.Sprintf(" eta %.1fs", s.ETA)
+	}
+	return line
+}
+
+// StartPrinter prints a progress line to w every interval until the returned
+// stop function is called; stop prints one final line and waits for the
+// printer goroutine to exit.
+func (p *Progress) StartPrinter(w io.Writer, every time.Duration) (stop func()) {
+	if every <= 0 {
+		every = time.Second
+	}
+	quit := make(chan struct{})
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		t := time.NewTicker(every)
+		defer t.Stop()
+		for {
+			select {
+			case <-t.C:
+				fmt.Fprintln(w, p.Snapshot())
+			case <-quit:
+				return
+			}
+		}
+	}()
+	var once sync.Once
+	return func() {
+		once.Do(func() {
+			close(quit)
+			<-done
+			fmt.Fprintln(w, p.Snapshot())
+		})
+	}
+}

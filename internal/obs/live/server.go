@@ -1,0 +1,219 @@
+package live
+
+import (
+	"encoding/json"
+	"expvar"
+	"fmt"
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"sort"
+	"sync"
+	"sync/atomic"
+
+	"cord/internal/obs"
+	"cord/internal/stats"
+)
+
+// Server is the live introspection endpoint attached by cordsim/cordbench
+// -http: it serves
+//
+//	/metrics      Prometheus text exposition of the obs metrics registry
+//	              (per-class message/byte counters, latency summaries with
+//	              p50/p95/p99, stall totals, queue peaks) plus sweep progress
+//	/progress     the progress Snapshot as JSON
+//	/debug/vars   expvar (the same registry document as metrics-out JSON)
+//	/debug/pprof  the standard Go profiler endpoints
+//
+// The recorder may be nil (no metrics, progress only); call
+// Recorder.ShareMetrics before attaching a recorder a simulation is still
+// writing to.
+type Server struct {
+	rec  *obs.Recorder
+	prog *Progress
+	info map[string]string
+
+	srv *http.Server
+	lis net.Listener
+}
+
+// active is the server expvar reads through: expvar.Publish is global and
+// permanent, so the package publishes one "cord" Func that always follows
+// the most recently constructed server (tests construct several).
+var (
+	active     atomic.Pointer[Server]
+	expvarOnce sync.Once
+)
+
+// NewServer listens on addr (e.g. "localhost:6060"; an empty port picks a
+// free one) and prepares — but does not start — the handler. info labels the
+// run (workload, protocol, fabric) in /metrics and /debug/vars.
+func NewServer(addr string, rec *obs.Recorder, prog *Progress, info map[string]string) (*Server, error) {
+	lis, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("live: %w", err)
+	}
+	s := &Server{rec: rec, prog: prog, info: info, lis: lis}
+	mux := http.NewServeMux()
+	mux.HandleFunc("/", s.handleIndex)
+	mux.HandleFunc("/metrics", s.handleMetrics)
+	mux.HandleFunc("/progress", s.handleProgress)
+	mux.Handle("/debug/vars", expvar.Handler())
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	s.srv = &http.Server{Handler: mux}
+	active.Store(s)
+	expvarOnce.Do(func() {
+		expvar.Publish("cord", expvar.Func(func() any {
+			cur := active.Load()
+			if cur == nil {
+				return nil
+			}
+			return cur.expvarDoc()
+		}))
+	})
+	return s, nil
+}
+
+// Addr returns the bound address, for "listening on http://…" messages.
+func (s *Server) Addr() string { return s.lis.Addr().String() }
+
+// Start serves in a background goroutine until Close.
+func (s *Server) Start() {
+	go s.srv.Serve(s.lis)
+}
+
+// Close stops the listener and handler.
+func (s *Server) Close() error {
+	if active.Load() == s {
+		active.Store(nil)
+	}
+	return s.srv.Close()
+}
+
+func (s *Server) expvarDoc() any {
+	doc := map[string]any{}
+	if s.rec.Enabled() {
+		m := s.rec.MetricsSnapshot()
+		doc["metrics"] = m.Doc()
+	}
+	if s.prog != nil {
+		doc["progress"] = s.prog.Snapshot()
+	}
+	if len(s.info) > 0 {
+		doc["info"] = s.info
+	}
+	return doc
+}
+
+func (s *Server) handleIndex(w http.ResponseWriter, r *http.Request) {
+	if r.URL.Path != "/" {
+		http.NotFound(w, r)
+		return
+	}
+	fmt.Fprint(w, "cord live introspection\n\n"+
+		"/metrics      Prometheus text metrics + sweep progress\n"+
+		"/progress     progress snapshot (JSON)\n"+
+		"/debug/vars   expvar registry\n"+
+		"/debug/pprof  Go profiler\n")
+}
+
+func (s *Server) handleProgress(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "application/json")
+	var snap Snapshot
+	if s.prog != nil {
+		snap = s.prog.Snapshot()
+	}
+	json.NewEncoder(w).Encode(snap)
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4")
+	if len(s.info) > 0 {
+		keys := make([]string, 0, len(s.info))
+		for k := range s.info {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		fmt.Fprint(w, "# TYPE cord_info gauge\ncord_info{")
+		for i, k := range keys {
+			if i > 0 {
+				fmt.Fprint(w, ",")
+			}
+			fmt.Fprintf(w, "%s=%q", k, s.info[k])
+		}
+		fmt.Fprint(w, "} 1\n")
+	}
+	if s.rec.Enabled() {
+		m := s.rec.MetricsSnapshot()
+		writePrometheus(w, &m)
+	}
+	if s.prog != nil {
+		snap := s.prog.Snapshot()
+		fmt.Fprintf(w, "# TYPE cord_progress_done gauge\ncord_progress_done %d\n", snap.Done)
+		fmt.Fprintf(w, "# TYPE cord_progress_total gauge\ncord_progress_total %d\n", snap.Total)
+		fmt.Fprintf(w, "# TYPE cord_progress_elapsed_seconds gauge\ncord_progress_elapsed_seconds %.3f\n", snap.Elapsed)
+		fmt.Fprintf(w, "# TYPE cord_progress_eta_seconds gauge\ncord_progress_eta_seconds %.3f\n", snap.ETA)
+	}
+}
+
+// writePrometheus renders the registry in the Prometheus text exposition
+// format, hand-rolled like the repo's other exporters (no dependencies).
+// Latency distributions export as summaries with p50/p95/p99 quantiles.
+func writePrometheus(w http.ResponseWriter, m *obs.Metrics) {
+	scoped := func(name, help string, vals func(c int) (intra, inter uint64)) {
+		fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s counter\n", name, help, name)
+		for c := 0; c < stats.NumClasses; c++ {
+			intra, inter := vals(c)
+			if intra == 0 && inter == 0 {
+				continue
+			}
+			class := stats.MsgClass(c).String()
+			fmt.Fprintf(w, "%s{class=%q,scope=\"intra\"} %d\n", name, class, intra)
+			fmt.Fprintf(w, "%s{class=%q,scope=\"inter\"} %d\n", name, class, inter)
+		}
+	}
+	scoped("cord_msgs_total", "messages by class and host scope",
+		func(c int) (uint64, uint64) { return m.MsgsIntra[c], m.MsgsInter[c] })
+	scoped("cord_bytes_total", "wire bytes by class and host scope",
+		func(c int) (uint64, uint64) { return m.BytesIntra[c], m.BytesInter[c] })
+
+	fmt.Fprint(w, "# HELP cord_msg_latency_cycles source-to-delivery latency by class\n"+
+		"# TYPE cord_msg_latency_cycles summary\n")
+	for c := 0; c < stats.NumClasses; c++ {
+		d := &m.Latency[c]
+		if d.Count() == 0 {
+			continue
+		}
+		class := stats.MsgClass(c).String()
+		for _, q := range []float64{0.5, 0.95, 0.99} {
+			fmt.Fprintf(w, "cord_msg_latency_cycles{class=%q,quantile=\"%g\"} %d\n",
+				class, q, uint64(d.Quantile(q)))
+		}
+		fmt.Fprintf(w, "cord_msg_latency_cycles_sum{class=%q} %.0f\n", class, d.Mean()*float64(d.Count()))
+		fmt.Fprintf(w, "cord_msg_latency_cycles_count{class=%q} %d\n", class, d.Count())
+	}
+
+	fmt.Fprint(w, "# HELP cord_stall_cycles_total processor stall cycles by kind\n"+
+		"# TYPE cord_stall_cycles_total counter\n")
+	for k := 0; k < stats.NumStallKinds; k++ {
+		if m.StallCount[k] == 0 {
+			continue
+		}
+		fmt.Fprintf(w, "cord_stall_cycles_total{kind=%q} %d\n",
+			stats.StallKind(k), uint64(m.StallCycles[k]))
+	}
+	fmt.Fprint(w, "# HELP cord_stalls_total finished processor stalls by kind\n"+
+		"# TYPE cord_stalls_total counter\n")
+	for k := 0; k < stats.NumStallKinds; k++ {
+		if m.StallCount[k] == 0 {
+			continue
+		}
+		fmt.Fprintf(w, "cord_stalls_total{kind=%q} %d\n", stats.StallKind(k), m.StallCount[k])
+	}
+	fmt.Fprintf(w, "# TYPE cord_dir_queue_peak gauge\ncord_dir_queue_peak %d\n", m.DirQueuePeak)
+	fmt.Fprintf(w, "# TYPE cord_engine_queue_peak gauge\ncord_engine_queue_peak %d\n", m.EngineQueuePeak)
+}

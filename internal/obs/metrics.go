@@ -41,11 +41,18 @@ type Metrics struct {
 func NewMetrics() *Metrics { return &Metrics{} }
 
 // --- nil-safe Recorder update methods --------------------------------------
+//
+// Each updater locks only when ShareMetrics installed a mutex; the common
+// single-goroutine path stays branch-and-go.
 
 // CountMsg records one message of class with the given size.
 func (r *Recorder) CountMsg(class stats.MsgClass, bytes int, inter bool) {
 	if r == nil || r.m == nil {
 		return
+	}
+	if r.mu != nil {
+		r.mu.Lock()
+		defer r.mu.Unlock()
 	}
 	if inter {
 		r.m.MsgsInter[class]++
@@ -61,6 +68,10 @@ func (r *Recorder) ObserveLatency(class stats.MsgClass, d sim.Time) {
 	if r == nil || r.m == nil {
 		return
 	}
+	if r.mu != nil {
+		r.mu.Lock()
+		defer r.mu.Unlock()
+	}
 	r.m.Latency[class].Add(d)
 }
 
@@ -68,6 +79,10 @@ func (r *Recorder) ObserveLatency(class stats.MsgClass, d sim.Time) {
 func (r *Recorder) AddStall(kind stats.StallKind, d sim.Time) {
 	if r == nil || r.m == nil {
 		return
+	}
+	if r.mu != nil {
+		r.mu.Lock()
+		defer r.mu.Unlock()
 	}
 	r.m.StallCycles[kind] += d
 	r.m.StallCount[kind]++
@@ -78,6 +93,10 @@ func (r *Recorder) DirDepth(depth int) {
 	if r == nil || r.m == nil {
 		return
 	}
+	if r.mu != nil {
+		r.mu.Lock()
+		defer r.mu.Unlock()
+	}
 	if depth > r.m.DirQueuePeak {
 		r.m.DirQueuePeak = depth
 	}
@@ -87,6 +106,10 @@ func (r *Recorder) DirDepth(depth int) {
 func (r *Recorder) EngineDepth(depth int) {
 	if r == nil || r.m == nil {
 		return
+	}
+	if r.mu != nil {
+		r.mu.Lock()
+		defer r.mu.Unlock()
 	}
 	if depth > r.m.EngineQueuePeak {
 		r.m.EngineQueuePeak = depth
@@ -110,6 +133,7 @@ type classJSON struct {
 	BytesInter uint64  `json:"bytes_inter"`
 	LatMeanCyc float64 `json:"latency_mean_cycles"`
 	LatP50Cyc  uint64  `json:"latency_p50_cycles"`
+	LatP95Cyc  uint64  `json:"latency_p95_cycles"`
 	LatP99Cyc  uint64  `json:"latency_p99_cycles"`
 	LatMaxCyc  uint64  `json:"latency_max_cycles"`
 }
@@ -127,9 +151,10 @@ type metricsJSON struct {
 	EngineQueuePeak int         `json:"engine_queue_peak"`
 }
 
-// WriteJSON renders the registry as a single indented JSON document.
-// Classes and stall kinds with no activity are omitted.
-func (m *Metrics) WriteJSON(w io.Writer) error {
+// Doc returns the registry as the plain-data document the JSON export and
+// the live introspection server's expvar endpoint share. Classes and stall
+// kinds with no activity are omitted.
+func (m *Metrics) Doc() any {
 	out := metricsJSON{
 		DirQueuePeak:    m.DirQueuePeak,
 		EngineQueuePeak: m.EngineQueuePeak,
@@ -147,6 +172,7 @@ func (m *Metrics) WriteJSON(w io.Writer) error {
 			BytesInter: m.BytesInter[c],
 			LatMeanCyc: d.Mean(),
 			LatP50Cyc:  uint64(d.Quantile(0.5)),
+			LatP95Cyc:  uint64(d.Quantile(0.95)),
 			LatP99Cyc:  uint64(d.Quantile(0.99)),
 			LatMaxCyc:  uint64(d.Max()),
 		})
@@ -161,7 +187,12 @@ func (m *Metrics) WriteJSON(w io.Writer) error {
 			Count:  m.StallCount[k],
 		})
 	}
+	return out
+}
+
+// WriteJSON renders the registry as a single indented JSON document.
+func (m *Metrics) WriteJSON(w io.Writer) error {
 	enc := json.NewEncoder(w)
 	enc.SetIndent("", "  ")
-	return enc.Encode(out)
+	return enc.Encode(m.Doc())
 }

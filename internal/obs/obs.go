@@ -20,6 +20,7 @@ package obs
 
 import (
 	"fmt"
+	"sync"
 
 	"cord/internal/sim"
 	"cord/internal/stats"
@@ -142,6 +143,7 @@ type Recorder struct {
 	sink   Sink
 	mem    *MemSink // non-nil iff sink is the built-in memory sink
 	m      *Metrics
+	mu     *sync.Mutex // guards m after ShareMetrics; nil = single-goroutine
 	sample uint64
 	n      uint64
 }
@@ -228,4 +230,30 @@ func (r *Recorder) Metrics() *Metrics {
 		return nil
 	}
 	return r.m
+}
+
+// ShareMetrics makes the metrics registry safe to read concurrently with a
+// running simulation: updates and MetricsSnapshot serialize on an internal
+// mutex from now on. The live introspection server calls this so /metrics can
+// scrape mid-run; single-goroutine users (the default) pay nothing.
+func (r *Recorder) ShareMetrics() {
+	if r == nil || r.mu != nil {
+		return
+	}
+	r.mu = &sync.Mutex{}
+}
+
+// MetricsSnapshot returns a point-in-time copy of the registry, consistent
+// even while a simulation is updating it (requires ShareMetrics for that
+// case). Metrics is a value type — fixed arrays and scalars — so the copy is
+// complete and detached.
+func (r *Recorder) MetricsSnapshot() Metrics {
+	if r == nil || r.m == nil {
+		return Metrics{}
+	}
+	if r.mu != nil {
+		r.mu.Lock()
+		defer r.mu.Unlock()
+	}
+	return *r.m
 }

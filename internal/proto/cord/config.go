@@ -143,10 +143,10 @@ func (c Config) epochWindow() uint64 {
 // storage-overhead experiments (Figs. 11 and 12). Entries carry a tag plus
 // the counter payload, mirroring Fig. 6 (left).
 const (
-	procCntEntryBytes     = 5 // directory tag + 4B store counter
-	procUnackedEntryBytes = 2 // epoch tag + destination directory
-	dirCntEntryBytes      = 5 // (proc, epoch) tag + 4B counter
-	dirNotiEntryBytes     = 3 // (proc, epoch) tag + 2B counter
+	procCntEntryBytes      = 5 // directory tag + 4B store counter
+	procUnackedEntryBytes  = 2 // epoch tag + destination directory
+	dirCntEntryBytes       = 5 // (proc, epoch) tag + 4B counter
+	dirNotiEntryBytes      = 3 // (proc, epoch) tag + 2B counter
 	dirLargestEpEntryBytes = 2
-	dirNetBufEntryBytes   = 24 // recycled Release store held in buffer
+	dirNetBufEntryBytes    = 24 // recycled Release store held in buffer
 )

@@ -27,7 +27,7 @@ func FuzzParse(f *testing.F) {
 	f.Add("")
 	f.Add("cordtrace 2\ncore 0 0\n")
 	f.Add("bogus\n")
-	f.Add("cordtrace 1\nw 0 8 1\n")         // op before any core
+	f.Add("cordtrace 1\nw 0 8 1\n")           // op before any core
 	f.Add("cordtrace 1\ncore 0 0\nw 0 0 1\n") // zero-size store fails Validate
 	f.Add("cordtrace 1\ncore 0 0\na 0 0\n")   // acquire-of-zero fails Validate
 	f.Add("cordtrace 1\ncore 0 0\nz 1 2 3\n")

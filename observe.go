@@ -15,6 +15,11 @@ type TraceOptions struct {
 	// MetricsOnly skips event capture entirely and keeps only the metrics
 	// registry, for long runs where the event stream would be too large.
 	MetricsOnly bool
+	// Recorder, when non-nil, receives the observation instead of a freshly
+	// created recorder (Sample and MetricsOnly are then ignored — configure
+	// the recorder directly). The live introspection server attaches this
+	// way so /metrics can scrape a run in flight.
+	Recorder *obs.Recorder
 }
 
 // Observation holds what a traced simulation recorded: the structured event
@@ -62,11 +67,14 @@ func SimulateObserved(w Workload, p Protocol, s System, opt TraceOptions) (*Resu
 	if err != nil {
 		return nil, nil, err
 	}
-	rec := obs.New()
-	if opt.MetricsOnly {
-		rec = obs.NewMetricsOnly()
+	rec := opt.Recorder
+	if rec == nil {
+		rec = obs.New()
+		if opt.MetricsOnly {
+			rec = obs.NewMetricsOnly()
+		}
+		rec.SetSample(opt.Sample)
 	}
-	rec.SetSample(opt.Sample)
 	sys := proto.NewSystem(s.Seed, nc, s.mode())
 	sys.Observe(rec)
 	run, err := proto.Exec(sys, b, cores, progs)
