@@ -1,0 +1,154 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"runtime"
+	"time"
+
+	"cord/internal/exp"
+	"cord/internal/proto"
+	"cord/internal/sim"
+	"cord/internal/workload"
+)
+
+// kernelResult is one row of BENCH_kernel.json: how fast the event kernel
+// retires simulation events under a given protocol scheme and fabric, and
+// how much it allocates doing so. Allocations are amortized over the whole
+// run (system construction included), so steady-state numbers are lower.
+type kernelResult struct {
+	Scheme        string  `json:"scheme"`
+	Fabric        string  `json:"fabric"`
+	Workload      string  `json:"workload"`
+	Events        uint64  `json:"events"`
+	WallMs        float64 `json:"wall_ms"`
+	NsPerEvent    float64 `json:"ns_per_event"`
+	EventsPerSec  float64 `json:"events_per_sec"`
+	AllocsPerEvnt float64 `json:"allocs_per_event"`
+}
+
+// kernelReport is the machine-readable benchmark artifact committed as
+// BENCH_kernel.json so the kernel's performance trajectory is recorded in
+// the repo rather than in CI logs.
+type kernelReport struct {
+	GeneratedBy string         `json:"generated_by"`
+	GoVersion   string         `json:"go_version"`
+	GOARCH      string         `json:"goarch"`
+	Scheduler   kernelResult   `json:"scheduler"`
+	Protocols   []kernelResult `json:"protocols"`
+}
+
+// benchScheduler measures the bare engine with no protocol on top: a
+// steady-state churn of 1024 in-flight events with pseudo-random delays,
+// the same shape as BenchmarkEngineChurn. The engine is warmed first so the
+// measurement sees the zero-allocation steady state.
+func benchScheduler(events int) kernelResult {
+	eng := sim.NewEngine(1)
+	lcg := uint64(0x9E3779B97F4A7C15)
+	next := func() sim.Time {
+		lcg = lcg*6364136223846793005 + 1442695040888963407
+		return 1 + sim.Time(lcg>>58)
+	}
+	fired := 0
+	var tick func()
+	tick = func() {
+		fired++
+		if fired < events {
+			eng.Schedule(next(), tick)
+		}
+	}
+	const inFlight = 1024
+	for i := 0; i < inFlight; i++ {
+		eng.Schedule(next(), tick)
+	}
+	// Warm slab, wheel, and free list before timing.
+	if err := eng.RunUntil(eng.Now() + 4096); err != nil {
+		panic(err)
+	}
+	runtime.GC()
+	var m0, m1 runtime.MemStats
+	runtime.ReadMemStats(&m0)
+	before := eng.Executed()
+	start := time.Now()
+	if err := eng.Run(); err != nil {
+		panic(err)
+	}
+	wall := time.Since(start)
+	runtime.ReadMemStats(&m1)
+	n := eng.Executed() - before
+	return kernelResult{
+		Scheme:        "none",
+		Fabric:        "none",
+		Workload:      fmt.Sprintf("churn/%d-inflight", inFlight),
+		Events:        n,
+		WallMs:        float64(wall.Nanoseconds()) / 1e6,
+		NsPerEvent:    float64(wall.Nanoseconds()) / float64(n),
+		EventsPerSec:  float64(n) / wall.Seconds(),
+		AllocsPerEvnt: float64(m1.Mallocs-m0.Mallocs) / float64(n),
+	}
+}
+
+// benchProtocol runs one full protocol simulation and reports kernel
+// throughput: every scheduled event — core issue, NoC hop, directory
+// processing — retires through the same two-level queue.
+func benchProtocol(s exp.Scheme, ic exp.Interconnect) (kernelResult, error) {
+	p := workload.Micro(256, 64, 3, 20000)
+	nc := exp.NetConfig(ic)
+	cores, progs, err := p.Programs(nc)
+	if err != nil {
+		return kernelResult{}, err
+	}
+	sys := proto.NewSystem(42, nc, proto.RC)
+	runtime.GC()
+	var m0, m1 runtime.MemStats
+	runtime.ReadMemStats(&m0)
+	start := time.Now()
+	if _, err := proto.Exec(sys, exp.Builder(s), cores, progs); err != nil {
+		return kernelResult{}, err
+	}
+	wall := time.Since(start)
+	runtime.ReadMemStats(&m1)
+	n := sys.Eng.Executed()
+	return kernelResult{
+		Scheme:        string(s),
+		Fabric:        string(ic),
+		Workload:      p.Name,
+		Events:        n,
+		WallMs:        float64(wall.Nanoseconds()) / 1e6,
+		NsPerEvent:    float64(wall.Nanoseconds()) / float64(n),
+		EventsPerSec:  float64(n) / wall.Seconds(),
+		AllocsPerEvnt: float64(m1.Mallocs-m0.Mallocs) / float64(n),
+	}, nil
+}
+
+// kernelBench writes BENCH_kernel.json to path.
+func kernelBench(path string) error {
+	rep := kernelReport{
+		GeneratedBy: "cordbench -kernel",
+		GoVersion:   runtime.Version(),
+		GOARCH:      runtime.GOARCH,
+		Scheduler:   benchScheduler(2_000_000),
+	}
+	for _, ic := range exp.Interconnects() {
+		for _, s := range exp.Schemes() {
+			r, err := benchProtocol(s, ic)
+			if err != nil {
+				return err
+			}
+			rep.Protocols = append(rep.Protocols, r)
+			fmt.Fprintf(os.Stderr, "kernel: %-4s %-3s %8d events  %6.1f ns/event  %5.2f Mevents/s  %.3f allocs/event\n",
+				r.Scheme, r.Fabric, r.Events, r.NsPerEvent, r.EventsPerSec/1e6, r.AllocsPerEvnt)
+		}
+	}
+	out, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		return err
+	}
+	out = append(out, '\n')
+	if path == "-" {
+		_, err = os.Stdout.Write(out)
+		return err
+	}
+	return os.WriteFile(path, out, 0o644)
+}

@@ -34,6 +34,7 @@ func main() {
 		csv      = flag.String("csv", "", "directory to also write CSV files into")
 		httpAddr = flag.String("http", "", "serve live sweep progress/metrics/pprof on this address, e.g. localhost:6060")
 		progress = flag.Bool("progress", false, "print sweep progress lines to stderr")
+		kernel   = flag.String("kernel", "", "measure event-kernel throughput and write BENCH_kernel.json to this path (- for stdout)")
 	)
 	flag.Parse()
 
@@ -60,6 +61,14 @@ func main() {
 			stop := prog.StartPrinter(os.Stderr, time.Second)
 			defer stop()
 		}
+	}
+
+	if *kernel != "" {
+		if err := kernelBench(*kernel); err != nil {
+			fmt.Fprintln(os.Stderr, "cordbench:", err)
+			os.Exit(1)
+		}
+		return
 	}
 
 	if *self {

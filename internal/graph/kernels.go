@@ -3,7 +3,7 @@ package graph
 import (
 	"fmt"
 	"math/rand"
-	"sort"
+	"slices"
 
 	"cord/internal/memsys"
 	"cord/internal/noc"
@@ -128,7 +128,7 @@ func (a App) Trace(nc noc.Config) (*trace.Trace, error) {
 			// (every static partner still gets one so consumers make
 			// progress on frontier-less rounds).
 			dsts := append([]int(nil), outN[h]...)
-			sort.Ints(dsts)
+			slices.Sort(dsts)
 			for _, dst := range dsts {
 				_ = touched
 				p = append(p, proto.StoreRelease(flagOf(h, dst, tiles), 8, uint64(it)))

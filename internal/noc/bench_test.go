@@ -1,0 +1,69 @@
+package noc
+
+import (
+	"testing"
+
+	"cord/internal/sim"
+	"cord/internal/stats"
+)
+
+// benchNet builds a network with no-op handlers on the nodes the send
+// benchmarks use. Batching sends and draining the engine keeps the event
+// queue (and its backing array) small and steady-state, so the measurement
+// covers the full schedule+deliver round trip.
+func benchNet(cfg Config) (*sim.Engine, *Network) {
+	eng := sim.NewEngine(1)
+	var tr stats.Traffic
+	net := New(eng, cfg, &tr)
+	for h := 0; h < cfg.Hosts; h++ {
+		for t := 0; t < cfg.TilesPerHost; t++ {
+			net.Register(CoreID(h, t), func(src NodeID, payload any) {})
+			net.Register(DirID(h, t), func(src NodeID, payload any) {})
+		}
+	}
+	return eng, net
+}
+
+type benchMsg struct{ v uint64 }
+
+func runSendBench(b *testing.B, cfg Config, src, dst NodeID) {
+	eng, net := benchNet(cfg)
+	payload := &benchMsg{v: 42}
+	const batch = 1024
+	b.ReportAllocs()
+	b.ResetTimer()
+	for n := b.N; n > 0; {
+		k := batch
+		if k > n {
+			k = n
+		}
+		for i := 0; i < k; i++ {
+			net.Send(src, dst, stats.ClassRelaxedData, 80, payload)
+		}
+		if err := eng.Run(); err != nil {
+			b.Fatal(err)
+		}
+		n -= k
+	}
+}
+
+// BenchmarkSendIntraHost: mesh-only hop, no serialization, no jitter.
+func BenchmarkSendIntraHost(b *testing.B) {
+	cfg := CXLConfig()
+	cfg.JitterCycles = 0
+	runSendBench(b, cfg, CoreID(0, 0), DirID(0, 5))
+}
+
+// BenchmarkSendInterHost: switch traversal with egress/ingress serialization.
+func BenchmarkSendInterHost(b *testing.B) {
+	cfg := CXLConfig()
+	cfg.JitterCycles = 0
+	runSendBench(b, cfg, CoreID(0, 0), DirID(1, 5))
+}
+
+// BenchmarkSendJittered: inter-host with delivery jitter, which adds one
+// PRNG draw per message (the paper's adaptive-routing skew model).
+func BenchmarkSendJittered(b *testing.B) {
+	cfg := CXLConfig() // JitterCycles = 4
+	runSendBench(b, cfg, CoreID(0, 0), DirID(1, 5))
+}

@@ -7,8 +7,10 @@
 package noc
 
 import (
+	"cmp"
 	"fmt"
-	"sort"
+	"math"
+	"slices"
 
 	"cord/internal/obs"
 	"cord/internal/sim"
@@ -159,6 +161,18 @@ type link struct {
 // Handler receives delivered messages at a node.
 type Handler func(src NodeID, payload any)
 
+// packID encodes a NodeID into the one-word source tag a sim.DeliverFunc
+// carries: kind in bit 0, tile in bits 1..32, host above. unpackID inverts
+// it. Packing keeps the hot delivery path free of closures — the source node
+// rides in the event slot itself.
+func packID(id NodeID) uint64 {
+	return uint64(id.Host)<<33 | uint64(id.Tile)<<1 | uint64(id.Kind)
+}
+
+func unpackID(w uint64) NodeID {
+	return NodeID{Host: int(w >> 33), Tile: int(w >> 1 & 0xFFFFFFFF), Kind: NodeKind(w & 1)}
+}
+
 // Network connects cores and directories. Handlers are registered per node;
 // Send computes delay (mesh hops, serialization, inter-host latency, jitter),
 // accounts traffic, and schedules the destination handler.
@@ -169,9 +183,17 @@ type Network struct {
 	// obs is the optional observability recorder; nil disables tracing.
 	obs *obs.Recorder
 	// egress[h] / ingress[h] are host h's directional switch ports.
-	egress   []link
-	ingress  []link
-	handlers map[NodeID]Handler
+	egress  []link
+	ingress []link
+	// handlers / deliver are dense per-node tables indexed by
+	// (host, tile, kind): the registered handler and its monomorphic
+	// delivery wrapper (allocated once at Register, reused per message).
+	handlers []Handler
+	deliver  []sim.DeliverFunc
+	// linkWhole is the integral bytes-per-cycle link bandwidth, or 0 when
+	// the configured bandwidth is fractional and serialization falls back
+	// to float ceil.
+	linkWhole uint64
 }
 
 // New creates a network. It panics on invalid configuration, which is a
@@ -180,14 +202,29 @@ func New(eng *sim.Engine, cfg Config, traffic *stats.Traffic) *Network {
 	if err := cfg.Validate(); err != nil {
 		panic(err)
 	}
-	return &Network{
+	n := &Network{
 		eng:      eng,
 		cfg:      cfg,
 		traffic:  traffic,
 		egress:   make([]link, cfg.Hosts),
 		ingress:  make([]link, cfg.Hosts),
-		handlers: make(map[NodeID]Handler),
+		handlers: make([]Handler, cfg.Hosts*cfg.TilesPerHost*2),
+		deliver:  make([]sim.DeliverFunc, cfg.Hosts*cfg.TilesPerHost*2),
 	}
+	if bpc := cfg.LinkBytesPerCycle; bpc >= 1 && bpc == math.Trunc(bpc) {
+		n.linkWhole = uint64(bpc)
+	}
+	return n
+}
+
+// nodeIndex maps a NodeID to its slot in the dense per-node tables, or -1
+// when the ID lies outside the configured geometry.
+func (n *Network) nodeIndex(id NodeID) int {
+	if uint(id.Host) >= uint(n.cfg.Hosts) || uint(id.Tile) >= uint(n.cfg.TilesPerHost) ||
+		uint(id.Kind) > uint(Dir) {
+		return -1
+	}
+	return (id.Host*n.cfg.TilesPerHost+id.Tile)<<1 | int(id.Kind)
 }
 
 // Config returns the network configuration.
@@ -199,10 +236,17 @@ func (n *Network) SetObserver(rec *obs.Recorder) { n.obs = rec }
 
 // Register installs the delivery handler for node id.
 func (n *Network) Register(id NodeID, h Handler) {
-	if _, dup := n.handlers[id]; dup {
+	idx := n.nodeIndex(id)
+	if idx < 0 {
+		panic(fmt.Sprintf("noc: %v outside the configured geometry", id))
+	}
+	if n.handlers[idx] != nil {
 		panic(fmt.Sprintf("noc: duplicate handler for %v", id))
 	}
-	n.handlers[id] = h
+	n.handlers[idx] = h
+	// The one closure per node: unpacks the source word and forwards to the
+	// registered handler. Every untraced delivery reuses it.
+	n.deliver[idx] = func(src uint64, payload any) { h(unpackID(src), payload) }
 }
 
 // interHostOneWay is the inter-host traversal latency in cycles: one link
@@ -234,15 +278,31 @@ func (n *Network) Latency(from, to NodeID) sim.Time {
 	return sim.Time(hops)*n.cfg.HopCycles + n.interHostOneWay(from.Host, to.Host)
 }
 
+// serialization returns the cycles a message of the given size occupies an
+// inter-host port: ceil(bytes / link bandwidth), computed in exact integer
+// arithmetic when the bandwidth is a whole number of bytes per cycle (every
+// Table 1 configuration), with a float ceil fallback for fractional
+// bandwidths.
+func (n *Network) serialization(bytes int) sim.Time {
+	if n.linkWhole != 0 {
+		return sim.Time((uint64(bytes) + n.linkWhole - 1) / n.linkWhole)
+	}
+	return sim.Time(math.Ceil(float64(bytes) / n.cfg.LinkBytesPerCycle))
+}
+
 // Send transmits a message of the given class and size from src to dst and
 // invokes dst's handler with payload on arrival. Inter-host messages consume
 // bandwidth on the source egress and destination ingress ports.
+//
+// The untraced path (no observability recorder, or this message not sampled)
+// performs no allocation: delivery is a monomorphic event carrying the
+// node's pre-built sim.DeliverFunc, the packed source, and the payload.
 func (n *Network) Send(src, dst NodeID, class stats.MsgClass, bytes int, payload any) {
 	if bytes <= 0 {
 		panic(fmt.Sprintf("noc: message size %d must be positive", bytes))
 	}
-	h, ok := n.handlers[dst]
-	if !ok {
+	idx := n.nodeIndex(dst)
+	if idx < 0 || n.handlers[idx] == nil {
 		panic(fmt.Sprintf("noc: no handler registered for %v", dst))
 	}
 	interHost := src.Host != dst.Host
@@ -252,7 +312,7 @@ func (n *Network) Send(src, dst NodeID, class stats.MsgClass, bytes int, payload
 	delay := n.Latency(src, dst)
 	var queueing sim.Time
 	if interHost {
-		ser := sim.Time(float64(bytes)/n.cfg.LinkBytesPerCycle + 0.999999)
+		ser := n.serialization(bytes)
 		now := n.eng.Now()
 		// Egress port serialization with queueing.
 		eg := &n.egress[src.Host]
@@ -278,7 +338,8 @@ func (n *Network) Send(src, dst NodeID, class stats.MsgClass, bytes int, payload
 	if n.obs.Take() {
 		// Trace the whole hop under one sampling decision: the Send now, the
 		// Link entry when the message queued for an inter-host port, and the
-		// Deliver from the arrival continuation.
+		// Deliver from the arrival continuation. This sampled path is the one
+		// place a Send still allocates (the arrival closure below).
 		now := n.eng.Now()
 		osrc, odst := src.Obs(), dst.Obs()
 		n.obs.Record(obs.Event{At: now, Kind: obs.KSend, Src: osrc, Dst: odst,
@@ -287,7 +348,7 @@ func (n *Network) Send(src, dst NodeID, class stats.MsgClass, bytes int, payload
 			n.obs.Record(obs.Event{At: now + queueing, Kind: obs.KLink,
 				Src: osrc, Dst: odst, Class: class, Bytes: bytes, Wait: queueing})
 		}
-		rec := n.obs
+		rec, h := n.obs, n.handlers[idx]
 		n.eng.Schedule(delay, func() {
 			rec.Record(obs.Event{At: n.eng.Now(), Kind: obs.KDeliver,
 				Src: osrc, Dst: odst, Class: class, Bytes: bytes, Dur: delay})
@@ -295,7 +356,7 @@ func (n *Network) Send(src, dst NodeID, class stats.MsgClass, bytes int, payload
 		})
 		return
 	}
-	n.eng.Schedule(delay, func() { h(src, payload) })
+	n.eng.ScheduleDeliver(delay, n.deliver[idx], packID(src), payload)
 }
 
 // LocalDir returns the directory slice co-located with a core: the same tile.
@@ -306,14 +367,13 @@ func LocalDir(core NodeID) NodeID { return NodeID{Host: core.Host, Tile: core.Ti
 // Send calls: delivery jitter consumes PRNG state, so send order must be
 // reproducible.
 func SortIDs(ids []NodeID) {
-	sort.Slice(ids, func(i, j int) bool {
-		a, b := ids[i], ids[j]
-		if a.Host != b.Host {
-			return a.Host < b.Host
+	slices.SortFunc(ids, func(a, b NodeID) int {
+		if c := cmp.Compare(a.Host, b.Host); c != 0 {
+			return c
 		}
-		if a.Tile != b.Tile {
-			return a.Tile < b.Tile
+		if c := cmp.Compare(a.Tile, b.Tile); c != 0 {
+			return c
 		}
-		return a.Kind < b.Kind
+		return cmp.Compare(a.Kind, b.Kind)
 	})
 }

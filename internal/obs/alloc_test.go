@@ -1,0 +1,50 @@
+package obs
+
+import (
+	"testing"
+
+	"cord/internal/stats"
+)
+
+// TestNilRecorderZeroAlloc pins the disabled-observability contract the
+// zero-allocation event kernel depends on: every Recorder method a hot path
+// calls (CountMsg, ObserveLatency, Take, Record, AddStall, DirDepth,
+// EngineDepth) must be a branch-and-return on a nil receiver, never an
+// allocation.
+func TestNilRecorderZeroAlloc(t *testing.T) {
+	var r *Recorder
+	ev := Event{Kind: KSend, Bytes: 64}
+	avg := testing.AllocsPerRun(100, func() {
+		r.CountMsg(stats.ClassRelaxedData, 64, true)
+		r.ObserveLatency(stats.ClassRelaxedData, 300)
+		if r.Take() {
+			t.Fatal("nil recorder must never sample")
+		}
+		r.Record(ev)
+		r.AddStall(0, 10)
+		r.DirDepth(3)
+		r.EngineDepth(7)
+	})
+	if avg != 0 {
+		t.Fatalf("nil-recorder hot-path methods allocate %.1f per call set, want 0", avg)
+	}
+}
+
+// TestMetricsOnlyRecorderZeroAlloc covers the metrics-without-tracing mode
+// (the cordbench -http live registry): complete counters, still no
+// steady-state allocation.
+func TestMetricsOnlyRecorderZeroAlloc(t *testing.T) {
+	r := NewMetricsOnly()
+	avg := testing.AllocsPerRun(100, func() {
+		r.CountMsg(stats.ClassAck, 16, false)
+		r.ObserveLatency(stats.ClassAck, 40)
+		if r.Take() {
+			t.Fatal("metrics-only recorder must never sample events")
+		}
+		r.AddStall(0, 10)
+		r.EngineDepth(5)
+	})
+	if avg != 0 {
+		t.Fatalf("metrics-only hot-path methods allocate %.1f per call set, want 0", avg)
+	}
+}

@@ -23,7 +23,8 @@
 package analyze
 
 import (
-	"sort"
+	"cmp"
+	"slices"
 
 	"cord/internal/obs"
 	"cord/internal/proto"
@@ -130,12 +131,11 @@ func Attribute(events []obs.Event) *Attribution {
 		}
 		out.Cores = append(out.Cores, a.CoreAttribution)
 	}
-	sort.Slice(out.Cores, func(i, j int) bool {
-		a, b := out.Cores[i].Core, out.Cores[j].Core
-		if a.Host != b.Host {
-			return a.Host < b.Host
+	slices.SortFunc(out.Cores, func(x, y CoreAttribution) int {
+		if c := cmp.Compare(x.Core.Host, y.Core.Host); c != 0 {
+			return c
 		}
-		return a.Tile < b.Tile
+		return cmp.Compare(x.Core.Tile, y.Core.Tile)
 	})
 	return out
 }

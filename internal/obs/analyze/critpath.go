@@ -1,7 +1,8 @@
 package analyze
 
 import (
-	"sort"
+	"cmp"
+	"slices"
 
 	"cord/internal/obs"
 	"cord/internal/sim"
@@ -153,18 +154,17 @@ func CriticalPath(events []obs.Event) *CritPath {
 func (cp *CritPath) TopK(k int) []Release {
 	out := make([]Release, len(cp.Releases))
 	copy(out, cp.Releases)
-	sort.Slice(out, func(i, j int) bool {
-		if out[i].Total != out[j].Total {
-			return out[i].Total > out[j].Total
+	slices.SortFunc(out, func(a, b Release) int {
+		if c := cmp.Compare(b.Total, a.Total); c != 0 { // slowest first
+			return c
 		}
-		if out[i].IssueAt != out[j].IssueAt {
-			return out[i].IssueAt < out[j].IssueAt
+		if c := cmp.Compare(a.IssueAt, b.IssueAt); c != 0 {
+			return c
 		}
-		a, b := out[i].Core, out[j].Core
-		if a.Host != b.Host {
-			return a.Host < b.Host
+		if c := cmp.Compare(a.Core.Host, b.Core.Host); c != 0 {
+			return c
 		}
-		return a.Tile < b.Tile
+		return cmp.Compare(a.Core.Tile, b.Core.Tile)
 	})
 	if k < len(out) {
 		out = out[:k]

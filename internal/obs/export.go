@@ -2,9 +2,10 @@ package obs
 
 import (
 	"bufio"
+	"cmp"
 	"fmt"
 	"io"
-	"sort"
+	"slices"
 
 	"cord/internal/sim"
 )
@@ -116,17 +117,17 @@ func WriteChromeTrace(w io.Writer, events []Event) error {
 		tracks = append(tracks, t)
 		hosts[t.host] = true
 	}
-	sort.Slice(tracks, func(i, j int) bool {
-		if tracks[i].host != tracks[j].host {
-			return tracks[i].host < tracks[j].host
+	slices.SortFunc(tracks, func(a, b track) int {
+		if c := cmp.Compare(a.host, b.host); c != 0 {
+			return c
 		}
-		return tracks[i].tid < tracks[j].tid
+		return cmp.Compare(a.tid, b.tid)
 	})
 	hostIDs := make([]int, 0, len(hosts))
 	for h := range hosts {
 		hostIDs = append(hostIDs, h)
 	}
-	sort.Ints(hostIDs)
+	slices.Sort(hostIDs)
 	for _, h := range hostIDs {
 		emit(`{"ph":"M","name":"process_name","pid":%d,"args":{"name":"host%d"}}`, h, h)
 	}

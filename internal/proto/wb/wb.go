@@ -23,7 +23,7 @@ package wb
 
 import (
 	"fmt"
-	"sort"
+	"slices"
 
 	"cord/internal/memsys"
 	"cord/internal/noc"
@@ -248,7 +248,7 @@ func (c *cpu) flushThen(kind stats.StallKind, fn func()) {
 		for line := range c.dirty {
 			lines = append(lines, line)
 		}
-		sort.Slice(lines, func(i, j int) bool { return lines[i] < lines[j] })
+		slices.Sort(lines)
 		for _, line := range lines {
 			vals := c.dirty[line]
 			c.nextTag++
@@ -310,7 +310,7 @@ func (d *dir) handle(_ noc.NodeID, payload any) {
 			for a := range m.Vals {
 				addrs = append(addrs, a)
 			}
-			sort.Slice(addrs, func(i, j int) bool { return addrs[i] < addrs[j] })
+			slices.Sort(addrs)
 			for _, a := range addrs {
 				d.CommitValue(a, m.Vals[a])
 			}

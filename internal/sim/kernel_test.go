@@ -1,0 +1,191 @@
+package sim
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// TestScheduleZeroAllocSteadyState is the allocation regression guard for
+// the untraced hot path: once the slot slab, free list, and wheel reach
+// their high-water marks, a Schedule/fire cycle must not allocate.
+func TestScheduleZeroAllocSteadyState(t *testing.T) {
+	e := NewEngine(1)
+	fn := func() {}
+	// Warm the slab and wheel to their steady-state capacity.
+	for i := 0; i < 4096; i++ {
+		e.Schedule(Time(i%37), fn)
+	}
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	avg := testing.AllocsPerRun(100, func() {
+		for i := 0; i < 64; i++ {
+			e.Schedule(Time(i%8), fn)
+		}
+		if err := e.Run(); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if avg != 0 {
+		t.Fatalf("Schedule/Run steady state allocates %.1f allocs per 64-event batch, want 0", avg)
+	}
+}
+
+// TestScheduleDeliverZeroAlloc covers the monomorphic delivery form the NoC
+// uses: handler, src word, and an already-boxed payload must ride in the
+// event slot without allocation.
+func TestScheduleDeliverZeroAlloc(t *testing.T) {
+	e := NewEngine(1)
+	var got uint64
+	h := DeliverFunc(func(src uint64, payload any) { got += src })
+	payload := any(&struct{ v int }{v: 7})
+	for i := 0; i < 1024; i++ {
+		e.ScheduleDeliver(Time(i%19), h, uint64(i), payload)
+	}
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	avg := testing.AllocsPerRun(100, func() {
+		for i := 0; i < 64; i++ {
+			e.ScheduleDeliver(Time(i%8), h, uint64(i), payload)
+		}
+		if err := e.Run(); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if avg != 0 {
+		t.Fatalf("ScheduleDeliver steady state allocates %.1f allocs per 64-event batch, want 0", avg)
+	}
+	// Allocating far-horizon (overflow heap) events is also steady-state
+	// free once the heap slice is warm.
+	avg = testing.AllocsPerRun(100, func() {
+		for i := 0; i < 64; i++ {
+			e.ScheduleDeliver(wheelSize+Time(i%1000), h, uint64(i), payload)
+		}
+		if err := e.Run(); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if avg != 0 {
+		t.Fatalf("far-event steady state allocates %.1f allocs per 64-event batch, want 0", avg)
+	}
+}
+
+// TestFarEventOrdering drives delays far past the wheel horizon so events
+// flow through the overflow heap and its migration path, and checks the
+// global (at, scheduling order) contract against a reference sort.
+func TestFarEventOrdering(t *testing.T) {
+	rng := rand.New(rand.NewSource(99))
+	e := NewEngine(1)
+	type key struct {
+		at  Time
+		seq int
+	}
+	var fired []key
+	n := 5000
+	want := make([]key, 0, n)
+	for i := 0; i < n; i++ {
+		// Mix near (wheel), boundary, and far (heap) delays.
+		d := Time(rng.Intn(4 * wheelSize))
+		k := key{at: d, seq: i}
+		want = append(want, k)
+		e.Schedule(d, func() {
+			if e.Now() != k.at {
+				t.Errorf("event %d fired at %d, scheduled for %d", k.seq, e.Now(), k.at)
+			}
+			fired = append(fired, k)
+		})
+	}
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if len(fired) != n {
+		t.Fatalf("fired %d of %d events", len(fired), n)
+	}
+	for i := 1; i < n; i++ {
+		a, b := fired[i-1], fired[i]
+		if a.at > b.at || (a.at == b.at && a.seq > b.seq) {
+			t.Fatalf("order violation at %d: (%d,%d) before (%d,%d)", i, a.at, a.seq, b.at, b.seq)
+		}
+	}
+}
+
+// TestHeapToWheelMigrationKeepsSeqOrder pins the one subtle interleaving of
+// the two-level queue: an event scheduled long in advance (overflow heap)
+// must fire before a later-scheduled event for the same cycle (wheel),
+// because migration happens when the clock advances — before the same-cycle
+// event can be scheduled behind it.
+func TestHeapToWheelMigrationKeepsSeqOrder(t *testing.T) {
+	e := NewEngine(1)
+	const target = Time(3 * wheelSize)
+	var order []string
+	// A: scheduled at t=0 for target, delay >= wheelSize -> overflow heap.
+	e.Schedule(target, func() { order = append(order, "heap-first") })
+	// B: scheduled at target-10 for target, delay 10 -> wheel, larger seq.
+	e.Schedule(target-10, func() {
+		e.Schedule(10, func() { order = append(order, "wheel-second") })
+	})
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if len(order) != 2 || order[0] != "heap-first" || order[1] != "wheel-second" {
+		t.Fatalf("same-cycle order across migration = %v, want [heap-first wheel-second]", order)
+	}
+}
+
+// TestRunUntilLeavesFarEventsQueued covers RunUntil peeking across the
+// wheel/heap boundary.
+func TestRunUntilLeavesFarEventsQueued(t *testing.T) {
+	e := NewEngine(1)
+	var fired []Time
+	for _, d := range []Time{5, wheelSize + 50, 2*wheelSize + 7} {
+		d := d
+		e.Schedule(d, func() { fired = append(fired, d) })
+	}
+	if err := e.RunUntil(wheelSize + 50); err != nil {
+		t.Fatal(err)
+	}
+	if len(fired) != 2 {
+		t.Fatalf("fired %v, want the t=5 and t=%d events", fired, wheelSize+50)
+	}
+	if e.Pending() != 1 {
+		t.Fatalf("Pending = %d, want 1 far event left", e.Pending())
+	}
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if len(fired) != 3 {
+		t.Fatalf("fired %v after Run, want all 3", fired)
+	}
+}
+
+// Property: interleaving Run/RunUntil with re-scheduling from callbacks
+// never fires events out of (at, seq) order, across the full delay range.
+func TestMixedHorizonMonotonicFiring(t *testing.T) {
+	f := func(delays []uint16, deadline uint16) bool {
+		e := NewEngine(7)
+		var times []Time
+		for _, d := range delays {
+			e.Schedule(Time(d), func() { times = append(times, e.Now()) })
+		}
+		if err := e.RunUntil(Time(deadline)); err != nil {
+			return false
+		}
+		if err := e.Run(); err != nil {
+			return false
+		}
+		if len(times) != len(delays) {
+			return false
+		}
+		for i := 1; i < len(times); i++ {
+			if times[i] < times[i-1] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}

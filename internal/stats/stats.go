@@ -5,7 +5,7 @@ package stats
 
 import (
 	"fmt"
-	"sort"
+	"slices"
 	"strings"
 
 	"cord/internal/sim"
@@ -315,7 +315,7 @@ func (r *Run) FormatTableSummary() string {
 	for k := range m {
 		keys = append(keys, k)
 	}
-	sort.Strings(keys)
+	slices.Sort(keys)
 	var b strings.Builder
 	for _, k := range keys {
 		fmt.Fprintf(&b, "%s=%dB ", k, m[k])

@@ -1,8 +1,9 @@
 package cord
 
 import (
+	"cmp"
 	"fmt"
-	"sort"
+	"slices"
 
 	"cord/internal/memsys"
 	"cord/internal/noc"
@@ -82,11 +83,11 @@ func SimulateProgram(progs map[CoreRef]Program, p Protocol, s System) (*Result, 
 		}
 		refs = append(refs, r)
 	}
-	sort.Slice(refs, func(i, j int) bool {
-		if refs[i].Host != refs[j].Host {
-			return refs[i].Host < refs[j].Host
+	slices.SortFunc(refs, func(a, b CoreRef) int {
+		if c := cmp.Compare(a.Host, b.Host); c != 0 {
+			return c
 		}
-		return refs[i].Core < refs[j].Core
+		return cmp.Compare(a.Core, b.Core)
 	})
 	cores := make([]noc.NodeID, len(refs))
 	ps := make([]Program, len(refs))
