@@ -5,6 +5,7 @@ import (
 	"cord/internal/noc"
 	"cord/internal/proto"
 	"cord/internal/proto/cord"
+	"cord/internal/proto/core"
 	"cord/internal/workload"
 )
 
@@ -34,9 +35,12 @@ func AblationNotifications() ([]AblationPoint, error) {
 		if err != nil {
 			return nil, err
 		}
-		cfg := cord.DefaultConfig()
-		cfg.NoNotifications = true
-		ab, err := Run(w, &cord.Protocol{Cfg: cfg}, NetConfig(CXL), proto.RC, 42)
+		// The ablation is a core-level variant: the same switch the litmus
+		// "no-notifications" config model-checks is applied to the simulated
+		// configuration here, so the measured and verified rule sets match.
+		variant := &cord.Protocol{Cfg: cord.DefaultConfig(),
+			Variants: []core.Variant{core.VariantNoNotifications}}
+		ab, err := Run(w, variant, NetConfig(CXL), proto.RC, 42)
 		if err != nil {
 			return nil, err
 		}

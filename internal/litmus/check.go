@@ -1,11 +1,18 @@
 package litmus
 
-import "fmt"
+import (
+	"fmt"
 
-// checker binds a test and configuration during exploration.
+	"cord/internal/proto/core"
+)
+
+// checker binds a test and configuration during exploration. cp is the
+// config resolved into the shared core-rule parameters — the same struct
+// the simulator's cord adapter resolves its Config into.
 type checker struct {
 	t   Test
 	cfg Config
+	cp  core.CordParams
 }
 
 // Check exhaustively explores every interleaving of processor steps and
@@ -19,10 +26,10 @@ func Check(t Test, cfg Config) (Result, error) {
 	if maxStates == 0 {
 		maxStates = 4_000_000
 	}
-	c := &checker{t: t, cfg: cfg}
+	c := &checker{t: t, cfg: cfg, cp: cfg.cordParams()}
 	res := Result{Test: t, Config: cfg, Outcomes: make(map[string]Outcome)}
 
-	start := newWorld(t)
+	start := newWorld(t, cfg)
 	visited := map[string]bool{start.key(): true}
 	stack := []*world{start}
 	for len(stack) > 0 {
@@ -79,8 +86,8 @@ func (c *checker) terminal(w *world) bool {
 		return false
 	}
 	for d := range w.dirs {
-		if len(w.dirs[d].pendingRel)+len(w.dirs[d].pendingReq)+
-			len(w.dirs[d].mpPend)+len(w.dirs[d].mpFlushes) > 0 {
+		ds := &w.dirs[d]
+		if ds.cord.Buffered() > 0 || len(ds.mp.Pending) > 0 || len(ds.mp.Flushes) > 0 {
 			return false
 		}
 	}
@@ -93,10 +100,9 @@ func (c *checker) terminal(w *world) bool {
 func (c *checker) windowViolated(w *world) bool {
 	win := c.cfg.epochWindow()
 	for p := range w.procs {
-		if oldest, any := w.procs[p].oldestUnacked(); any {
-			if w.procs[p].ep-oldest > win {
-				return true
-			}
+		cp := &w.procs[p].cord
+		if len(cp.Unacked) > 0 && cp.Ep-cp.Unacked[0].Ep > win {
+			return true
 		}
 	}
 	return false

@@ -6,13 +6,17 @@
 // The checker runs litmus tests (MP, ISA2, WRC, release chains, ...) under
 // operational models of CORD (the full Alg. 1/2 state machines including
 // epoch windows, counter overflow flushes and bounded tables), source
-// ordering, and message passing. For each test it computes every reachable
-// terminal outcome under every interleaving of processor steps and
-// (unordered) message deliveries, then checks the test's forbidden outcome
-// against the protocol's guarantee:
+// ordering, message passing, and the write-back ownership baseline. The
+// protocol transition rules themselves live in internal/proto/core and are
+// byte-for-byte the rules the simulator adapters execute: this package only
+// drives them — it picks which enabled transition fires, applies memory-cell
+// effects, and forks the world (DESIGN.md §9). For each test it computes
+// every reachable terminal outcome under every interleaving of processor
+// steps and (unordered) message deliveries, then checks the test's
+// forbidden outcome against the protocol's guarantee:
 //
-//   - CORD and SO must never reach an outcome release consistency forbids,
-//     and must never deadlock;
+//   - CORD, SO and WB must never reach an outcome release consistency
+//     forbids, and must never deadlock;
 //   - MP *does* reach the ISA2-class forbidden outcomes when the
 //     synchronization chain spans three parties (§3.2, Fig. 3) — the checker
 //     demonstrates the violation rather than asserting its absence.
@@ -23,7 +27,11 @@
 // herd-generated plus 180 customized tests.
 package litmus
 
-import "fmt"
+import (
+	"fmt"
+
+	"cord/internal/proto/core"
+)
 
 // Bounds of the model (like the paper's: up to 4 nodes, 4 addresses).
 const (
@@ -194,6 +202,8 @@ const (
 	SOP
 	// MPP is the message-passing (posted write) processor model.
 	MPP
+	// WBP is the write-back ownership (MESI-style) processor model.
+	WBP
 )
 
 func (p ProtoKind) String() string {
@@ -204,6 +214,8 @@ func (p ProtoKind) String() string {
 		return "SO"
 	case MPP:
 		return "MP"
+	case WBP:
+		return "WB"
 	}
 	return fmt.Sprintf("proto(%d)", int(p))
 }
@@ -220,8 +232,21 @@ type Config struct {
 	CntMax int
 	// ProcUnackedCap bounds the unacknowledged-epoch table.
 	ProcUnackedCap int
+	// ProcCntCap bounds the processor's per-directory store-counter table;
+	// a relaxed store needing a fresh entry stall-flushes when full
+	// (0 = unbounded, which the model size caps at MaxDirs anyway).
+	ProcCntCap int
 	// DirCapPerProc bounds per-processor directory table shares.
 	DirCapPerProc int
+	// WBMSHRs bounds outstanding ownership fills for WBP processors
+	// (0 = default of 2).
+	WBMSHRs int
+	// NoNotifications ablates the inter-directory notification mechanism
+	// (§4.2), the same switch as core.VariantNoNotifications.
+	NoNotifications bool
+	// Variants applies core-level ablation switches — the same registry
+	// the simulator's cord.Protocol consumes — on top of the scalar knobs.
+	Variants []core.Variant
 	// MaxStates aborts exploration beyond this many states (0 = default).
 	MaxStates int
 }
@@ -233,7 +258,9 @@ func DefaultConfig() Config {
 		EpochBits:      8,
 		CntMax:         255,
 		ProcUnackedCap: 8,
+		ProcCntCap:     8,
 		DirCapPerProc:  8,
+		WBMSHRs:        2,
 	}
 }
 
@@ -245,7 +272,9 @@ func TinyConfig() Config {
 		EpochBits:      2,
 		CntMax:         1,
 		ProcUnackedCap: 1,
+		ProcCntCap:     1,
 		DirCapPerProc:  1,
+		WBMSHRs:        1,
 	}
 }
 
@@ -266,6 +295,39 @@ func (c Config) epochWindow() uint64 {
 		return 1 << 62
 	}
 	return (uint64(1) << c.EpochBits) - 1
+}
+
+// wbMSHRs resolves the WBP MSHR bound.
+func (c Config) wbMSHRs() int {
+	if c.WBMSHRs <= 0 {
+		return 2
+	}
+	return c.WBMSHRs
+}
+
+// cordParams resolves the configuration into the shared core-rule
+// parameters, mirroring cord.Config.Params on the simulator side, then
+// applies any core-level variant switches.
+func (c Config) cordParams() core.CordParams {
+	cp := core.CordParams{
+		CntMax:            uint64(c.CntMax),
+		EpochWindow:       c.epochWindow(),
+		ProcUnackedCap:    c.ProcUnackedCap,
+		ProcCntCap:        c.ProcCntCap,
+		DirCntCapPerProc:  c.DirCapPerProc,
+		DirNotiCapPerProc: c.DirCapPerProc,
+		NoNotifications:   c.NoNotifications,
+	}
+	if c.CntMax <= 0 {
+		cp.CntMax = 1 << 62 // unconfigured: effectively unbounded
+	}
+	if cp.ProcCntCap <= 0 {
+		cp.ProcCntCap = MaxDirs // unbounded within the model size
+	}
+	for _, v := range c.Variants {
+		v.Apply(&cp)
+	}
+	return cp
 }
 
 // Result is the verdict of exhaustive exploration.

@@ -3,6 +3,8 @@ package litmus
 import (
 	"strings"
 	"testing"
+
+	"cord/internal/proto/core"
 )
 
 func mustCheck(t *testing.T, test Test, cfg Config) Result {
@@ -281,7 +283,7 @@ func TestBarrierOrdersUnderAllProtocols(t *testing.T) {
 	// ordering even under message passing (the flushing read), and of
 	// course under CORD and SO.
 	mpBar := base(t, "MP+bar")
-	for _, pk := range []ProtoKind{CORDP, SOP, MPP} {
+	for _, pk := range []ProtoKind{CORDP, SOP, MPP, WBP} {
 		cfg := DefaultConfig()
 		cfg.Protos = []ProtoKind{pk}
 		r := mustCheck(t, mpBar, cfg)
@@ -364,7 +366,7 @@ func TestAtomicReleasePublishes(t *testing.T) {
 			return o.Regs[1][0] == 1 && o.Regs[1][1] == 0
 		},
 	}
-	for _, pk := range []ProtoKind{CORDP, SOP} {
+	for _, pk := range []ProtoKind{CORDP, SOP, WBP} {
 		cfg := DefaultConfig()
 		cfg.Protos = []ProtoKind{pk}
 		r := mustCheck(t, shape, cfg)
@@ -399,7 +401,7 @@ func TestAtomicsNeverLoseUpdates(t *testing.T) {
 			return o.Regs[0][0] == o.Regs[1][0] // both read the same old value
 		},
 	}
-	for _, pk := range []ProtoKind{CORDP, SOP, MPP} {
+	for _, pk := range []ProtoKind{CORDP, SOP, MPP, WBP} {
 		cfg := DefaultConfig()
 		cfg.Protos = []ProtoKind{pk}
 		r := mustCheck(t, shape, cfg)
@@ -428,5 +430,87 @@ func TestAtomicUnderTinyCORD(t *testing.T) {
 	if !r.Pass() {
 		t.Fatalf("tiny CORD atomic: forbidden=%t deadlock=%t window=%t",
 			r.Forbidden, r.Deadlock, r.WindowViolated)
+	}
+}
+
+func TestWBPassesAllBaseShapes(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Protos = []ProtoKind{WBP}
+	for _, b := range BaseTests() {
+		r := mustCheck(t, b, cfg)
+		if !r.Pass() {
+			t.Errorf("WB %s: forbidden=%t deadlock=%t reached=%t",
+				b.Name, r.Forbidden, r.Deadlock, r.Reached)
+		}
+	}
+}
+
+func TestWBSingleMSHRDoesNotDeadlock(t *testing.T) {
+	// Four relaxed stores to four distinct lines through a single MSHR:
+	// every miss must drain before the next allocates, and the release
+	// flush must still publish all of them before the flag.
+	shape := Test{
+		Name: "wb-mshr-pressure",
+		Progs: [][]Op{
+			{St(X, 1), St(Y, 1), St(Z, 1), StRel(W, 1)},
+			{LdAcq(W, 0), Ld(X, 1), Ld(Y, 2), Ld(Z, 3)},
+		},
+		Home: []int{0, 1, 2, 2},
+		Forbidden: func(o Outcome) bool {
+			return o.Regs[1][0] == 1 &&
+				(o.Regs[1][1] == 0 || o.Regs[1][2] == 0 || o.Regs[1][3] == 0)
+		},
+	}
+	cfg := DefaultConfig()
+	cfg.Protos = []ProtoKind{WBP}
+	cfg.WBMSHRs = 1
+	r := mustCheck(t, shape, cfg)
+	if !r.Pass() {
+		t.Fatalf("WB with 1 MSHR: forbidden=%t deadlock=%t", r.Forbidden, r.Deadlock)
+	}
+}
+
+func TestWBWriteLocalityStaysCached(t *testing.T) {
+	// Repeated stores to one line dirty the cache without traffic; the
+	// observer must never see the second value without the first release
+	// boundary having flushed both (they merge into one write-back).
+	shape := Test{
+		Name: "wb-reuse",
+		Progs: [][]Op{
+			{St(X, 1), St(X, 2), StRel(Y, 1)},
+			{LdAcq(Y, 0), Ld(X, 1)},
+		},
+		Home: []int{0, 1},
+		Forbidden: func(o Outcome) bool {
+			return o.Regs[1][0] == 1 && o.Regs[1][1] != 2
+		},
+	}
+	cfg := DefaultConfig()
+	cfg.Protos = []ProtoKind{WBP}
+	r := mustCheck(t, shape, cfg)
+	if !r.Pass() {
+		t.Fatalf("WB reuse: forbidden=%t deadlock=%t", r.Forbidden, r.Deadlock)
+	}
+}
+
+func TestNoNotificationsVariantEquivalence(t *testing.T) {
+	// The core.VariantNoNotifications switch and the scalar
+	// Config.NoNotifications flag must explore identical outcome sets —
+	// they resolve to the same core parameter.
+	viaFlag := DefaultConfig()
+	viaFlag.NoNotifications = true
+	viaVariant := DefaultConfig()
+	viaVariant.Variants = []core.Variant{core.VariantNoNotifications}
+	for _, b := range BaseTests() {
+		a := mustCheck(t, b, viaFlag)
+		v := mustCheck(t, b, viaVariant)
+		if !a.Pass() || !v.Pass() {
+			t.Errorf("%s: no-notifications failed (flag pass=%t, variant pass=%t)",
+				b.Name, a.Pass(), v.Pass())
+		}
+		if len(a.Outcomes) != len(v.Outcomes) || a.States != v.States {
+			t.Errorf("%s: flag and variant diverge: %d/%d outcomes, %d/%d states",
+				b.Name, len(a.Outcomes), len(v.Outcomes), a.States, v.States)
+		}
 	}
 }

@@ -1,6 +1,15 @@
 package litmus
 
-import "fmt"
+import (
+	"fmt"
+
+	"cord/internal/proto/core"
+)
+
+// This file is the model checker's *driver*: it decides which transition to
+// attempt and applies memory-cell effects, but every protocol decision —
+// admission, eligibility, fan-out, table bookkeeping — is delegated to the
+// rules in internal/proto/core, the same rules the simulator adapters run.
 
 // home returns the directory owning an address under the test's placement.
 func (c *checker) home(a Addr) int { return c.t.Home[a] }
@@ -20,12 +29,6 @@ func (c *checker) stepProc(w *world, p int) *world {
 		return nil
 	}
 	op := c.t.Progs[p][ps.pc]
-	if op.Kind == OpBar {
-		return c.stepBarrier(w, p)
-	}
-	if op.Kind == OpAt {
-		return c.stepAtomic(w, p, op)
-	}
 	if op.Kind == OpLd {
 		// Loads read the home directory's committed value. Modeling the
 		// read as atomic-at-home matches non-caching write-through
@@ -37,174 +40,164 @@ func (c *checker) stepProc(w *world, p int) *world {
 	}
 	switch c.cfg.protoFor(p) {
 	case CORDP:
-		return c.stepCORD(w, p, op)
+		return c.cordOp(w, p, op)
 	case SOP:
-		return c.stepSO(w, p, op)
+		return c.soOp(w, p, op)
 	case MPP:
-		return c.stepMP(w, p, op)
+		return c.mpOp(w, p, op)
+	case WBP:
+		return c.wbOp(w, p, op)
 	}
-	panic("litmus: unknown protocol")
+	panic(fmt.Sprintf("litmus: processor %d runs unknown protocol", p))
 }
 
-// --- CORD processor (Alg. 1) ------------------------------------------------
+// --- CORD processor (Alg. 1 via core.CordProc) ---
 
-// cordProvisioned applies the §4.3 pre-issue checks for a Release to dir d.
-func (c *checker) cordProvisioned(ps *procState, d int) bool {
-	if len(ps.unacked) >= c.cfg.ProcUnackedCap {
-		return false
-	}
-	if oldest, any := ps.oldestUnacked(); any && ps.ep-oldest >= c.cfg.epochWindow() {
-		return false
-	}
-	if ps.unackedCount(d) >= c.cfg.DirCapPerProc {
-		return false
-	}
-	return true
-}
-
-func (c *checker) stepCORD(w *world, p int, op Op) *world {
-	d := c.home(op.Addr)
+func (c *checker) cordOp(w *world, p int, op Op) *world {
 	ps := &w.procs[p]
-	if op.Ord == Rel {
-		if !c.cordProvisioned(ps, d) {
-			return nil // stall (table full / window) until an ack arrives
+	switch op.Kind {
+	case OpBar:
+		// Release barrier (§4.4): broadcast empty releases to every dirty
+		// directory, then stall until all outstanding epochs are acked.
+		if ps.cord.Dirty() {
+			s := w.clone()
+			msgs, ok, _ := s.procs[p].cord.IssueBarrier(c.cp, -1, p, nil)
+			if !ok {
+				return nil // under-provisioned: wait for acks
+			}
+			s.net = append(s.net, msgs...)
+			return s // pc unchanged; completion is the next attempt
 		}
-		s := w.clone()
-		c.cordIssueRelease(s, p, d, op.Addr, op.Val, false)
-		s.procs[p].pc++
-		return s
-	}
-	// Relaxed store. Counter overflow (§4.1): inject an empty flush Release
-	// to d and stall until it is acknowledged, then retry this op.
-	if int(ps.cnt[d]) >= c.cfg.CntMax {
-		if !c.cordProvisioned(ps, d) {
+		if len(ps.cord.Unacked) > 0 {
 			return nil
 		}
 		s := w.clone()
-		ep := s.procs[p].ep
-		c.cordIssueRelease(s, p, d, 0, 0, true)
-		s.procs[p].flushWait = int64(ep)
-		return s // pc unchanged: the relaxed store retries after the ack
+		s.procs[p].pc++
+		return s
+	case OpSt, OpAt:
+		rel := core.Msg{Src: p, Addr: uint64(op.Addr), Val: uint64(op.Val)}
+		if op.Kind == OpAt {
+			rel.Atomic = true
+			rel.Tag = uint64(op.Reg)
+		}
+		if op.Ord == Rel {
+			return c.cordRelease(w, p, c.home(op.Addr), rel)
+		}
+		return c.cordRelaxed(w, p, c.home(op.Addr), rel)
+	}
+	panic(fmt.Sprintf("litmus: CORD cannot execute %v", op))
+}
+
+// cordRelaxed posts a directory-ordered relaxed store (or relaxed far
+// atomic), stall-flushing first if the store counter would overflow or the
+// counter table has no free slot (§4.3).
+func (c *checker) cordRelaxed(w *world, p, d int, st core.Msg) *world {
+	ps := &w.procs[p]
+	if ps.cord.RelaxedAdmit(c.cp, d) != core.AdmitOK {
+		// Inject an empty release to d through the full release path
+		// (ReqNotify fan-out included), stall until it acks, then retry.
+		if !ps.cord.Provisioned(c.cp, d) {
+			return nil
+		}
+		s := w.clone()
+		sp := &s.procs[p]
+		ep := sp.cord.Ep
+		s.net = append(s.net, sp.cord.IssueRelease(d, core.Msg{Src: p, Barrier: true}, nil)...)
+		sp.flushWait = int64(ep)
+		return s // pc unchanged
 	}
 	s := w.clone()
 	sp := &s.procs[p]
-	sp.cnt[d]++
-	s.net = append(s.net, msg{kind: mRelaxed, src: p, dir: d, addr: op.Addr, val: op.Val, ep: sp.ep})
+	ep, _ := sp.cord.NoteRelaxed(d)
+	st.Kind = core.MRelaxed
+	st.Dir = d
+	st.Ep = ep
+	if st.Atomic {
+		sp.atomWait = true
+	}
+	s.net = append(s.net, st)
 	sp.pc++
 	return s
 }
 
-// cordIssueReleaseMsg issues a Release fetch-add through the full Release
-// path.
-func (c *checker) cordIssueReleaseMsg(s *world, p, d int, op Op, atomic bool) {
-	c.cordIssueReleaseFull(s, p, d, op.Addr, op.Val, false, atomic, op.Reg)
-}
-
-// cordIssueRelease performs Alg. 1 lines 5-13 on s in place.
-func (c *checker) cordIssueRelease(s *world, p, d int, a Addr, v int, flush bool) {
-	c.cordIssueReleaseFull(s, p, d, a, v, flush, false, 0)
-}
-
-func (c *checker) cordIssueReleaseFull(s *world, p, d int, a Addr, v int, flush, atomic bool, reg int) {
-	sp := &s.procs[p]
-	// Pending directories: Relaxed stores this epoch or unacked Releases.
-	var pend []int
-	for dir := 0; dir < MaxDirs; dir++ {
-		if dir == d {
-			continue
-		}
-		if sp.cnt[dir] > 0 || sp.unackedCount(dir) > 0 {
-			pend = append(pend, dir)
-		}
-	}
-	for _, pd := range pend {
-		s.net = append(s.net, msg{
-			kind: mReqNotify, src: p, dir: pd, ep: sp.ep,
-			cnt: sp.cnt[pd], prev: sp.lastUnackedFor(pd), dst: d,
-		})
-	}
-	s.net = append(s.net, msg{
-		kind: mRelease, src: p, dir: d, addr: a, val: v, ep: sp.ep,
-		cnt: sp.cnt[d], prev: sp.lastUnackedFor(d), noti: len(pend), flag: flush,
-		atom: atomic, reg: reg,
-	})
-	sp.unacked = append(sp.unacked, unackedEntry{ep: sp.ep, dir: d})
-	sp.ep++
-	for dir := range sp.cnt {
-		sp.cnt[dir] = 0
-	}
-}
-
-// --- barriers (§4.4) ---------------------------------------------------------
-
-// stepBarrier executes a Release/SC barrier. CORD: if the epoch holds
-// Relaxed stores, broadcast empty directory-ordered Releases to their
-// directories (one step), then stall until every Release is acknowledged.
-// SO: stall until all acks. MP: issue flushing reads to every posted-to
-// destination once, then stall until they all respond.
-func (c *checker) stepBarrier(w *world, p int) *world {
+// cordRelease issues a release store (or release far atomic) to directory d
+// with its notification-request fan-out.
+func (c *checker) cordRelease(w *world, p, d int, rel core.Msg) *world {
 	ps := &w.procs[p]
-	switch c.cfg.protoFor(p) {
-	case CORDP:
-		dirty := false
-		for _, n := range ps.cnt {
-			if n > 0 {
-				dirty = true
-			}
-		}
-		if dirty {
-			// Broadcast the barrier epoch's empty Releases; the pc stays at
-			// the barrier, whose next attempt takes the waiting path.
+	if c.cp.NoNotifications {
+		// Ablated §4.2: fall back to source ordering across directories —
+		// drain the other dirty directories with empty releases, wait for
+		// their acks, then release with an empty fan-out.
+		if ps.cord.DirtyOutside(d) {
 			s := w.clone()
-			sp := &s.procs[p]
-			ep := sp.ep
-			issued := false
-			for d := 0; d < MaxDirs; d++ {
-				if sp.cnt[d] == 0 {
-					continue
-				}
-				if !c.cordProvisioned(sp, d) {
-					return nil // stall for table space first
-				}
-				s.net = append(s.net, msg{
-					kind: mRelease, src: p, dir: d, ep: ep,
-					cnt: sp.cnt[d], prev: sp.lastUnackedFor(d), flag: true,
-				})
-				sp.unacked = append(sp.unacked, unackedEntry{ep: ep, dir: d})
-				issued = true
+			msgs, ok, _ := s.procs[p].cord.IssueBarrier(c.cp, d, p, nil)
+			if !ok {
+				return nil
 			}
-			if issued {
-				sp.ep++
-				for d := range sp.cnt {
-					sp.cnt[d] = 0
-				}
-			}
-			return s
+			s.net = append(s.net, msgs...)
+			return s // pc unchanged; the release follows after the drain
 		}
-		if len(ps.unacked) > 0 {
-			return nil // wait for outstanding acknowledgments
+		if ps.cord.UnackedOutside(d) {
+			return nil
 		}
-		s := w.clone()
-		s.procs[p].pc++
-		return s
-	case SOP:
-		if ps.pendingAcks > 0 {
+	}
+	if !ps.cord.Provisioned(c.cp, d) {
+		return nil
+	}
+	s := w.clone()
+	sp := &s.procs[p]
+	s.net = append(s.net, sp.cord.IssueRelease(d, rel, nil)...)
+	if rel.Atomic {
+		sp.atomWait = true
+	}
+	sp.pc++
+	return s
+}
+
+// --- SO processor (source ordering via core.SOProc) ---
+
+func (c *checker) soOp(w *world, p int, op Op) *world {
+	ps := &w.procs[p]
+	if op.Kind == OpBar {
+		if !ps.so.Drained() {
 			return nil
 		}
 		s := w.clone()
 		s.procs[p].pc++
 		return s
-	case MPP:
+	}
+	if op.Ord == Rel && !ps.so.CanIssueOrdered() {
+		return nil // a release waits for every prior store's ack
+	}
+	s := w.clone()
+	sp := &s.procs[p]
+	sp.so.NoteStore()
+	m := core.Msg{Kind: core.MSOStore, Src: p, Dir: c.home(op.Addr),
+		Addr: uint64(op.Addr), Val: uint64(op.Val), Release: op.Ord == Rel}
+	if op.Kind == OpAt {
+		m.Atomic = true
+		m.Tag = uint64(op.Reg)
+		sp.atomWait = true
+	}
+	s.net = append(s.net, m)
+	sp.pc++
+	return s
+}
+
+// --- MP processor (posted writes via core.MPProc) ---
+
+func (c *checker) mpOp(w *world, p int, op Op) *world {
+	ps := &w.procs[p]
+	if op.Kind == OpBar {
+		// A barrier is a flushing read to every posted-to ordering domain
+		// (here: directory); issue the fan-out once, then stall for the
+		// responses.
 		if !ps.barIssued {
 			s := w.clone()
 			sp := &s.procs[p]
-			for d := 0; d < MaxDirs; d++ {
-				if sp.seq[d] == 0 {
-					continue
-				}
-				s.net = append(s.net, msg{kind: mMPFlush, src: p, dir: d, seq: sp.seq[d] - 1})
-				sp.mpFlushPending++
-			}
+			msgs := sp.mp.FlushTargets(p, nil)
+			s.net = append(s.net, msgs...)
+			sp.mpFlushPending = len(msgs)
 			sp.barIssued = true
 			return s
 		}
@@ -216,301 +209,243 @@ func (c *checker) stepBarrier(w *world, p int) *world {
 		s.procs[p].pc++
 		return s
 	}
-	panic("litmus: unknown protocol")
+	d := c.home(op.Addr)
+	s := w.clone()
+	sp := &s.procs[p]
+	m := core.Msg{Kind: core.MMPStore, Src: p, Dir: d, Seq: sp.mp.NextSeq(d),
+		Addr: uint64(op.Addr), Val: uint64(op.Val)}
+	if op.Kind == OpAt {
+		// Non-posted far atomic: ordered in the same per-domain stream.
+		m.Atomic = true
+		m.Tag = uint64(op.Reg)
+		sp.atomWait = true
+	}
+	s.net = append(s.net, m)
+	sp.pc++
+	return s
 }
 
-// --- atomics -------------------------------------------------------------------
+// --- WB processor (write-back ownership via core.WBProc) ---
 
-// stepAtomic issues a far fetch-add. It is ordered exactly like the
-// corresponding store under each protocol, and the processor blocks until
-// the value response (atomWait).
-func (c *checker) stepAtomic(w *world, p int, op Op) *world {
-	d := c.home(op.Addr)
+func (c *checker) wbOp(w *world, p int, op Op) *world {
 	ps := &w.procs[p]
-	switch c.cfg.protoFor(p) {
-	case CORDP:
-		if op.Ord == Rel {
-			if !c.cordProvisioned(ps, d) {
-				return nil
-			}
+	ordered := op.Ord == Rel || op.Kind == OpBar
+	if ordered {
+		// Release discipline: drain MSHRs, write every dirty line back,
+		// drain the acknowledgments, then perform the op proper.
+		if !ps.wb.CanFlush() {
+			return nil
+		}
+		if len(ps.wb.Dirty) > 0 {
 			s := w.clone()
-			c.cordIssueReleaseMsg(s, p, d, op, true)
-			s.procs[p].atomWait = true
+			sp := &s.procs[p]
+			sp.wb.FlushLines(func(_ uint64, vals map[uint64]uint64) {
+				for a, v := range vals {
+					s.net = append(s.net, core.Msg{Kind: core.MWBData, Src: p,
+						Dir: c.home(Addr(a)), Addr: a, Val: v})
+				}
+			})
+			return s // pc unchanged; the op follows once acks drain
+		}
+		if !ps.wb.Drained() {
+			return nil
+		}
+		if op.Kind == OpBar {
+			s := w.clone()
 			s.procs[p].pc++
 			return s
 		}
-		if int(ps.cnt[d]) >= c.cfg.CntMax {
-			if !c.cordProvisioned(ps, d) {
-				return nil
-			}
-			s := w.clone()
-			ep := s.procs[p].ep
-			c.cordIssueRelease(s, p, d, 0, 0, true)
-			s.procs[p].flushWait = int64(ep)
-			return s
+	}
+	if op.Kind == OpAt || op.Ord == Rel {
+		// Flags and far atomics are written through at the home directory
+		// (uncached), acked individually.
+		s := w.clone()
+		sp := &s.procs[p]
+		sp.wb.NoteFlag()
+		m := core.Msg{Kind: core.MWBFlag, Src: p, Dir: c.home(op.Addr),
+			Addr: uint64(op.Addr), Val: uint64(op.Val)}
+		if op.Kind == OpAt {
+			m.Atomic = true
+			m.Tag = uint64(op.Reg)
+			sp.atomWait = true
 		}
-		s := w.clone()
-		sp := &s.procs[p]
-		sp.cnt[d]++
-		s.net = append(s.net, msg{kind: mRelaxed, src: p, dir: d, addr: op.Addr,
-			val: op.Val, ep: sp.ep, atom: true, reg: op.Reg})
-		sp.atomWait = true
-		sp.pc++
-		return s
-	case SOP:
-		if op.Ord == Rel && ps.pendingAcks > 0 {
-			return nil
-		}
-		s := w.clone()
-		sp := &s.procs[p]
-		sp.pendingAcks++
-		s.net = append(s.net, msg{kind: mSOStore, src: p, dir: d, addr: op.Addr,
-			val: op.Val, flag: op.Ord == Rel, atom: true, reg: op.Reg})
-		sp.atomWait = true
-		sp.pc++
-		return s
-	case MPP:
-		s := w.clone()
-		sp := &s.procs[p]
-		s.net = append(s.net, msg{kind: mMPStore, src: p, dir: d, addr: op.Addr,
-			val: op.Val, seq: sp.seq[d], atom: true, reg: op.Reg})
-		sp.seq[d]++
-		sp.atomWait = true
+		s.net = append(s.net, m)
 		sp.pc++
 		return s
 	}
-	panic("litmus: unknown protocol")
-}
-
-// --- SO processor ------------------------------------------------------------
-
-func (c *checker) stepSO(w *world, p int, op Op) *world {
-	d := c.home(op.Addr)
-	ps := &w.procs[p]
-	if op.Ord == Rel && ps.pendingAcks > 0 {
-		return nil // source ordering: wait for all prior acks
+	// Relaxed store: allocate ownership of the line (one line per model
+	// address) and merge into the dirty table.
+	line := uint64(op.Addr)
+	switch ps.wb.StoreAdmit(c.cfg.wbMSHRs(), line) {
+	case core.WBMSHRFull:
+		return nil
+	case core.WBHit:
+		s := w.clone()
+		s.procs[p].wb.RecordDirty(line, uint64(op.Addr), uint64(op.Val))
+		s.procs[p].pc++
+		return s
+	default: // WBMiss
+		s := w.clone()
+		sp := &s.procs[p]
+		sp.wb.BeginFetch(line)
+		sp.wb.RecordDirty(line, uint64(op.Addr), uint64(op.Val))
+		s.net = append(s.net, core.Msg{Kind: core.MWBGetM, Src: p,
+			Dir: c.home(op.Addr), Addr: line})
+		sp.pc++
+		return s
 	}
-	s := w.clone()
-	sp := &s.procs[p]
-	sp.pendingAcks++
-	s.net = append(s.net, msg{kind: mSOStore, src: p, dir: d, addr: op.Addr, val: op.Val,
-		flag: op.Ord == Rel})
-	sp.pc++
-	return s
 }
 
-// --- MP processor ------------------------------------------------------------
+// --- deliveries ---
 
-func (c *checker) stepMP(w *world, p int, op Op) *world {
-	d := c.home(op.Addr)
-	s := w.clone()
-	sp := &s.procs[p]
-	s.net = append(s.net, msg{kind: mMPStore, src: p, dir: d, addr: op.Addr, val: op.Val,
-		seq: sp.seq[d]})
-	sp.seq[d]++
-	sp.pc++
-	return s
-}
-
-// --- delivery ----------------------------------------------------------------
-
-// deliver mutates s by handling m at its destination.
-func (c *checker) deliver(s *world, m msg) {
-	switch m.kind {
-	case mRelaxed:
-		ds := &s.dirs[m.dir]
-		if m.atom {
-			old := ds.mem[m.addr]
-			ds.mem[m.addr] = old + m.val
-			s.net = append(s.net, msg{kind: mAtResp, src: m.src, val: old, reg: m.reg})
+// deliver applies one in-flight message to the world (the message is
+// already removed from s.net).
+func (c *checker) deliver(s *world, m core.Msg) {
+	switch m.Kind {
+	case core.MRelaxed:
+		ds := &s.dirs[m.Dir]
+		if m.Atomic {
+			old := ds.mem[m.Addr]
+			ds.mem[m.Addr] += int(m.Val)
+			s.net = append(s.net, core.Msg{Kind: core.MAtomicResp, Src: m.Src,
+				Val: uint64(old), Tag: m.Tag})
 		} else {
-			ds.mem[m.addr] = m.val
+			ds.mem[m.Addr] = int(m.Val)
 		}
-		ds.cnt = peAdd(ds.cnt, m.src, m.ep, 1)
-		c.reeval(s, m.dir)
-	case mRelease:
-		ds := &s.dirs[m.dir]
-		if c.relEligible(ds, m) {
-			c.commitRelease(s, m.dir, m)
+		ds.cord.NoteRelaxed(m.Src, m.Ep)
+		c.reeval(s, m.Dir)
+	case core.MRelease:
+		if s.dirs[m.Dir].cord.ReleaseEligible(m) {
+			c.commitRelease(s, m.Dir, m)
+			c.reeval(s, m.Dir)
 		} else {
-			ds.pendingRel = append(ds.pendingRel, m)
+			s.dirs[m.Dir].cord.BufferRelease(m)
 		}
-	case mReqNotify:
-		ds := &s.dirs[m.dir]
-		if c.reqEligible(ds, m) {
-			c.sendNotify(s, m.dir, m)
+	case core.MReqNotify:
+		if s.dirs[m.Dir].cord.ReqEligible(m) {
+			c.serveNotify(s, m.Dir, m)
 		} else {
-			ds.pendingReq = append(ds.pendingReq, m)
+			s.dirs[m.Dir].cord.BufferReq(m)
 		}
-	case mNotify:
-		ds := &s.dirs[m.dir]
-		ds.noti = peAdd(ds.noti, m.src, m.ep, 1)
-		c.reeval(s, m.dir)
-	case mAck:
-		ps := &s.procs[m.src]
-		ps.dropUnacked(m.ep, m.dir)
-		if ps.flushWait >= 0 && uint64(ps.flushWait) == m.ep {
-			ps.flushWait = -1 // the stalled relaxed store may retry
+	case core.MNotify:
+		s.dirs[m.Dir].cord.NoteNotify(m.Src, m.Ep)
+		c.reeval(s, m.Dir)
+	case core.MAck:
+		ps := &s.procs[m.Src]
+		if ps.cord.AckRelease(m.Ep) && ps.flushWait == int64(m.Ep) {
+			ps.flushWait = -1 // overflow flush acked: retry the stalled op
 		}
-	case mSOStore:
-		if m.atom {
-			old := s.dirs[m.dir].mem[m.addr]
-			s.dirs[m.dir].mem[m.addr] = old + m.val
-			s.net = append(s.net, msg{kind: mSOAck, src: m.src, dir: m.dir,
-				atom: true, reg: m.reg, val: old})
+	case core.MAtomicResp:
+		s.procs[m.Src].regs[m.Tag] = int(m.Val)
+		s.procs[m.Src].atomWait = false
+	case core.MSOStore:
+		ds := &s.dirs[m.Dir]
+		old := ds.mem[m.Addr]
+		if m.Atomic {
+			ds.mem[m.Addr] += int(m.Val)
 		} else {
-			s.dirs[m.dir].mem[m.addr] = m.val
-			s.net = append(s.net, msg{kind: mSOAck, src: m.src, dir: m.dir})
+			ds.mem[m.Addr] = int(m.Val)
 		}
-	case mSOAck:
-		if s.procs[m.src].pendingAcks == 0 {
-			panic("litmus: spurious SO ack")
+		s.net = append(s.net, core.SOAck(m, uint64(old)))
+	case core.MSOAck:
+		ps := &s.procs[m.Src]
+		ps.so.NoteAck()
+		if m.Atomic {
+			ps.regs[m.Tag] = int(m.Val)
+			ps.atomWait = false
 		}
-		s.procs[m.src].pendingAcks--
-		if m.atom {
-			s.procs[m.src].regs[m.reg] = m.val
-			s.procs[m.src].atomWait = false
+	case core.MMPStore:
+		s.dirs[m.Dir].mp.Submit(m,
+			func(cm core.Msg) { c.mpCommit(s, cm) },
+			func(f core.Msg) {
+				s.net = append(s.net, core.Msg{Kind: core.MMPFlushOK, Src: f.Src})
+			})
+	case core.MMPFlush:
+		if s.dirs[m.Dir].mp.Flush(m) {
+			s.net = append(s.net, core.Msg{Kind: core.MMPFlushOK, Src: m.Src})
 		}
-	case mAtResp:
-		s.procs[m.src].regs[m.reg] = m.val
-		s.procs[m.src].atomWait = false
-	case mMPStore:
-		c.mpSubmit(s, m)
-	case mMPFlush:
-		ds := &s.dirs[m.dir]
-		if ds.mpNext[m.src] > m.seq {
-			s.net = append(s.net, msg{kind: mMPFlushOK, src: m.src, dir: m.dir})
-		} else {
-			ds.mpFlushes = append(ds.mpFlushes, m)
-		}
-	case mMPFlushOK:
-		if s.procs[m.src].mpFlushPending == 0 {
+	case core.MMPFlushOK:
+		ps := &s.procs[m.Src]
+		if ps.mpFlushPending == 0 {
 			panic("litmus: spurious MP flush response")
 		}
-		s.procs[m.src].mpFlushPending--
+		ps.mpFlushPending--
+	case core.MWBGetM:
+		s.net = append(s.net, core.Msg{Kind: core.MWBFill, Src: m.Src, Addr: m.Addr})
+	case core.MWBFill:
+		s.procs[m.Src].wb.Fill(m.Addr)
+	case core.MWBData:
+		s.dirs[m.Dir].mem[m.Addr] = int(m.Val)
+		s.net = append(s.net, core.Msg{Kind: core.MWBAck, Src: m.Src})
+	case core.MWBFlag:
+		ds := &s.dirs[m.Dir]
+		ack := core.Msg{Kind: core.MWBAck, Src: m.Src}
+		if m.Atomic {
+			old := ds.mem[m.Addr]
+			ds.mem[m.Addr] += int(m.Val)
+			ack.Atomic, ack.Val, ack.Tag = true, uint64(old), m.Tag
+		} else {
+			ds.mem[m.Addr] = int(m.Val)
+		}
+		s.net = append(s.net, ack)
+	case core.MWBAck:
+		ps := &s.procs[m.Src]
+		ps.wb.NoteAck()
+		if m.Atomic {
+			ps.regs[m.Tag] = int(m.Val)
+			ps.atomWait = false
+		}
 	default:
-		panic(fmt.Sprintf("litmus: unknown message kind %d", m.kind))
+		panic(fmt.Sprintf("litmus: unknown message kind %d", m.Kind))
 	}
 }
 
-func (c *checker) relEligible(ds *dirState, m msg) bool {
-	if peGet(ds.cnt, m.src, m.ep) < int(m.cnt) {
-		return false
+// mpCommit applies a FIFO-drained posted write at its directory.
+func (c *checker) mpCommit(s *world, m core.Msg) {
+	ds := &s.dirs[m.Dir]
+	if m.Atomic {
+		old := ds.mem[m.Addr]
+		ds.mem[m.Addr] += int(m.Val)
+		s.net = append(s.net, core.Msg{Kind: core.MAtomicResp, Src: m.Src,
+			Val: uint64(old), Tag: m.Tag})
+		return
 	}
-	if m.prev >= 0 && (!ds.hasLargest[m.src] || ds.largest[m.src] < m.prev) {
-		return false
-	}
-	return peGet(ds.noti, m.src, m.ep) >= m.noti
+	ds.mem[m.Addr] = int(m.Val)
 }
 
-func (c *checker) reqEligible(ds *dirState, m msg) bool {
-	if peGet(ds.cnt, m.src, m.ep) < int(m.cnt) {
-		return false
-	}
-	return m.prev < 0 || (ds.hasLargest[m.src] && ds.largest[m.src] >= m.prev)
-}
-
-func (c *checker) commitRelease(s *world, d int, m msg) {
+// commitRelease applies an eligible release at directory d: the memory (or
+// fetch-add) effect, the directory bookkeeping, and the acknowledgment.
+func (c *checker) commitRelease(s *world, d int, m core.Msg) {
 	ds := &s.dirs[d]
 	switch {
-	case m.atom:
-		old := ds.mem[m.addr]
-		ds.mem[m.addr] = old + m.val
-		s.net = append(s.net, msg{kind: mAtResp, src: m.src, val: old, reg: m.reg})
-	case !m.flag:
-		ds.mem[m.addr] = m.val
+	case m.Atomic:
+		old := ds.mem[m.Addr]
+		ds.mem[m.Addr] += int(m.Val)
+		s.net = append(s.net, core.Msg{Kind: core.MAtomicResp, Src: m.Src,
+			Val: uint64(old), Tag: m.Tag})
+	case !m.Barrier:
+		ds.mem[m.Addr] = int(m.Val)
 	}
-	if !ds.hasLargest[m.src] || int64(m.ep) > ds.largest[m.src] {
-		ds.largest[m.src] = int64(m.ep)
-		ds.hasLargest[m.src] = true
-	}
-	ds.cnt = peDrop(ds.cnt, m.src, m.ep)
-	ds.noti = peDrop(ds.noti, m.src, m.ep)
-	s.net = append(s.net, msg{kind: mAck, src: m.src, dir: d, ep: m.ep})
-	c.reeval(s, d)
+	ds.cord.CommitRelease(m)
+	s.net = append(s.net, core.Msg{Kind: core.MAck, Src: m.Src, Dir: d, Ep: m.Ep})
 }
 
-func (c *checker) sendNotify(s *world, d int, m msg) {
-	ds := &s.dirs[d]
-	ds.cnt = peDrop(ds.cnt, m.src, m.ep)
-	if m.dst == d {
-		ds.noti = peAdd(ds.noti, m.src, m.ep, 1)
+// serveNotify serves an eligible notification request; self-notifications
+// are absorbed locally and may unblock buffered work.
+func (c *checker) serveNotify(s *world, d int, m core.Msg) {
+	out, wire, _, _ := s.dirs[d].cord.SendNotify(m, d)
+	if wire {
+		s.net = append(s.net, out)
+	} else {
 		c.reeval(s, d)
-		return
 	}
-	s.net = append(s.net, msg{kind: mNotify, src: m.src, dir: m.dst, ep: m.ep})
 }
 
-// reeval drains newly eligible buffered messages at dir d to a fixpoint.
+// reeval drains directory d's recycle buffers to a fixpoint after any event
+// that may have made buffered releases or requests eligible.
 func (c *checker) reeval(s *world, d int) {
-	for progress := true; progress; {
-		progress = false
-		ds := &s.dirs[d]
-		for i := 0; i < len(ds.pendingRel); i++ {
-			if c.relEligible(ds, ds.pendingRel[i]) {
-				m := ds.pendingRel[i]
-				ds.pendingRel = append(ds.pendingRel[:i], ds.pendingRel[i+1:]...)
-				c.commitRelease(s, d, m)
-				progress = true
-				break
-			}
-		}
-		ds = &s.dirs[d]
-		for i := 0; i < len(ds.pendingReq); i++ {
-			if c.reqEligible(ds, ds.pendingReq[i]) {
-				m := ds.pendingReq[i]
-				ds.pendingReq = append(ds.pendingReq[:i], ds.pendingReq[i+1:]...)
-				c.sendNotify(s, d, m)
-				progress = true
-				break
-			}
-		}
-	}
-}
-
-// mpCommit applies one posted write (or far atomic) at its ordering slot.
-func (c *checker) mpCommit(s *world, d int, m msg) {
-	ds := &s.dirs[d]
-	if m.atom {
-		old := ds.mem[m.addr]
-		ds.mem[m.addr] = old + m.val
-		s.net = append(s.net, msg{kind: mAtResp, src: m.src, val: old, reg: m.reg})
-		return
-	}
-	ds.mem[m.addr] = m.val
-}
-
-// mpSubmit implements the MP destination ordering point: per (source,
-// directory) FIFO commit, buffering early arrivals.
-func (c *checker) mpSubmit(s *world, m msg) {
-	ds := &s.dirs[m.dir]
-	if m.seq != ds.mpNext[m.src] {
-		ds.mpPend = append(ds.mpPend, m)
-		return
-	}
-	c.mpCommit(s, m.dir, m)
-	ds.mpNext[m.src]++
-	// Drain consecutive buffered successors.
-	for again := true; again; {
-		again = false
-		for i, pm := range ds.mpPend {
-			if pm.src == m.src && pm.seq == ds.mpNext[m.src] {
-				c.mpCommit(s, m.dir, pm)
-				ds.mpNext[m.src]++
-				ds.mpPend = append(ds.mpPend[:i], ds.mpPend[i+1:]...)
-				again = true
-				break
-			}
-		}
-	}
-	// Serve parked flushing reads that are now satisfied.
-	keep := ds.mpFlushes[:0]
-	for _, f := range ds.mpFlushes {
-		if f.src == m.src && ds.mpNext[f.src] > f.seq {
-			s.net = append(s.net, msg{kind: mMPFlushOK, src: f.src, dir: m.dir})
-		} else {
-			keep = append(keep, f)
-		}
-	}
-	ds.mpFlushes = keep
+	s.dirs[d].cord.Reeval(d,
+		func(m core.Msg) { c.commitRelease(s, d, m) },
+		func(out core.Msg) { s.net = append(s.net, out) },
+		func() {})
 }

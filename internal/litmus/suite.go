@@ -1,6 +1,10 @@
 package litmus
 
-import "fmt"
+import (
+	"fmt"
+
+	"cord/internal/proto/core"
+)
 
 // Canonical addresses.
 const (
@@ -261,13 +265,19 @@ type ConfigVariant struct {
 	Cfg  Config
 }
 
-// CordConfigs returns the configurations the CORD side of the suite runs
-// under: the deployed provisioning, the §4.5 stress cases (tiny widths and
-// single-entry tables, which force every overflow/stall path), and mixed
-// CORD/SO systems.
+// CordConfigs returns the configurations the release-consistent side of the
+// suite runs under: the deployed provisioning, the §4.5 stress cases (tiny
+// widths and single-entry tables, which force every overflow/stall path),
+// mixed CORD/SO systems, the NoNotifications ablation (driven through the
+// same core.Variant switch the simulator uses), and the write-back
+// ownership baseline.
 func CordConfigs() []ConfigVariant {
 	tinyMixed := TinyConfig()
 	tinyMixed.Protos = []ProtoKind{CORDP, SOP, CORDP, SOP}
+	noNoti := DefaultConfig()
+	noNoti.Variants = []core.Variant{core.VariantNoNotifications}
+	wb := DefaultConfig()
+	wb.Protos = []ProtoKind{WBP}
 	return []ConfigVariant{
 		{Name: "default", Cfg: DefaultConfig()},
 		{Name: "tiny", Cfg: TinyConfig()},
@@ -276,9 +286,12 @@ func CordConfigs() []ConfigVariant {
 			EpochBits:      8,
 			CntMax:         255,
 			ProcUnackedCap: 8,
+			ProcCntCap:     8,
 			DirCapPerProc:  8,
 		}},
 		{Name: "tiny-mixed", Cfg: tinyMixed},
+		{Name: "no-notifications", Cfg: noNoti},
+		{Name: "write-back", Cfg: wb},
 	}
 }
 

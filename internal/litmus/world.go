@@ -2,279 +2,193 @@ package litmus
 
 import (
 	"fmt"
-	"sort"
+	"slices"
 	"strings"
+
+	"cord/internal/proto/core"
 )
 
-// msgKind enumerates the wire messages of all three protocol models.
-type msgKind int
-
-const (
-	mRelaxed msgKind = iota // CORD Relaxed store
-	mRelease                // CORD Release store (or injected flush)
-	mReqNotify
-	mNotify
-	mAck     // CORD Release acknowledgment
-	mSOStore // SO write-through store (relaxed or release)
-	mSOAck
-	mMPStore   // MP posted write
-	mMPFlush   // MP flushing read (barrier)
-	mMPFlushOK // flushing-read response
-	mAtResp    // far-atomic value response (all protocols)
-)
-
-// msg is one in-flight message. Fields are used per kind; unused fields stay
-// zero so the canonical encoding is stable.
-type msg struct {
-	kind msgKind
-	src  int // issuing processor
-	dir  int // destination (or origin, for acks) directory
-	addr Addr
-	val  int
-	ep   uint64
-	cnt  uint64 // release: expected relaxed count; reqNotify: same
-	prev int64  // last unacked epoch for this dir (-1 = none)
-	noti int    // release: required notifications
-	dst  int    // reqNotify: directory to notify
-	seq  uint64 // MP sequence / SO tag
-	flag bool   // release: injected flush (no data); SO store: release
-	// atom marks a far fetch-add; reg receives the old value.
-	atom bool
-	reg  int
-}
-
-func (m msg) key() string {
-	return fmt.Sprintf("%d:%d:%d:%d:%d:%d:%d:%d:%d:%d:%d:%t:%t:%d",
-		m.kind, m.src, m.dir, m.addr, m.val, m.ep, m.cnt, m.prev, m.noti, m.dst, m.seq, m.flag,
-		m.atom, m.reg)
-}
-
-// unackedEntry tracks one outstanding Release epoch at a processor.
-type unackedEntry struct {
-	ep  uint64
-	dir int
-}
-
-// procState is a processor's model state.
+// procState is one processor: program position, registers, and the
+// protocol-core state for whichever model the processor runs (the same
+// core.* state structs the simulator adapters wrap). Only the configured
+// protocol's state is initialized; the others stay zero.
 type procState struct {
 	pc   int
 	regs [MaxRegs]int
 
-	// CORD (Alg. 1).
-	ep      uint64
-	cnt     [MaxDirs]uint64 // Relaxed stores per dir in the current epoch
-	unacked []unackedEntry  // ascending by ep
-	// flushWait, when >= 0, is the epoch of an injected overflow flush the
-	// processor is stalled on (the pending Relaxed store retries after).
+	cord core.CordProc
+	so   core.SOProc
+	mp   core.MPProc
+	wb   core.WBProc
+
+	// flushWait, when >= 0, is the epoch of an injected overflow-flush
+	// release (§4.3) the processor stalls on before retrying the op at pc.
 	flushWait int64
-
-	// SO.
-	pendingAcks int
-
-	// MP.
-	seq [MaxDirs]uint64
-	// mpFlushPending counts outstanding flushing-read responses; barIssued
-	// marks that the current barrier op already sent its flushes.
-	mpFlushPending int
-	barIssued      bool
 	// atomWait blocks the processor until a far atomic's value response.
 	atomWait bool
+	// barIssued/mpFlushPending drive MP's flushing-read barrier: the
+	// fan-out is issued once, then the processor stalls until every
+	// destination has answered.
+	barIssued      bool
+	mpFlushPending int
 }
 
-// peEntry is a directory (processor, epoch) table row.
-type peEntry struct {
-	pid int
-	ep  uint64
-	n   int
-}
-
-// dirState is a directory's model state.
+// dirState is one directory: the memory cells it homes plus the
+// directory-side core state (CORD's tables and recycle buffers, and the MP
+// ingress ordering point).
 type dirState struct {
-	mem [MaxAddrs]int
-
-	// CORD (Alg. 2).
-	cnt        []peEntry // committed Relaxed counts
-	noti       []peEntry // received notifications
-	largest    [MaxProcs]int64
-	hasLargest [MaxProcs]bool
-	pendingRel []msg
-	pendingReq []msg
-
-	// MP destination ordering.
-	mpNext    [MaxProcs]uint64
-	mpPend    []msg
-	mpFlushes []msg // parked flushing reads
+	mem  [MaxAddrs]int
+	cord core.CordDir
+	mp   core.MPOrderer
 }
 
-// world is the full model state.
+// world is a full model state: processors, directories, and the in-flight
+// message multiset (the network may deliver in any order).
 type world struct {
 	procs []procState
 	dirs  []dirState
-	net   []msg
+	net   []core.Msg
 }
 
-func newWorld(t Test) *world {
+func newWorld(t Test, cfg Config) *world {
 	w := &world{
 		procs: make([]procState, len(t.Progs)),
 		dirs:  make([]dirState, MaxDirs),
 	}
 	for p := range w.procs {
-		w.procs[p].flushWait = -1
+		ps := &w.procs[p]
+		ps.flushWait = -1
+		switch cfg.protoFor(p) {
+		case CORDP:
+			ps.cord = core.NewCordProc(MaxDirs)
+		case MPP:
+			ps.mp = core.NewMPProc(MaxDirs)
+		case WBP:
+			ps.wb = core.NewWBProc()
+		}
 	}
 	for d := range w.dirs {
-		for p := 0; p < MaxProcs; p++ {
-			w.dirs[d].largest[p] = -1
-		}
+		w.dirs[d].cord = core.NewCordDir(MaxProcs)
+		w.dirs[d].mp = core.NewMPOrderer(MaxProcs)
 	}
 	return w
 }
 
+// clone forks the world; the core state structs provide their own deep
+// copies (SOProc is a plain value and copies with the struct).
 func (w *world) clone() *world {
-	c := &world{
-		procs: make([]procState, len(w.procs)),
-		dirs:  make([]dirState, len(w.dirs)),
-		net:   append([]msg(nil), w.net...),
+	nw := &world{
+		procs: append([]procState(nil), w.procs...),
+		dirs:  append([]dirState(nil), w.dirs...),
+		net:   append([]core.Msg(nil), w.net...),
 	}
-	for i := range w.procs {
-		c.procs[i] = w.procs[i]
-		c.procs[i].unacked = append([]unackedEntry(nil), w.procs[i].unacked...)
-	}
-	for i := range w.dirs {
-		c.dirs[i] = w.dirs[i]
-		c.dirs[i].cnt = append([]peEntry(nil), w.dirs[i].cnt...)
-		c.dirs[i].noti = append([]peEntry(nil), w.dirs[i].noti...)
-		c.dirs[i].pendingRel = append([]msg(nil), w.dirs[i].pendingRel...)
-		c.dirs[i].pendingReq = append([]msg(nil), w.dirs[i].pendingReq...)
-		c.dirs[i].mpPend = append([]msg(nil), w.dirs[i].mpPend...)
-		c.dirs[i].mpFlushes = append([]msg(nil), w.dirs[i].mpFlushes...)
-	}
-	return c
-}
-
-// key returns a canonical encoding: in-flight and buffered message
-// multisets and directory tables are sorted so logically identical states
-// collide.
-func (w *world) key() string {
-	var b strings.Builder
-	for i := range w.procs {
-		p := &w.procs[i]
-		fmt.Fprintf(&b, "P%d|%d|%v|%d|%v|%d|%d|%v|%d|%t|%t;",
-			i, p.pc, p.regs, p.ep, p.cnt, p.flushWait, p.pendingAcks, p.seq,
-			p.mpFlushPending, p.barIssued, p.atomWait)
-		for _, u := range p.unacked {
-			fmt.Fprintf(&b, "u%d@%d,", u.ep, u.dir)
+	for i := range nw.procs {
+		ps := &nw.procs[i]
+		ps.cord = ps.cord.Clone()
+		ps.mp = ps.mp.Clone()
+		if ps.wb.Owned != nil {
+			ps.wb = ps.wb.Clone()
 		}
 	}
-	for i := range w.dirs {
-		d := &w.dirs[i]
-		fmt.Fprintf(&b, "D%d|%v|%v|%v|%v;", i, d.mem, d.largest, d.hasLargest, d.mpNext)
-		b.WriteString(sortedPE(d.cnt))
-		b.WriteByte('#')
-		b.WriteString(sortedPE(d.noti))
-		b.WriteByte('#')
-		b.WriteString(sortedMsgs(d.pendingRel))
-		b.WriteByte('#')
-		b.WriteString(sortedMsgs(d.pendingReq))
-		b.WriteByte('#')
-		b.WriteString(sortedMsgs(d.mpPend))
-		b.WriteByte('#')
-		b.WriteString(sortedMsgs(d.mpFlushes))
+	for i := range nw.dirs {
+		ds := &nw.dirs[i]
+		ds.cord = ds.cord.Clone()
+		ds.mp = ds.mp.Clone()
+	}
+	return nw
+}
+
+// key canonicalizes the state for the visited set. Multisets (the network,
+// the directory recycle buffers, the MP ordering-point queues, the PE
+// tables, the WB maps) are encoded order-independently; everything else is
+// deterministic given the logical state.
+func (w *world) key() string {
+	var b strings.Builder
+	for p := range w.procs {
+		ps := &w.procs[p]
+		fmt.Fprintf(&b, "P%d pc%d r%v f%d a%t b%t.%d|", p, ps.pc, ps.regs,
+			ps.flushWait, ps.atomWait, ps.barIssued, ps.mpFlushPending)
+		fmt.Fprintf(&b, "c{%d %v %d %d %v %v}", ps.cord.Ep, ps.cord.Cnt,
+			ps.cord.CntLive, ps.cord.SeqIssued, ps.cord.Unacked, ps.cord.ByDir)
+		fmt.Fprintf(&b, "s%d m%v ", ps.so.PendingAcks, ps.mp.Seq)
+		wbKey(&b, &ps.wb)
+		b.WriteByte(';')
+	}
+	for d := range w.dirs {
+		ds := &w.dirs[d]
+		fmt.Fprintf(&b, "D%d %v L%v ", d, ds.mem, ds.cord.Largest)
+		b.WriteString(peKey(ds.cord.Cnt))
+		b.WriteByte('/')
+		b.WriteString(peKey(ds.cord.Noti))
+		b.WriteByte('/')
+		b.WriteString(msgsKey(ds.cord.PendingRel))
+		b.WriteByte('/')
+		b.WriteString(msgsKey(ds.cord.PendingReq))
+		fmt.Fprintf(&b, " n%v ", ds.mp.Next)
+		b.WriteString(msgsKey(ds.mp.Pending))
+		b.WriteByte('/')
+		b.WriteString(msgsKey(ds.mp.Flushes))
 		b.WriteByte(';')
 	}
 	b.WriteString("N:")
-	b.WriteString(sortedMsgs(w.net))
+	b.WriteString(msgsKey(w.net))
 	return b.String()
 }
 
-func sortedPE(es []peEntry) string {
-	ss := make([]string, len(es))
-	for i, e := range es {
-		ss[i] = fmt.Sprintf("%d/%d=%d", e.pid, e.ep, e.n)
-	}
-	sort.Strings(ss)
-	return strings.Join(ss, ",")
-}
-
-func sortedMsgs(ms []msg) string {
+// msgsKey encodes a message multiset canonically. core.Msg is a flat value
+// struct, so %v is a faithful, deterministic rendering.
+func msgsKey(ms []core.Msg) string {
 	ss := make([]string, len(ms))
 	for i, m := range ms {
-		ss[i] = m.key()
+		ss[i] = fmt.Sprintf("%v", m)
 	}
-	sort.Strings(ss)
+	slices.Sort(ss)
 	return strings.Join(ss, ",")
 }
 
-// --- small table helpers ---------------------------------------------------
-
-func peGet(es []peEntry, pid int, ep uint64) int {
-	for _, e := range es {
-		if e.pid == pid && e.ep == ep {
-			return e.n
-		}
+// peKey encodes a directory PE table canonically (entry order is an
+// artifact of arrival interleaving, not logical state).
+func peKey(tab []core.PE) string {
+	ss := make([]string, len(tab))
+	for i, e := range tab {
+		ss[i] = fmt.Sprintf("%d.%d=%d", e.Proc, e.Ep, e.N)
 	}
-	return 0
+	slices.Sort(ss)
+	return strings.Join(ss, ",")
 }
 
-func peAdd(es []peEntry, pid int, ep uint64, delta int) []peEntry {
-	for i := range es {
-		if es[i].pid == pid && es[i].ep == ep {
-			es[i].n += delta
-			return es
-		}
+// wbKey encodes the write-back processor state with sorted map keys.
+func wbKey(b *strings.Builder, w *core.WBProc) {
+	fmt.Fprintf(b, "w%d.%d o%v f%v d[", w.MSHR, w.Pending,
+		sortedSet(w.Owned), sortedSet(w.Fetching))
+	lines := make([]uint64, 0, len(w.Dirty))
+	for l := range w.Dirty {
+		lines = append(lines, l)
 	}
-	return append(es, peEntry{pid: pid, ep: ep, n: delta})
+	slices.Sort(lines)
+	for _, l := range lines {
+		vals := w.Dirty[l]
+		addrs := make([]uint64, 0, len(vals))
+		for a := range vals {
+			addrs = append(addrs, a)
+		}
+		slices.Sort(addrs)
+		fmt.Fprintf(b, "%d{", l)
+		for _, a := range addrs {
+			fmt.Fprintf(b, "%d=%d,", a, vals[a])
+		}
+		b.WriteByte('}')
+	}
+	b.WriteByte(']')
 }
 
-func peDrop(es []peEntry, pid int, ep uint64) []peEntry {
-	for i := range es {
-		if es[i].pid == pid && es[i].ep == ep {
-			return append(es[:i], es[i+1:]...)
+func sortedSet(set map[uint64]bool) []uint64 {
+	out := make([]uint64, 0, len(set))
+	for k, ok := range set {
+		if ok {
+			out = append(out, k)
 		}
 	}
-	return es
-}
-
-// lastUnackedFor returns the newest unacked epoch whose Release targeted
-// dir, or -1.
-func (p *procState) lastUnackedFor(dir int) int64 {
-	last := int64(-1)
-	for _, u := range p.unacked {
-		if u.dir == dir && int64(u.ep) > last {
-			last = int64(u.ep)
-		}
-	}
-	return last
-}
-
-// unackedCount returns outstanding Releases bound for dir.
-func (p *procState) unackedCount(dir int) int {
-	n := 0
-	for _, u := range p.unacked {
-		if u.dir == dir {
-			n++
-		}
-	}
-	return n
-}
-
-func (p *procState) oldestUnacked() (uint64, bool) {
-	if len(p.unacked) == 0 {
-		return 0, false
-	}
-	min := p.unacked[0].ep
-	for _, u := range p.unacked {
-		if u.ep < min {
-			min = u.ep
-		}
-	}
-	return min, true
-}
-
-func (p *procState) dropUnacked(ep uint64, dir int) {
-	for i, u := range p.unacked {
-		if u.ep == ep && u.dir == dir {
-			p.unacked = append(p.unacked[:i], p.unacked[i+1:]...)
-			return
-		}
-	}
+	slices.Sort(out)
+	return out
 }

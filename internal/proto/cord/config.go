@@ -11,7 +11,11 @@
 // Release-Release mechanism.
 package cord
 
-import "fmt"
+import (
+	"fmt"
+
+	"cord/internal/proto/core"
+)
 
 // Config holds CORD's micro-architectural parameters.
 type Config struct {
@@ -88,6 +92,23 @@ func (c Config) Validate() error {
 		return fmt.Errorf("cord: directory table caps must be >= 1")
 	}
 	return nil
+}
+
+// Params resolves the configuration into the shared core-rule parameters
+// (internal/proto/core) that the processor and directory adapters delegate
+// every protocol decision to — the same parameter struct the litmus model
+// checker explores.
+func (c Config) Params() core.CordParams {
+	return core.CordParams{
+		CntMax:            c.cntMax(),
+		EpochWindow:       c.epochWindow(),
+		SeqMode:           c.SeqBits > 0,
+		ProcUnackedCap:    c.ProcUnackedCap,
+		ProcCntCap:        c.ProcCntCap,
+		DirCntCapPerProc:  c.DirCntCapPerProc,
+		DirNotiCapPerProc: c.DirNotiCapPerProc,
+		NoNotifications:   c.NoNotifications,
+	}
 }
 
 // overheadBytes returns the wire overhead of embedding `bits` of ordering

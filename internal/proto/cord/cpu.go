@@ -7,28 +7,29 @@ import (
 	"cord/internal/noc"
 	"cord/internal/obs"
 	"cord/internal/proto"
+	"cord/internal/proto/core"
 	"cord/internal/sim"
 	"cord/internal/stats"
 )
 
-// cpu is the CORD processor-side engine (Alg. 1).
+// cpu is the CORD processor-side adapter (Alg. 1). Every ordering decision —
+// admission, provisioning, release/barrier fan-out, acknowledgment
+// bookkeeping — is delegated to core.CordProc, the rule set the litmus model
+// checker explores; this type owns only timing, wire formats, NoC injection,
+// stats, and obs events.
 type cpu struct {
 	proto.ProcBase
 	cfg Config
+	cp  core.CordParams
 
-	// ep is the current epoch (full precision internally; the configured
-	// bit-width governs wire overhead and the in-flight window stall).
-	ep uint64
-	// cnt tracks Relaxed stores issued per destination directory in the
-	// current epoch (the processor store-counter table of Fig. 6).
-	cnt map[noc.NodeID]uint64
-	// unacked maps an epoch to its outstanding Release acknowledgments
-	// (usually 1; Release barriers fan one epoch out to several dirs).
-	unacked map[uint64]int
-	// unackedByDir lists unacked epochs per destination dir, ascending.
-	unackedByDir map[noc.NodeID][]uint64
-	// seqIssued counts stores since the last flush, for SEQ-N mode.
-	seqIssued uint64
+	// st is the protocol-visible state (epoch, store counters, unacked-epoch
+	// table), mutated exclusively through core rules.
+	st core.CordProc
+	// tiles maps between noc.NodeID and the core rules' dense indices
+	// (host*tiles+tile), whose ascending order matches noc.SortIDs.
+	tiles int
+	// buf is the reusable fan-out scratch passed to core emit rules.
+	buf []core.Msg
 
 	// blocked is the re-check continuation of a stalled op (at most one op
 	// is in flight per core).
@@ -62,16 +63,17 @@ type cpu struct {
 	InjectedWBBarriers int
 }
 
-func newCPU(sys *proto.System, id noc.NodeID, ps *stats.ProcStats, cfg Config) *cpu {
+func newCPU(sys *proto.System, id noc.NodeID, ps *stats.ProcStats, cfg Config, cp core.CordParams) *cpu {
+	nc := sys.Net.Config()
 	c := &cpu{
-		cfg:          cfg,
-		cnt:          make(map[noc.NodeID]uint64),
-		unacked:      make(map[uint64]int),
-		unackedByDir: make(map[noc.NodeID][]uint64),
-		occCnt:       stats.NewOccupancy("proc/store-counter", procCntEntryBytes),
-		occUnacked:   stats.NewOccupancy("proc/unacked-epoch", procUnackedEntryBytes),
-		atomicWait:   make(map[uint64]func()),
-		relIssued:    make(map[uint64]sim.Time),
+		cfg:        cfg,
+		cp:         cp,
+		st:         core.NewCordProc(nc.Hosts * nc.TilesPerHost),
+		tiles:      nc.TilesPerHost,
+		occCnt:     stats.NewOccupancy("proc/store-counter", procCntEntryBytes),
+		occUnacked: stats.NewOccupancy("proc/unacked-epoch", procUnackedEntryBytes),
+		atomicWait: make(map[uint64]func()),
+		relIssued:  make(map[uint64]sim.Time),
 	}
 	c.InitBase(sys, id, ps)
 	c.Exec = c.exec
@@ -80,6 +82,12 @@ func newCPU(sys *proto.System, id noc.NodeID, ps *stats.ProcStats, cfg Config) *
 	sys.Run.Tables = append(sys.Run.Tables, c.occCnt, c.occUnacked)
 	return c
 }
+
+// ix is the dense index of a node (core or directory) for the core rules.
+func (c *cpu) ix(id noc.NodeID) int { return id.Host*c.tiles + id.Tile }
+
+// dirAt is ix's inverse for directories.
+func (c *cpu) dirAt(ix int) noc.NodeID { return noc.DirID(ix/c.tiles, ix%c.tiles) }
 
 func (c *cpu) handle(_ noc.NodeID, payload any) {
 	switch m := payload.(type) {
@@ -135,48 +143,42 @@ func (c *cpu) execRelaxed(op proto.Op, next func()) {
 		return
 	}
 	d := c.Sys.Map.HomeOf(op.Addr)
-	// Store-counter overflow (§4.1): the counter for d is about to wrap, so
-	// flush — inject an empty Release to d and stall until it is
-	// acknowledged, after which the counter is reset.
-	if c.cnt[d] >= c.cfg.cntMax() || c.seqWouldWrap() {
+	switch c.st.RelaxedAdmit(c.cp, c.ix(d)) {
+	case core.AdmitOverflow:
+		// Store-counter overflow (§4.1): flush — inject an empty Release to
+		// d and stall until it is acknowledged, resetting the counter.
 		c.flushThen(d, stats.StallOverflow, func() { c.execRelaxed(op, next) })
 		return
-	}
-	// Processor store-counter table overflow (§4.3): tracking a new
-	// directory needs a table entry; flush the epoch to recycle them all.
-	if _, live := c.cnt[d]; !live && c.occCnt.Cur() >= c.cfg.ProcCntCap {
+	case core.AdmitTableFull:
+		// Processor store-counter table overflow (§4.3): tracking a new
+		// directory needs a table entry; flush the epoch to recycle them all.
 		c.flushThen(d, stats.StallTableFull, func() { c.execRelaxed(op, next) })
 		return
 	}
-	if _, live := c.cnt[d]; !live {
+	ep, newEntry := c.st.NoteRelaxed(c.ix(d))
+	if newEntry {
 		c.occCnt.Inc()
 	}
-	c.cnt[d]++
-	c.seqIssued++
 	c.wcAddr, c.wcValid = op.Addr, true
 	c.Sys.Net.Send(c.ID, d, stats.ClassRelaxedData,
 		proto.HeaderBytes+op.Size+c.cfg.RelaxedOverhead(),
-		&relaxedMsg{Src: c.ID, Ep: c.ep, Addr: op.Addr, Value: op.Value, Size: op.Size})
+		&relaxedMsg{Src: c.ID, Ep: ep, Addr: op.Addr, Value: op.Value, Size: op.Size})
 	next()
-}
-
-func (c *cpu) seqWouldWrap() bool {
-	return c.cfg.SeqBits > 0 && c.seqIssued >= c.cfg.cntMax()
 }
 
 // flushThen performs an empty Release to dir d (full Release semantics so
 // every pending directory's tables are finalized), stalls the core until it
 // is acknowledged, then resumes.
 func (c *cpu) flushThen(d noc.NodeID, kind stats.StallKind, resume func()) {
-	if !c.provisioned(d) {
+	if !c.st.Provisioned(c.cp, c.ix(d)) {
 		c.stallProvision(d, func() { c.flushThen(d, kind, resume) })
 		return
 	}
 	c.OverflowFlushes++
 	flushOp := proto.Op{Kind: proto.OpStoreWT, Ord: proto.Release, Size: 0}
 	c.issueRelease(flushOp, d, func() {
-		flushedEp := c.ep - 1
-		c.stallUntilEpochsAcked(map[uint64]bool{flushedEp: true}, kind, resume)
+		flushedEp := c.st.Ep - 1
+		c.stallWhile(func() bool { return c.st.EpochLive(flushedEp) }, kind, resume)
 	})
 }
 
@@ -184,123 +186,61 @@ func (c *cpu) flushThen(d noc.NodeID, kind stats.StallKind, resume func()) {
 
 func (c *cpu) execRelease(op proto.Op, next func()) {
 	d := c.Sys.Map.HomeOf(op.Addr)
-	if !c.provisioned(d) {
+	di := c.ix(d)
+	if !c.st.Provisioned(c.cp, di) {
 		c.stallProvision(d, func() { c.execRelease(op, next) })
 		return
 	}
-	if c.cfg.NoNotifications && c.crossDirPending(d) {
+	if c.cp.NoNotifications && (c.st.DirtyOutside(di) || c.st.UnackedOutside(di)) {
 		// Ablation: without inter-directory notifications, multi-directory
 		// epochs are source-ordered — drain other directories first.
-		c.execBarrierExcept(d, func() { c.execRelease(op, next) })
+		c.execBarrierExcept(di, func() { c.execRelease(op, next) })
 		return
 	}
 	c.issueRelease(op, d, next)
 }
 
-// crossDirPending reports whether any directory other than d has Relaxed
-// stores this epoch or unacknowledged Releases.
-func (c *cpu) crossDirPending(d noc.NodeID) bool {
-	for dir, n := range c.cnt {
-		if dir != d && n > 0 {
-			return true
-		}
+// execBarrierExcept drains every directory except index `except`: empty
+// Releases to dirty ones (core.IssueBarrier in drain mode, sharing the
+// current epoch), then a stall for all outstanding acknowledgments not
+// bound for it. Used only by the NoNotifications ablation.
+func (c *cpu) execBarrierExcept(except int, next func()) {
+	msgs, ok, bad := c.st.IssueBarrier(c.cp, except, c.ix(c.ID), c.buf[:0])
+	if !ok {
+		c.stallProvision(c.dirAt(bad), func() { c.execBarrierExcept(except, next) })
+		return
 	}
-	for dir, eps := range c.unackedByDir {
-		if dir != d && len(eps) > 0 {
-			return true
-		}
-	}
-	return false
-}
-
-// execBarrierExcept drains every directory except d: empty Releases to
-// dirty ones, then a stall for all outstanding acknowledgments not bound
-// for d. Used only by the NoNotifications ablation.
-func (c *cpu) execBarrierExcept(d noc.NodeID, next func()) {
-	var pend []noc.NodeID
-	for dir, n := range c.cnt {
-		if dir != d && n > 0 {
-			pend = append(pend, dir)
-		}
-	}
-	noc.SortIDs(pend)
-	for _, p := range pend {
-		if !c.provisioned(p) {
-			c.stallProvision(p, func() { c.execBarrierExcept(d, next) })
-			return
-		}
-	}
-	wait := make(map[uint64]bool)
-	for dir, eps := range c.unackedByDir {
-		if dir == d {
-			continue
-		}
-		for _, ep := range eps {
-			wait[ep] = true
-		}
-	}
-	if len(pend) > 0 {
-		// The drain shares the *current* epoch (which does not advance):
-		// the Relaxed stores it covers were tagged with it, and the real
-		// Release to d will also carry it, matching d's store counter.
-		ep := c.ep
-		c.unacked[ep] = len(pend)
+	c.buf = msgs
+	if len(msgs) > 0 {
 		c.occUnacked.Inc()
-		for _, p := range pend {
-			rel := &releaseMsg{Src: c.ID, Ep: ep, Cnt: c.cnt[p], Barrier: true}
-			if eps := c.unackedByDir[p]; len(eps) > 0 {
-				rel.HasPrev = true
-				rel.PrevEp = eps[len(eps)-1]
-			}
-			c.Sys.Net.Send(c.ID, p, stats.ClassBarrier,
-				proto.HeaderBytes+c.cfg.ReleaseOverhead(), rel)
-			c.unackedByDir[p] = append(c.unackedByDir[p], ep)
-			delete(c.cnt, p)
+		for range msgs {
+			// Each drained directory's store-counter entry retired.
 			c.occCnt.Dec()
 		}
-		wait[ep] = true
 	}
-	if len(wait) == 0 {
+	c.sendBarriers(msgs)
+	if !c.st.UnackedOutside(except) {
 		next()
 		return
 	}
-	c.stallUntilEpochsAcked(wait, stats.StallAckWait, next)
+	c.stallWhile(func() bool { return c.st.UnackedOutside(except) },
+		stats.StallAckWait, next)
 }
 
-// provisioned implements the §4.3 pre-issue checks: the local unacked-epoch
-// table, the epoch in-flight window, and the destination directory's
-// statically partitioned table shares.
-func (c *cpu) provisioned(d noc.NodeID) bool {
-	if len(c.unacked) >= c.cfg.ProcUnackedCap {
-		return false
+// sendBarriers injects core-emitted empty Releases onto the NoC.
+func (c *cpu) sendBarriers(msgs []core.Msg) {
+	for i := range msgs {
+		m := &msgs[i]
+		rel := &releaseMsg{Src: c.ID, Ep: m.Ep, Cnt: m.Cnt, Barrier: true,
+			HasPrev: m.HasPrev, PrevEp: m.PrevEp}
+		c.Sys.Net.Send(c.ID, c.dirAt(m.Dir), stats.ClassBarrier,
+			proto.HeaderBytes+c.cfg.ReleaseOverhead(), rel)
 	}
-	if oldest, any := c.oldestUnacked(); any && c.ep-oldest >= c.epochWindowLimit() {
-		return false
-	}
-	if len(c.unackedByDir[d]) >= c.cfg.DirCntCapPerProc ||
-		len(c.unackedByDir[d]) >= c.cfg.DirNotiCapPerProc {
-		return false
-	}
-	return true
-}
-
-func (c *cpu) epochWindowLimit() uint64 { return c.cfg.epochWindow() }
-
-func (c *cpu) oldestUnacked() (uint64, bool) {
-	var min uint64
-	any := false
-	for ep := range c.unacked {
-		if !any || ep < min {
-			min = ep
-			any = true
-		}
-	}
-	return min, any
 }
 
 func (c *cpu) stallProvision(d noc.NodeID, retry func()) {
 	kind := stats.StallTableFull
-	if oldest, any := c.oldestUnacked(); any && c.ep-oldest >= c.epochWindowLimit() {
+	if c.st.WindowBlocked(c.cp) {
 		kind = stats.StallOverflow
 	}
 	if c.blocked != nil {
@@ -308,68 +248,46 @@ func (c *cpu) stallProvision(d noc.NodeID, retry func()) {
 	}
 	resume := c.StallUntil(kind, retry)
 	c.blocked = func() {
-		if c.provisioned(d) {
+		if c.st.Provisioned(c.cp, c.ix(d)) {
 			c.blocked = nil
 			resume()
 		}
 	}
 }
 
-// issueRelease sends the Release (and its notification fan-out) and advances
-// the epoch. The caller has already verified provisioning.
+// issueRelease delegates the Release (and its notification fan-out) to the
+// core rule and injects the emitted messages in order. The caller has
+// already verified provisioning.
 func (c *cpu) issueRelease(op proto.Op, d noc.NodeID, next func()) {
-	// Pending directories (§4.2): any other directory with Relaxed stores
-	// in this epoch or an unacknowledged Release.
-	var pend []noc.NodeID
-	for dir, n := range c.cnt {
-		if dir != d && n > 0 {
-			pend = append(pend, dir)
+	ep := c.st.Ep
+	live := c.st.CntLive
+	rel := core.Msg{Src: c.ix(c.ID), Addr: uint64(op.Addr), Val: op.Value,
+		Size: op.Size, Barrier: op.Size == 0, Atomic: op.Kind == proto.OpAtomic}
+	msgs := c.st.IssueRelease(c.ix(d), rel, c.buf[:0])
+	for i := range msgs {
+		m := &msgs[i]
+		if m.Kind == core.MReqNotify {
+			w := &reqNotifyMsg{Src: c.ID, Ep: m.Ep, RelaxedCnt: m.Cnt, Dst: d,
+				HasPrev: m.HasPrev, PrevEp: m.PrevEp}
+			c.Sys.Net.Send(c.ID, c.dirAt(m.Dir), stats.ClassReqNotify,
+				proto.ReqNotifyBytes, w)
+			continue
 		}
+		w := &releaseMsg{Src: c.ID, Ep: m.Ep, Cnt: m.Cnt, NotiCnt: m.NotiCnt,
+			Addr: op.Addr, Value: op.Value, Size: op.Size, Barrier: m.Barrier,
+			Atomic: m.Atomic, HasPrev: m.HasPrev, PrevEp: m.PrevEp}
+		c.Sys.Net.Send(c.ID, d, stats.ClassReleaseData,
+			proto.HeaderBytes+op.Size+c.cfg.ReleaseOverhead(), w)
 	}
-	for dir, eps := range c.unackedByDir {
-		if dir != d && len(eps) > 0 && c.cnt[dir] == 0 {
-			pend = append(pend, dir)
-		}
-	}
-	noc.SortIDs(pend) // deterministic send order
-	for _, p := range pend {
-		m := &reqNotifyMsg{Src: c.ID, Ep: c.ep, RelaxedCnt: c.cnt[p], Dst: d}
-		if eps := c.unackedByDir[p]; len(eps) > 0 {
-			m.HasPrev = true
-			m.PrevEp = eps[len(eps)-1]
-		}
-		c.Sys.Net.Send(c.ID, p, stats.ClassReqNotify, proto.ReqNotifyBytes, m)
-	}
-	rel := &releaseMsg{
-		Src: c.ID, Ep: c.ep, Cnt: c.cnt[d], NotiCnt: len(pend),
-		Addr: op.Addr, Value: op.Value, Size: op.Size, Barrier: op.Size == 0,
-		Atomic: op.Kind == proto.OpAtomic,
-	}
-	if eps := c.unackedByDir[d]; len(eps) > 0 {
-		rel.HasPrev = true
-		rel.PrevEp = eps[len(eps)-1]
-	}
-	c.Sys.Net.Send(c.ID, d, stats.ClassReleaseData,
-		proto.HeaderBytes+op.Size+c.cfg.ReleaseOverhead(), rel)
-
-	c.unacked[c.ep] = 1
+	c.buf = msgs
 	c.occUnacked.Inc()
-	c.relIssued[c.ep] = c.Now()
-	c.unackedByDir[d] = append(c.unackedByDir[d], c.ep)
-	c.advanceEpoch()
-	next()
-}
-
-// advanceEpoch increments the epoch and resets all store counters
-// (Alg. 1 line 8).
-func (c *cpu) advanceEpoch() {
-	c.wcValid = false
-	c.ep++
-	for dir := range c.cnt {
-		delete(c.cnt, dir)
+	c.relIssued[ep] = c.Now()
+	for ; live > 0; live-- {
+		// advanceEpoch reset every live store counter.
 		c.occCnt.Dec()
 	}
-	c.seqIssued = 0
+	c.wcValid = false
+	next()
 }
 
 // --- Atomics -----------------------------------------------------------------
@@ -386,45 +304,46 @@ func (c *cpu) execAtomic(op proto.Op, next func()) {
 		ord = proto.Release
 	}
 	d := c.Sys.Map.HomeOf(op.Addr)
+	di := c.ix(d)
 	if ord == proto.Release || ord == proto.SeqCst {
-		if !c.provisioned(d) {
+		if !c.st.Provisioned(c.cp, di) {
 			c.stallProvision(d, func() { c.execAtomic(op, next) })
 			return
 		}
-		if c.cfg.NoNotifications && c.crossDirPending(d) {
-			c.execBarrierExcept(d, func() { c.execAtomic(op, next) })
+		if c.cp.NoNotifications && (c.st.DirtyOutside(di) || c.st.UnackedOutside(di)) {
+			c.execBarrierExcept(di, func() { c.execAtomic(op, next) })
 			return
 		}
 		aop := op
 		aop.Ord = proto.Release
 		c.issueRelease(aop, d, func() {
-			ep := c.ep - 1
-			c.stallUntilEpochsAcked(map[uint64]bool{ep: true}, stats.StallAcquire, next)
+			ep := c.st.Ep - 1
+			c.stallWhile(func() bool { return c.st.EpochLive(ep) },
+				stats.StallAcquire, next)
 		})
 		return
 	}
 	// Relaxed atomic: epoch-counted like a Relaxed store, plus the blocking
 	// value response.
-	if c.cnt[d] >= c.cfg.cntMax() || c.seqWouldWrap() {
+	switch c.st.RelaxedAdmit(c.cp, di) {
+	case core.AdmitOverflow:
 		c.flushThen(d, stats.StallOverflow, func() { c.execAtomic(op, next) })
 		return
-	}
-	if _, live := c.cnt[d]; !live && c.occCnt.Cur() >= c.cfg.ProcCntCap {
+	case core.AdmitTableFull:
 		c.flushThen(d, stats.StallTableFull, func() { c.execAtomic(op, next) })
 		return
 	}
-	if _, live := c.cnt[d]; !live {
+	ep, newEntry := c.st.NoteRelaxed(di)
+	if newEntry {
 		c.occCnt.Inc()
 	}
-	c.cnt[d]++
-	c.seqIssued++
 	c.wcValid = false // atomics never write-combine
 	c.atomicTag++
 	tag := c.atomicTag
 	c.atomicWait[tag] = c.StallUntil(stats.StallAcquire, next)
 	c.Sys.Net.Send(c.ID, d, stats.ClassAtomic,
 		proto.HeaderBytes+op.Size+c.cfg.RelaxedOverhead(),
-		&relaxedMsg{Src: c.ID, Ep: c.ep, Addr: op.Addr, Value: op.Value,
+		&relaxedMsg{Src: c.ID, Ep: ep, Addr: op.Addr, Value: op.Value,
 			Size: op.Size, Atomic: true, Tag: tag})
 }
 
@@ -451,13 +370,7 @@ func (c *cpu) execWriteBack(op proto.Op, next func()) {
 		return
 	}
 	// Ordering barrier against uncommitted directory-ordered stores.
-	dirty := false
-	for _, n := range c.cnt {
-		if n > 0 {
-			dirty = true
-		}
-	}
-	if dirty || len(c.unacked) > 0 {
+	if c.st.Dirty() || len(c.st.Unacked) > 0 {
 		c.InjectedWBBarriers++
 		c.execBarrier(func() { c.execWriteBack(op, next) })
 		return
@@ -508,62 +421,32 @@ func (c *cpu) onWBAck(*wbAckMsg) {
 // only pending work is an in-flight acknowledged-on-commit Release need no
 // new message — their existing ack suffices.
 func (c *cpu) execBarrier(next func()) {
-	var pend []noc.NodeID
-	for dir, n := range c.cnt {
-		if n > 0 {
-			pend = append(pend, dir)
-		}
+	live := c.st.CntLive
+	msgs, ok, bad := c.st.IssueBarrier(c.cp, -1, c.ix(c.ID), c.buf[:0])
+	if !ok {
+		c.stallProvision(c.dirAt(bad), func() { c.execBarrier(next) })
+		return
 	}
-	noc.SortIDs(pend) // deterministic send order
-	// Check provisioning for all targets before issuing any of them.
-	for _, d := range pend {
-		if !c.provisioned(d) {
-			c.stallProvision(d, func() { c.execBarrier(next) })
-			return
-		}
-	}
-	wait := make(map[uint64]bool)
-	for ep := range c.unacked {
-		wait[ep] = true
-	}
-	if len(pend) > 0 {
-		// One barrier epoch fans out to the dirty directories: each gets an
-		// empty Release ordered against this core's stores there.
-		ep := c.ep
-		c.unacked[ep] = len(pend)
+	c.buf = msgs
+	if len(msgs) > 0 {
 		c.occUnacked.Inc()
-		for _, d := range pend {
-			rel := &releaseMsg{Src: c.ID, Ep: ep, Cnt: c.cnt[d], Barrier: true}
-			if eps := c.unackedByDir[d]; len(eps) > 0 {
-				rel.HasPrev = true
-				rel.PrevEp = eps[len(eps)-1]
-			}
-			c.Sys.Net.Send(c.ID, d, stats.ClassBarrier,
-				proto.HeaderBytes+c.cfg.ReleaseOverhead(), rel)
-			c.unackedByDir[d] = append(c.unackedByDir[d], ep)
+		c.wcValid = false
+		for ; live > 0; live-- {
+			c.occCnt.Dec()
 		}
-		c.advanceEpoch()
-		wait[ep] = true
 	}
-	if len(wait) == 0 {
+	c.sendBarriers(msgs)
+	if len(c.st.Unacked) == 0 {
 		next()
 		return
 	}
-	c.stallUntilEpochsAcked(wait, stats.StallRelease, next)
+	c.stallWhile(func() bool { return len(c.st.Unacked) > 0 },
+		stats.StallRelease, next)
 }
 
-// stallUntilEpochsAcked blocks the core until every epoch in eps has been
-// fully acknowledged.
-func (c *cpu) stallUntilEpochsAcked(eps map[uint64]bool, kind stats.StallKind, resume func()) {
-	check := func() bool {
-		for ep := range eps {
-			if _, live := c.unacked[ep]; live {
-				return false
-			}
-		}
-		return true
-	}
-	if check() {
+// stallWhile blocks the core until cond turns false, charging kind.
+func (c *cpu) stallWhile(cond func() bool, kind stats.StallKind, resume func()) {
+	if !cond() {
 		resume()
 		return
 	}
@@ -572,7 +455,7 @@ func (c *cpu) stallUntilEpochsAcked(eps map[uint64]bool, kind stats.StallKind, r
 	}
 	cont := c.StallUntil(kind, resume)
 	c.blocked = func() {
-		if check() {
+		if !cond() {
 			c.blocked = nil
 			cont()
 		}
@@ -582,14 +465,7 @@ func (c *cpu) stallUntilEpochsAcked(eps map[uint64]bool, kind stats.StallKind, r
 // --- Acknowledgments (Alg. 1 lines 14-15) ---------------------------------
 
 func (c *cpu) onAck(m *ackMsg) {
-	n, live := c.unacked[m.Ep]
-	if !live {
-		panic(fmt.Sprintf("cord: %v acked unknown epoch %d", c.ID, m.Ep))
-	}
-	if n > 1 {
-		c.unacked[m.Ep] = n - 1
-	} else {
-		delete(c.unacked, m.Ep)
+	if c.st.AckRelease(m.Ep) {
 		c.occUnacked.Dec()
 		var lat sim.Time
 		if at, ok := c.relIssued[m.Ep]; ok {
@@ -600,22 +476,6 @@ func (c *cpu) onAck(m *ackMsg) {
 		if rec := c.Sys.Obs; rec.Take() {
 			rec.Record(obs.Event{At: c.Now(), Kind: obs.KRelAck,
 				Src: c.ID.Obs(), Seq: m.Ep, Dur: lat})
-		}
-	}
-	// Drop the epoch from every per-directory chain it heads. Releases to a
-	// given directory commit in program order, so acknowledged epochs leave
-	// each chain from the front.
-	for dir, eps := range c.unackedByDir {
-		for len(eps) > 0 {
-			if _, still := c.unacked[eps[0]]; still {
-				break
-			}
-			eps = eps[1:]
-		}
-		if len(eps) == 0 {
-			delete(c.unackedByDir, dir)
-		} else {
-			c.unackedByDir[dir] = eps
 		}
 	}
 	if c.blocked != nil {

@@ -3,36 +3,29 @@ package cord
 import (
 	"fmt"
 
+	"cord/internal/memsys"
 	"cord/internal/noc"
 	"cord/internal/obs"
 	"cord/internal/proto"
+	"cord/internal/proto/core"
 	"cord/internal/stats"
 )
 
-// procEpochKey identifies a (processor, epoch) pair in directory tables.
-type procEpochKey struct {
-	pid noc.NodeID
-	ep  uint64
-}
-
-// dir is the CORD directory-side engine (Alg. 2). Each instance is one LLC
-// slice's directory.
+// dir is the CORD directory-side adapter (Alg. 2). Each instance is one LLC
+// slice's directory. Eligibility, commit bookkeeping, notification serving,
+// and the recycle fixpoint are all core.CordDir rules — the same rules the
+// litmus model checker explores; this type owns timing (scheduled LLC
+// commits), wire formats, stats, and obs events.
 type dir struct {
 	proto.DirBase
 	cfg Config
 
-	// cnt[pid,ep] counts committed Relaxed stores (Fig. 6's store counters).
-	cnt map[procEpochKey]uint64
-	// notiRecv[pid,ep] counts received inter-directory notifications.
-	notiRecv map[procEpochKey]int
-	// largest committed Release epoch per processor; absent until the first
-	// Release from that processor commits.
-	largestEp map[noc.NodeID]uint64
-	// pendingRel holds Release stores that cannot commit yet ("retry later",
-	// Alg. 2 line 24) — the network buffer of Fig. 12.
-	pendingRel []*releaseMsg
-	// pendingReq holds requests-for-notification awaiting local commits.
-	pendingReq []*reqNotifyMsg
+	// st holds the protocol-visible tables (store counters, notification
+	// counters, largest committed epochs, recycle buffers).
+	st core.CordDir
+	// self is this directory's dense index; tiles maps node IDs to indices.
+	self  int
+	tiles int
 
 	occCnt, occNoti, occLargest, occNetBuf *stats.Occupancy
 
@@ -42,11 +35,12 @@ type dir struct {
 }
 
 func newDir(sys *proto.System, id noc.NodeID, cfg Config) *dir {
+	nc := sys.Net.Config()
 	d := &dir{
 		cfg:        cfg,
-		cnt:        make(map[procEpochKey]uint64),
-		notiRecv:   make(map[procEpochKey]int),
-		largestEp:  make(map[noc.NodeID]uint64),
+		st:         core.NewCordDir(nc.Hosts * nc.TilesPerHost),
+		self:       id.Host*nc.TilesPerHost + id.Tile,
+		tiles:      nc.TilesPerHost,
 		occCnt:     stats.NewOccupancy("dir/store-counter", dirCntEntryBytes),
 		occNoti:    stats.NewOccupancy("dir/notification-counter", dirNotiEntryBytes),
 		occLargest: stats.NewOccupancy("dir/largest-epoch", dirLargestEpEntryBytes),
@@ -59,6 +53,13 @@ func newDir(sys *proto.System, id noc.NodeID, cfg Config) *dir {
 	sys.Run.Tables = append(sys.Run.Tables, d.occCnt, d.occNoti, d.occLargest, d.occNetBuf)
 	return d
 }
+
+// pix is the dense index of a processor for the core rules.
+func (d *dir) pix(id noc.NodeID) int { return id.Host*d.tiles + id.Tile }
+
+// coreAt is pix's inverse: the core rules identify processors by dense
+// index; acknowledgments travel back to the matching core node.
+func (d *dir) coreAt(ix int) noc.NodeID { return noc.CoreID(ix/d.tiles, ix%d.tiles) }
 
 func (d *dir) handle(src noc.NodeID, payload any) {
 	switch m := payload.(type) {
@@ -82,35 +83,15 @@ func (d *dir) handle(src noc.NodeID, payload any) {
 	}
 }
 
-// bumpCnt increments the (pid, ep) store counter, allocating its entry.
-func (d *dir) bumpCnt(k procEpochKey) {
-	if _, live := d.cnt[k]; !live {
-		d.occCnt.Inc()
-	}
-	d.cnt[k]++
-}
-
-func (d *dir) dropCnt(k procEpochKey) {
-	if _, live := d.cnt[k]; live {
-		delete(d.cnt, k)
-		d.occCnt.Dec()
-	}
-}
-
-func (d *dir) dropNoti(k procEpochKey) {
-	if _, live := d.notiRecv[k]; live {
-		delete(d.notiRecv, k)
-		d.occNoti.Dec()
-	}
-}
-
 // onRelaxed commits a Relaxed store immediately (Alg. 2 lines 18-20). The
 // ordering point is arrival at the directory controller: the store counter
 // bumps right away, and the LLC write pipelines behind it. A Release that
 // becomes eligible on this count schedules its own commit at least one
 // commit latency later, so its LLC write never overtakes this one.
 func (d *dir) onRelaxed(m *relaxedMsg) {
-	d.bumpCnt(procEpochKey{m.Src, m.Ep})
+	if d.st.NoteRelaxed(d.pix(m.Src), m.Ep) {
+		d.occCnt.Inc()
+	}
 	if rec := d.Sys.Obs; rec.Take() {
 		// The store is directory-ordered the moment its counter bumps.
 		rec.Record(obs.Event{At: d.Sys.Eng.Now(), Kind: obs.KOrdered,
@@ -128,167 +109,160 @@ func (d *dir) onRelaxed(m *relaxedMsg) {
 	d.reeval()
 }
 
-// prevCommitted reports whether the (optional) last-unacked prior epoch has
-// committed at this directory. Releases bound for one directory commit in
-// program order, so the largest committed epoch is an exact test.
-func (d *dir) prevCommitted(pid noc.NodeID, hasPrev bool, prev uint64) bool {
-	if !hasPrev {
-		return true
-	}
-	le, any := d.largestEp[pid]
-	return any && le >= prev
-}
-
-// releaseEligible is Alg. 2 line 22's three-way condition.
-func (d *dir) releaseEligible(m *releaseMsg) bool {
-	k := procEpochKey{m.Src, m.Ep}
-	return d.cnt[k] >= m.Cnt &&
-		d.prevCommitted(m.Src, m.HasPrev, m.PrevEp) &&
-		d.notiRecv[k] >= m.NotiCnt
+// relCore translates an arrived Release to the core vocabulary.
+func (d *dir) relCore(m *releaseMsg) core.Msg {
+	return core.Msg{Kind: core.MRelease, Src: d.pix(m.Src), Dir: d.self,
+		Ep: m.Ep, Cnt: m.Cnt, HasPrev: m.HasPrev, PrevEp: m.PrevEp,
+		NotiCnt: m.NotiCnt, Addr: uint64(m.Addr), Val: m.Value, Size: m.Size,
+		Barrier: m.Barrier, Atomic: m.Atomic}
 }
 
 // onRelease commits an eligible Release store or recycles it (Alg. 2 21-24).
 func (d *dir) onRelease(m *releaseMsg) {
-	if !d.releaseEligible(m) {
-		d.pendingRel = append(d.pendingRel, m)
+	cm := d.relCore(m)
+	if !d.st.ReleaseEligible(cm) {
+		d.st.BufferRelease(cm)
 		d.occNetBuf.Inc()
 		d.noteRetry(stats.ClassReleaseData, m.Src, m.Ep)
 		return
 	}
-	d.commitRelease(m)
+	d.commitRelease(cm)
 }
 
 // noteRetry records a recycle-buffer admission: the depth for the metrics
 // registry and, when sampled, a KRetry event.
 func (d *dir) noteRetry(class stats.MsgClass, src noc.NodeID, ep uint64) {
 	rec := d.Sys.Obs
-	rec.DirDepth(len(d.pendingRel) + len(d.pendingReq))
+	rec.DirDepth(d.st.Buffered())
 	if rec.Take() {
 		rec.Record(obs.Event{At: d.Sys.Eng.Now(), Kind: obs.KRetry,
 			Src: d.ID.Obs(), Dst: src.Obs(), Class: class, Seq: ep})
 	}
 }
 
-func (d *dir) commitRelease(m *releaseMsg) {
+// commitRelease schedules an eligible Release's LLC commit one commit
+// latency out; the core rule applies the table effects at that point, and
+// the acknowledgment leaves for the issuing core.
+func (d *dir) commitRelease(cm core.Msg) {
 	d.Sys.Eng.Schedule(d.Sys.Timing.CommitLatency(), func() {
 		switch {
-		case m.Atomic:
-			d.FetchAdd(m.Addr, m.Value)
-		case !m.Barrier:
-			d.CommitValue(m.Addr, m.Value)
+		case cm.Atomic:
+			d.FetchAdd(memsys.Addr(cm.Addr), cm.Val)
+		case !cm.Barrier:
+			d.CommitValue(memsys.Addr(cm.Addr), cm.Val)
 		}
-		if _, any := d.largestEp[m.Src]; !any {
+		freedCnt, freedNoti, newLargest := d.st.CommitRelease(cm)
+		if newLargest {
 			d.occLargest.Inc()
 		}
-		if le, any := d.largestEp[m.Src]; !any || m.Ep > le {
-			d.largestEp[m.Src] = m.Ep
+		if freedCnt {
+			d.occCnt.Dec()
 		}
-		k := procEpochKey{m.Src, m.Ep}
-		d.dropCnt(k)
-		d.dropNoti(k)
+		if freedNoti {
+			d.occNoti.Dec()
+		}
+		src := d.coreAt(cm.Src)
 		class, size := stats.ClassAck, proto.AckBytes
-		if m.Atomic {
+		if cm.Atomic {
 			class, size = stats.ClassAtomicResp, proto.AckBytes+8
 		}
 		if rec := d.Sys.Obs; rec.Take() {
 			rec.Record(obs.Event{At: d.Sys.Eng.Now(), Kind: obs.KRelCommit,
-				Src: d.ID.Obs(), Dst: m.Src.Obs(), Seq: m.Ep, Addr: uint64(m.Addr)})
+				Src: d.ID.Obs(), Dst: src.Obs(), Seq: cm.Ep, Addr: cm.Addr})
 		}
-		d.Sys.Net.Send(d.ID, m.Src, class, size, &ackMsg{Ep: m.Ep})
+		d.Sys.Net.Send(d.ID, src, class, size, &ackMsg{Ep: cm.Ep})
 		d.reeval()
 	})
-}
-
-// reqEligible is Alg. 2 line 26's condition: all of the processor's pending
-// Relaxed stores for this epoch committed here, and its last unacked Release
-// to this directory committed.
-func (d *dir) reqEligible(m *reqNotifyMsg) bool {
-	k := procEpochKey{m.Src, m.Ep}
-	return d.cnt[k] >= m.RelaxedCnt && d.prevCommitted(m.Src, m.HasPrev, m.PrevEp)
 }
 
 // onReqNotify forwards a notification to the destination directory once the
 // local pending stores commit (Alg. 2 lines 25-28).
 func (d *dir) onReqNotify(m *reqNotifyMsg) {
-	if !d.reqEligible(m) {
-		d.pendingReq = append(d.pendingReq, m)
+	cm := core.Msg{Kind: core.MReqNotify, Src: d.pix(m.Src), Dir: d.self,
+		Dst: d.pixDir(m.Dst), Ep: m.Ep, Cnt: m.RelaxedCnt,
+		HasPrev: m.HasPrev, PrevEp: m.PrevEp}
+	if !d.st.ReqEligible(cm) {
+		d.st.BufferReq(cm)
 		d.occNetBuf.Inc()
 		d.noteRetry(stats.ClassReqNotify, m.Src, m.Ep)
 		return
 	}
-	d.sendNotify(m)
+	d.serveNotify(cm)
 }
 
-func (d *dir) sendNotify(m *reqNotifyMsg) {
-	// The store-counter entry is reclaimed after the notification is sent
-	// (§4.3).
-	d.dropCnt(procEpochKey{m.Src, m.Ep})
-	if m.Dst == d.ID {
-		// A degenerate self-notification (possible in hand-written tests):
-		// deliver directly.
-		d.onNotify(&notifyMsg{Src: m.Src, Ep: m.Ep})
+// pixDir is the dense index of a directory node.
+func (d *dir) pixDir(id noc.NodeID) int { return id.Host*d.tiles + id.Tile }
+
+// serveNotify consumes an eligible request-for-notification through the core
+// rule: the store-counter entry retires (§4.3) and the notification either
+// goes on the wire or — for a degenerate self-notification — is absorbed.
+func (d *dir) serveNotify(cm core.Msg) {
+	out, wire, freedCnt, selfNew := d.st.SendNotify(cm, d.self)
+	if freedCnt {
+		d.occCnt.Dec()
+	}
+	if !wire {
+		if selfNew {
+			d.occNoti.Inc()
+		}
+		d.reeval()
 		return
 	}
+	d.wireNotify(out)
+}
+
+// wireNotify sends a core-emitted notification to its destination directory.
+func (d *dir) wireNotify(out core.Msg) {
+	dst := noc.DirID(out.Dir/d.tiles, out.Dir%d.tiles)
 	if rec := d.Sys.Obs; rec.Take() {
 		rec.Record(obs.Event{At: d.Sys.Eng.Now(), Kind: obs.KNotify,
-			Src: d.ID.Obs(), Dst: m.Dst.Obs(), Seq: m.Ep})
+			Src: d.ID.Obs(), Dst: dst.Obs(), Seq: out.Ep})
 	}
-	d.Sys.Net.Send(d.ID, m.Dst, stats.ClassNotify, proto.NotifyBytes,
-		&notifyMsg{Src: m.Src, Ep: m.Ep})
+	d.Sys.Net.Send(d.ID, dst, stats.ClassNotify, proto.NotifyBytes,
+		&notifyMsg{Src: d.coreAt(out.Src), Ep: out.Ep})
 }
 
 // onNotify counts a notification toward the corresponding Release
 // (Alg. 2 lines 29-30).
 func (d *dir) onNotify(m *notifyMsg) {
-	k := procEpochKey{m.Src, m.Ep}
-	if _, live := d.notiRecv[k]; !live {
+	if d.st.NoteNotify(d.pix(m.Src), m.Ep) {
 		d.occNoti.Inc()
 	}
-	d.notiRecv[k]++
 	d.reeval()
 }
 
-// reeval re-examines the recycled buffers until a fixpoint: committing one
-// Release may unblock a buffered request-for-notification for a later epoch
-// and vice versa. Eligibility conditions are monotone (counters only grow,
-// commits are permanent), so entries scheduled for commit stay eligible.
+// reeval runs the core recycle fixpoint: committing one Release may unblock
+// a buffered request-for-notification for a later epoch and vice versa.
+// Occupancy deltas from entries the rules reclaim internally (served
+// requests) are reconciled afterwards — no simulated time passes inside the
+// fixpoint, so the deferred updates are indistinguishable.
 func (d *dir) reeval() {
-	for progress := true; progress; {
-		progress = false
-		keep := d.pendingRel[:0]
-		for _, m := range d.pendingRel {
-			if d.releaseEligible(m) {
-				d.occNetBuf.Dec()
-				d.commitRelease(m)
-				progress = true
-			} else {
-				d.Recycles++
-				keep = append(keep, m)
-			}
-		}
-		d.pendingRel = keep
-
-		keepQ := d.pendingReq[:0]
-		for _, m := range d.pendingReq {
-			if d.reqEligible(m) {
-				d.occNetBuf.Dec()
-				d.sendNotify(m)
-				progress = true
-			} else {
-				d.Recycles++
-				keepQ = append(keepQ, m)
-			}
-		}
-		d.pendingReq = keepQ
+	cntB, notiB, reqB := len(d.st.Cnt), len(d.st.Noti), len(d.st.PendingReq)
+	d.st.Reeval(d.self,
+		func(m core.Msg) { d.occNetBuf.Dec(); d.commitRelease(m) },
+		func(out core.Msg) { d.wireNotify(out) },
+		func() { d.Recycles++ })
+	for n := cntB - len(d.st.Cnt); n > 0; n-- {
+		d.occCnt.Dec()
+	}
+	for n := len(d.st.Noti) - notiB; n > 0; n-- {
+		d.occNoti.Inc()
+	}
+	for n := reqB - len(d.st.PendingReq); n > 0; n-- {
+		d.occNetBuf.Dec()
 	}
 }
 
 // PendingBuffered reports recycled messages, for deadlock diagnosis.
-func (d *dir) PendingBuffered() int { return len(d.pendingRel) + len(d.pendingReq) }
+func (d *dir) PendingBuffered() int { return d.st.Buffered() }
 
 // Protocol is the proto.Builder for CORD (and, with SeqBits set, SEQ-N).
 type Protocol struct {
 	Cfg Config
+	// Variants are core-level ablation switches applied on top of Cfg's
+	// derived parameters — the same switches litmus configs apply, so a
+	// tweak defined once is simultaneously simulated and model-checked.
+	Variants []core.Variant
 }
 
 // New returns CORD with the paper's default configuration.
@@ -310,13 +284,17 @@ func (p *Protocol) Build(sys *proto.System, cores []noc.NodeID) []proto.CPU {
 	if err := p.Cfg.Validate(); err != nil {
 		panic(err)
 	}
+	cp := p.Cfg.Params()
+	for _, v := range p.Variants {
+		v.Apply(&cp)
+	}
 	for _, id := range sys.Dirs() {
 		d := newDir(sys, id, p.Cfg)
 		sys.Net.Register(id, d.handle)
 	}
 	cpus := make([]proto.CPU, len(cores))
 	for i, id := range cores {
-		c := newCPU(sys, id, &sys.Run.Procs[i], p.Cfg)
+		c := newCPU(sys, id, &sys.Run.Procs[i], p.Cfg, cp)
 		sys.Net.Register(id, c.handle)
 		cpus[i] = c
 	}

@@ -1,0 +1,34 @@
+package core
+
+// SOProc is the source-ordering baseline's processor state: every store is
+// written through and acknowledged individually, and an operation that must
+// order (a release, barrier, or ordered atomic) waits until the outstanding
+// count drains to zero.
+type SOProc struct {
+	PendingAcks int
+}
+
+// CanIssueOrdered reports whether an ordering operation may issue now.
+func (p *SOProc) CanIssueOrdered() bool { return p.PendingAcks == 0 }
+
+// NoteStore records one write-through store awaiting acknowledgment.
+func (p *SOProc) NoteStore() { p.PendingAcks++ }
+
+// NoteAck retires one acknowledgment.
+func (p *SOProc) NoteAck() {
+	if p.PendingAcks == 0 {
+		panic("core: SO ack with no store outstanding")
+	}
+	p.PendingAcks--
+}
+
+// Drained reports whether all stores are acknowledged.
+func (p *SOProc) Drained() bool { return p.PendingAcks == 0 }
+
+// SOAck is the SO directory rule: a store commits on arrival and is
+// acknowledged to its source; an atomic's acknowledgment carries the
+// previous value (old) back in Val.
+func SOAck(m Msg, old uint64) Msg {
+	return Msg{Kind: MSOAck, Src: m.Src, Dir: m.Dir, Ep: m.Ep,
+		Val: old, Atomic: m.Atomic, Release: m.Release, Tag: m.Tag}
+}

@@ -1,0 +1,37 @@
+package core
+
+// Variant is a named CORD protocol tweak applied to CordParams. A variant
+// is defined once, here, and consumed by every driver: internal/exp applies
+// it to the simulated configuration for ablation measurements, and
+// internal/litmus applies it to the checked configuration so cordcheck
+// verifies the exact rule set the ablation measures.
+type Variant struct {
+	Name  string
+	Apply func(*CordParams)
+}
+
+// VariantNoNotifications ablates the inter-directory notification
+// mechanism (paper §6.4): cross-directory releases drain via empty-release
+// barriers instead of ReqNotify/Notify.
+var VariantNoNotifications = Variant{
+	Name:  "no-notifications",
+	Apply: func(p *CordParams) { p.NoNotifications = true },
+}
+
+// VariantTinyTables shrinks every bounded table to a single entry,
+// exercising the §4.3 stall-and-flush paths on every operation.
+var VariantTinyTables = Variant{
+	Name: "tiny-tables",
+	Apply: func(p *CordParams) {
+		p.ProcUnackedCap = 1
+		p.ProcCntCap = 1
+		p.DirCntCapPerProc = 1
+		p.DirNotiCapPerProc = 1
+	},
+}
+
+// CordVariants lists the ablation switches shared by the simulator and the
+// model checker.
+func CordVariants() []Variant {
+	return []Variant{VariantNoNotifications, VariantTinyTables}
+}

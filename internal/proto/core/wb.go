@@ -1,0 +1,137 @@
+package core
+
+import (
+	"fmt"
+	"slices"
+)
+
+// WBProc is the write-back baseline's processor-side protocol state:
+// which lines are owned or being fetched, the dirty data awaiting
+// write-back, and the flush discipline that source-orders a release
+// (dirty lines are written back and acknowledged before the flag store
+// issues — the §4.4 comparison point for CORD).
+type WBProc struct {
+	Owned    map[uint64]bool
+	Fetching map[uint64]bool
+	Dirty    map[uint64]map[uint64]uint64 // line -> addr -> value
+	MSHR     int                          // outstanding ownership fetches
+	Pending  int                          // outstanding write-back / flag acks
+}
+
+// NewWBProc returns empty write-back processor state.
+func NewWBProc() WBProc {
+	return WBProc{
+		Owned:    make(map[uint64]bool),
+		Fetching: make(map[uint64]bool),
+		Dirty:    make(map[uint64]map[uint64]uint64),
+	}
+}
+
+// Clone deep-copies the state (model-checker world forking).
+func (p *WBProc) Clone() WBProc {
+	c := NewWBProc()
+	c.MSHR, c.Pending = p.MSHR, p.Pending
+	for l := range p.Owned {
+		c.Owned[l] = true
+	}
+	for l := range p.Fetching {
+		c.Fetching[l] = true
+	}
+	for l, vals := range p.Dirty {
+		m := make(map[uint64]uint64, len(vals))
+		for a, v := range vals {
+			m[a] = v
+		}
+		c.Dirty[l] = m
+	}
+	return c
+}
+
+// WBStoreVerdict is StoreAdmit's decision for a relaxed store.
+type WBStoreVerdict uint8
+
+const (
+	WBHit      WBStoreVerdict = iota // line owned: write the local copy
+	WBMiss                           // fetch ownership, write under the miss
+	WBMSHRFull                       // all miss registers busy: stall
+)
+
+// StoreAdmit classifies a relaxed store to line.
+func (p *WBProc) StoreAdmit(mshrs int, line uint64) WBStoreVerdict {
+	if p.Owned[line] || p.Fetching[line] {
+		return WBHit
+	}
+	if p.MSHR >= mshrs {
+		return WBMSHRFull
+	}
+	return WBMiss
+}
+
+// RecordDirty merges a store into the line's dirty data. Values merge
+// monotonically (max): the workload's memory cells are flags and counters
+// that only grow, so the largest value is the latest (DESIGN.md §9).
+func (p *WBProc) RecordDirty(line, addr, val uint64) {
+	vals := p.Dirty[line]
+	if vals == nil {
+		vals = make(map[uint64]uint64)
+		p.Dirty[line] = vals
+	}
+	if val > vals[addr] {
+		vals[addr] = val
+	}
+}
+
+// BeginFetch starts an ownership fetch for line (caller checked StoreAdmit).
+func (p *WBProc) BeginFetch(line uint64) {
+	p.Fetching[line] = true
+	p.MSHR++
+}
+
+// Fill completes an ownership fetch.
+func (p *WBProc) Fill(line uint64) {
+	if !p.Fetching[line] {
+		panic(fmt.Sprintf("core: WB fill for line %#x not being fetched", line))
+	}
+	delete(p.Fetching, line)
+	p.Owned[line] = true
+	p.MSHR--
+}
+
+// CanFlush reports whether a flush may begin: all fetches have filled, so
+// every dirty line's data is complete.
+func (p *WBProc) CanFlush() bool { return p.MSHR == 0 }
+
+// FlushLines drains the dirty table in ascending line order, invoking emit
+// once per line with its merged values; each write-back expects an
+// acknowledgment. Ownership is retained (the flush is a data write-back,
+// not an eviction).
+func (p *WBProc) FlushLines(emit func(line uint64, vals map[uint64]uint64)) {
+	if len(p.Dirty) == 0 {
+		return
+	}
+	lines := make([]uint64, 0, len(p.Dirty))
+	for l := range p.Dirty {
+		lines = append(lines, l)
+	}
+	slices.Sort(lines)
+	for _, l := range lines {
+		vals := p.Dirty[l]
+		delete(p.Dirty, l)
+		p.Pending++
+		emit(l, vals)
+	}
+}
+
+// NoteFlag records an issued flag/release store awaiting acknowledgment.
+func (p *WBProc) NoteFlag() { p.Pending++ }
+
+// NoteAck retires one write-back or flag acknowledgment.
+func (p *WBProc) NoteAck() {
+	if p.Pending == 0 {
+		panic("core: WB ack with nothing outstanding")
+	}
+	p.Pending--
+}
+
+// Drained reports whether all write-backs and flag stores are acknowledged.
+func (p *WBProc) Drained() bool { return p.Pending == 0 }

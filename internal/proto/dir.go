@@ -22,12 +22,16 @@ type pollWaiter struct {
 	req *LoadReq
 }
 
-// InitBase prepares the embedded fields.
+// InitBase prepares the embedded fields and registers the slice's store for
+// post-run memory read-back (System.ReadMem).
 func (d *DirBase) InitBase(sys *System, id noc.NodeID) {
 	d.Sys = sys
 	d.ID = id
 	d.Store = memsys.NewStore()
 	d.waiters = make(map[memsys.Addr][]pollWaiter)
+	if sys.stores != nil {
+		sys.stores[id] = d.Store
+	}
 }
 
 // CommitValue writes v to addr in the LLC slice, monotonically (flags are

@@ -1,0 +1,157 @@
+package proto_test
+
+import (
+	"encoding/json"
+	"os"
+	"runtime"
+	"testing"
+	"time"
+
+	"cord/internal/noc"
+	"cord/internal/proto"
+	"cord/internal/proto/cord"
+	"cord/internal/proto/mp"
+	"cord/internal/proto/so"
+	"cord/internal/proto/wb"
+	"cord/internal/workload"
+)
+
+// These guards extend the PR 3 kernel regression suite to the protocol
+// adapters: after the single-source refactor every protocol decision is a
+// call into internal/proto/core, and the indirection must not add per-event
+// allocations on the sim hot path. The committed BENCH_kernel.json is the
+// baseline; the assertions allow headroom for amortization noise but catch
+// the failure mode that matters (a core-rule call that boxes, clones, or
+// builds garbage per message).
+
+type kernelBaseline struct {
+	Protocols []struct {
+		Scheme        string  `json:"scheme"`
+		Fabric        string  `json:"fabric"`
+		AllocsPerEvnt float64 `json:"allocs_per_event"`
+	} `json:"protocols"`
+}
+
+// baselineAllocs returns the committed allocs/event for scheme on the CXL
+// fabric from BENCH_kernel.json at the repo root.
+func baselineAllocs(t *testing.T, scheme string) float64 {
+	t.Helper()
+	raw, err := os.ReadFile("../../BENCH_kernel.json")
+	if err != nil {
+		t.Fatalf("read baseline: %v", err)
+	}
+	var base kernelBaseline
+	if err := json.Unmarshal(raw, &base); err != nil {
+		t.Fatalf("parse baseline: %v", err)
+	}
+	for _, p := range base.Protocols {
+		if p.Scheme == scheme && p.Fabric == "CXL" {
+			return p.AllocsPerEvnt
+		}
+	}
+	t.Fatalf("no %s/CXL row in BENCH_kernel.json", scheme)
+	return 0
+}
+
+func adapterBuilders() []proto.Builder {
+	return []proto.Builder{cord.New(), so.New(), mp.New(), wb.New()}
+}
+
+// runMicro executes the same micro workload cordbench -kernel uses and
+// returns (events, allocs/event, ns/event) for the whole run, system
+// construction included — matching how the baseline was measured.
+func runMicro(t testing.TB, b proto.Builder, rounds int) (uint64, float64, float64) {
+	t.Helper()
+	p := workload.Micro(256, 64, 3, rounds)
+	nc := noc.CXLConfig()
+	cores, progs, err := p.Programs(nc)
+	if err != nil {
+		t.Fatalf("%s: programs: %v", b.Name(), err)
+	}
+	sys := proto.NewSystem(42, nc, proto.RC)
+	runtime.GC()
+	var m0, m1 runtime.MemStats
+	runtime.ReadMemStats(&m0)
+	start := time.Now()
+	if _, err := proto.Exec(sys, b, cores, progs); err != nil {
+		t.Fatalf("%s: exec: %v", b.Name(), err)
+	}
+	wall := time.Since(start)
+	runtime.ReadMemStats(&m1)
+	n := sys.Eng.Executed()
+	return n, float64(m1.Mallocs-m0.Mallocs) / float64(n),
+		float64(wall.Nanoseconds()) / float64(n)
+}
+
+// TestAdapterAllocsWithinBaseline runs each refactored adapter against the
+// committed BENCH_kernel.json allocation figures. A regression here means
+// the core-rule delegation started allocating per event.
+func TestAdapterAllocsWithinBaseline(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full micro workload; skipped in -short")
+	}
+	for _, b := range adapterBuilders() {
+		t.Run(b.Name(), func(t *testing.T) {
+			base := baselineAllocs(t, b.Name())
+			// Shorter run than the baseline's 20000 rounds, so fixed startup
+			// allocations amortize over fewer events: allow 1.5x plus a small
+			// absolute slack.
+			events, allocs, ns := runMicro(t, b, 4000)
+			t.Logf("%s: %d events, %.3f allocs/event (baseline %.3f), %.0f ns/event",
+				b.Name(), events, allocs, base, ns)
+			if limit := base*1.5 + 0.25; allocs > limit {
+				t.Errorf("%s allocates %.3f/event, baseline %.3f (limit %.3f): core-rule indirection is allocating on the hot path",
+					b.Name(), allocs, base, limit)
+			}
+		})
+	}
+}
+
+// TestAdapterSteadyStateAllocBound pins the steady-state allocation shape
+// directly, independent of the JSON baseline: repeated runs of the same
+// workload must stay within a constant allocs/event envelope (protocol
+// messages are heap-boxed, so the bound is small but nonzero — unlike the
+// sim/noc kernels, which are held to exactly zero).
+func TestAdapterSteadyStateAllocBound(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full micro workload; skipped in -short")
+	}
+	for _, b := range adapterBuilders() {
+		t.Run(b.Name(), func(t *testing.T) {
+			_, allocs, _ := runMicro(t, b, 4000)
+			if allocs > 4 {
+				t.Errorf("%s: %.2f allocs/event exceeds the 4/event envelope", b.Name(), allocs)
+			}
+		})
+	}
+}
+
+// BenchmarkAdapterExec is the micro-benchmark counterpart: ns/event and
+// allocs/event for one full protocol run per iteration, comparable (via the
+// reported metrics) against BENCH_kernel.json.
+func BenchmarkAdapterExec(b *testing.B) {
+	for _, bl := range adapterBuilders() {
+		b.Run(bl.Name(), func(b *testing.B) {
+			p := workload.Micro(256, 64, 3, 2000)
+			nc := noc.CXLConfig()
+			cores, progs, err := p.Programs(nc)
+			if err != nil {
+				b.Fatal(err)
+			}
+			var events uint64
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				sys := proto.NewSystem(42, nc, proto.RC)
+				if _, err := proto.Exec(sys, bl, cores, progs); err != nil {
+					b.Fatal(err)
+				}
+				events += sys.Eng.Executed()
+			}
+			b.StopTimer()
+			if events > 0 {
+				b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(events), "ns/event")
+			}
+		})
+	}
+}

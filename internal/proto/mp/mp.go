@@ -11,16 +11,20 @@
 // have committed. Under TSO the paper uses totally ordered MP as an upper
 // bound for performance and traffic; the wire behaviour is identical to the
 // RC mode here.
+//
+// The ordering decisions — FIFO drain, flush eligibility, sequence
+// assignment — are core.MPProc/core.MPOrderer rules shared with the litmus
+// model checker; this package owns timing, wire formats, stats, and obs.
 package mp
 
 import (
 	"fmt"
-	"sort"
 
 	"cord/internal/memsys"
 	"cord/internal/noc"
 	"cord/internal/obs"
 	"cord/internal/proto"
+	"cord/internal/proto/core"
 	"cord/internal/stats"
 )
 
@@ -65,94 +69,70 @@ type flushResp struct {
 	Tag uint64
 }
 
-// orderer is a host's ingress ordering point: it commits each source's
-// posted writes in sequence order, regardless of arrival order, and answers
-// flushing reads. One orderer is shared by all directory slices of a host.
+// orderer adapts a host's ingress ordering point (core.MPOrderer) to the
+// simulator: the core rule decides commit and flush eligibility; this type
+// schedules the commits, answers flushing reads on the wire, and records
+// observability events. One orderer is shared by all slices of a host.
 type orderer struct {
-	sys  *proto.System
-	host int
-	// next[src] is the next sequence number to commit for src.
-	next map[noc.NodeID]uint64
-	// pending[src][seq] holds early arrivals.
-	pending map[noc.NodeID]map[uint64]*arrival
-	// flushes[src] holds outstanding flushing reads.
-	flushes map[noc.NodeID][]*flushReq
-	dirs    map[int]*dir // by slice
+	sys   *proto.System
+	host  int
+	tiles int
+	st    core.MPOrderer
+	dirs  map[int]*dir // by slice
+	// flights correlates a parked flushing read back to its wire request.
+	// Tags are per-CPU counters, so the key must include the source.
+	flights map[flightKey]*flushReq
 }
 
-type arrival struct {
-	m   *mpStore
-	dst *dir
+type flightKey struct {
+	src int
+	tag uint64
 }
 
 func newOrderer(sys *proto.System, host int) *orderer {
+	nc := sys.Net.Config()
 	return &orderer{
 		sys:     sys,
 		host:    host,
-		next:    make(map[noc.NodeID]uint64),
-		pending: make(map[noc.NodeID]map[uint64]*arrival),
-		flushes: make(map[noc.NodeID][]*flushReq),
+		tiles:   nc.TilesPerHost,
+		st:      core.NewMPOrderer(nc.Hosts * nc.TilesPerHost),
 		dirs:    make(map[int]*dir),
+		flights: make(map[flightKey]*flushReq),
 	}
 }
 
+// pix is the dense index of a processor for the core rules.
+func (o *orderer) pix(id noc.NodeID) int { return id.Host*o.tiles + id.Tile }
+
 // submit hands an arrived posted write to the ordering point.
 func (o *orderer) submit(m *mpStore, at *dir) {
-	p := o.pending[m.Src]
-	if p == nil {
-		p = make(map[uint64]*arrival)
-		o.pending[m.Src] = p
-	}
-	if _, dup := p[m.Seq]; dup {
-		panic(fmt.Sprintf("mp: duplicate seq %d from %v at host %d", m.Seq, m.Src, o.host))
-	}
-	p[m.Seq] = &arrival{m: m, dst: at}
-	if m.Seq != o.next[m.Src] {
+	cm := core.Msg{Kind: core.MMPStore, Src: o.pix(m.Src), Dir: at.ID.Tile,
+		Seq: m.Seq, Addr: uint64(m.Addr), Val: m.Value, Size: m.Size,
+		Atomic: m.Atomic, Tag: m.Tag}
+	inOrder := o.st.Submit(cm,
+		func(w core.Msg) { o.dirs[w.Dir].commit(w) },
+		func(f core.Msg) { o.respondFlush(o.takeFlight(f)) })
+	if !inOrder {
 		// Out-of-order arrival: held at the ordering point until the gap fills.
 		rec := o.sys.Obs
-		rec.DirDepth(len(p))
+		rec.DirDepth(o.st.PendingFor(cm.Src))
 		if rec.Take() {
 			rec.Record(obs.Event{At: o.sys.Eng.Now(), Kind: obs.KRetry,
 				Src: at.ID.Obs(), Dst: m.Src.Obs(), Class: stats.ClassRelaxedData,
 				Seq: m.Seq})
 		}
 	}
-	o.drain(m.Src)
 }
 
-// drain commits consecutive sequence numbers as they become available.
-func (o *orderer) drain(src noc.NodeID) {
-	p := o.pending[src]
-	for {
-		a, ok := p[o.next[src]]
-		if !ok {
-			break
-		}
-		delete(p, o.next[src])
-		o.next[src]++
-		a.dst.commit(a.m)
+// takeFlight recovers the wire request for a now-ready parked flush.
+func (o *orderer) takeFlight(f core.Msg) *flushReq {
+	k := flightKey{src: f.Src, tag: f.Tag}
+	w, ok := o.flights[k]
+	if !ok {
+		panic(fmt.Sprintf("mp: served flush with unknown tag %d at host %d", f.Tag, o.host))
 	}
-	o.serveFlushes(src)
-}
-
-func (o *orderer) serveFlushes(src noc.NodeID) {
-	fs := o.flushes[src]
-	if len(fs) == 0 {
-		return
-	}
-	keep := fs[:0]
-	for _, f := range fs {
-		if o.next[src] > f.Seq {
-			o.respondFlush(f)
-		} else {
-			keep = append(keep, f)
-		}
-	}
-	if len(keep) == 0 {
-		delete(o.flushes, src)
-	} else {
-		o.flushes[src] = keep
-	}
+	delete(o.flights, k)
+	return w
 }
 
 // respondFlush completes a flushing read after the commit pipeline drains
@@ -169,11 +149,12 @@ func (o *orderer) respondFlush(f *flushReq) {
 }
 
 func (o *orderer) flush(f *flushReq) {
-	if o.next[f.Src] > f.Seq || f.Seq == 0 {
+	cm := core.Msg{Kind: core.MMPFlush, Src: o.pix(f.Src), Seq: f.Seq, Tag: f.Tag}
+	if o.st.Flush(cm) {
 		o.respondFlush(f)
 		return
 	}
-	o.flushes[f.Src] = append(o.flushes[f.Src], f)
+	o.flights[flightKey{src: cm.Src, tag: f.Tag}] = f
 }
 
 // dir is a directory slice under MP: pure commit target behind the orderer.
@@ -195,25 +176,29 @@ func (d *dir) handle(_ noc.NodeID, payload any) {
 	}
 }
 
-func (d *dir) commit(m *mpStore) {
+func (d *dir) commit(m core.Msg) {
 	d.Sys.Eng.Schedule(d.Sys.Timing.CommitLatency(), func() {
 		if m.Atomic {
-			old := d.FetchAdd(m.Addr, m.Value)
-			d.Sys.Net.Send(d.ID, m.Src, stats.ClassAtomicResp, proto.AckBytes+8,
+			old := d.FetchAdd(memsys.Addr(m.Addr), m.Val)
+			src := noc.CoreID(m.Src/d.ord.tiles, m.Src%d.ord.tiles)
+			d.Sys.Net.Send(d.ID, src, stats.ClassAtomicResp, proto.AckBytes+8,
 				&atomicResp{Tag: m.Tag, Old: old})
 			return
 		}
-		d.CommitValue(m.Addr, m.Value)
+		d.CommitValue(memsys.Addr(m.Addr), m.Val)
 	})
 }
 
 // cpu is the MP processor: posts writes, never waits.
 type cpu struct {
 	proto.ProcBase
-	// seq[host] counts posted writes per destination host (1-based next).
-	seq      map[int]uint64
+	// st assigns per-destination-host sequence numbers (the ordering
+	// domains of core.MPProc are hosts here).
+	st       core.MPProc
 	nextTag  uint64
 	inflight map[uint64]func()
+	// buf is the reusable flush fan-out scratch.
+	buf []core.Msg
 	// wcAddr is a one-entry write-combining buffer (posted writes to the
 	// same address merge, as PCIe write-combining does).
 	wcAddr  memsys.Addr
@@ -260,29 +245,26 @@ func (c *cpu) exec(op proto.Op, next func()) {
 			c.wcValid = false
 		}
 		home := c.Sys.Map.HomeOf(op.Addr)
-		host := home.Host
 		class := stats.ClassRelaxedData
 		if op.Ord == proto.Release {
 			class = stats.ClassReleaseData
 		}
 		c.Sys.Net.Send(c.ID, home, class, proto.HeaderBytes+op.Size, &mpStore{
-			Src: c.ID, Seq: c.seq[host], Addr: op.Addr, Value: op.Value, Size: op.Size,
+			Src: c.ID, Seq: c.st.NextSeq(home.Host), Addr: op.Addr,
+			Value: op.Value, Size: op.Size,
 		})
-		c.seq[host]++
 		next()
 	case proto.OpAtomic:
 		// Non-posted atomic: ordered in the per-host stream, blocks on the
 		// value response.
 		c.wcValid = false
 		home := c.Sys.Map.HomeOf(op.Addr)
-		host := home.Host
 		c.nextTag++
 		c.inflight[c.nextTag] = c.StallUntil(stats.StallAcquire, next)
 		c.Sys.Net.Send(c.ID, home, stats.ClassAtomic, proto.HeaderBytes+op.Size, &mpStore{
-			Src: c.ID, Seq: c.seq[host], Addr: op.Addr, Value: op.Value,
+			Src: c.ID, Seq: c.st.NextSeq(home.Host), Addr: op.Addr, Value: op.Value,
 			Size: op.Size, Atomic: true, Tag: c.nextTag,
 		})
-		c.seq[host]++
 	case proto.OpBarrier:
 		switch op.Ord {
 		case proto.Release, proto.SeqCst:
@@ -296,7 +278,8 @@ func (c *cpu) exec(op proto.Op, next func()) {
 }
 
 // flushAll issues a flushing read to every host this core posted writes to
-// and stalls until all respond.
+// (core.MPProc's flush fan-out, ascending host order) and stalls until all
+// respond.
 func (c *cpu) flushAll(next func()) {
 	outstanding := 0
 	resume := c.StallUntil(stats.StallRelease, next)
@@ -306,20 +289,14 @@ func (c *cpu) flushAll(next func()) {
 			resume()
 		}
 	}
-	hosts := make([]int, 0, len(c.seq))
-	for host, n := range c.seq {
-		if n > 0 {
-			hosts = append(hosts, host)
-		}
-	}
-	sort.Ints(hosts) // deterministic send order
-	for _, host := range hosts {
-		n := c.seq[host]
+	c.buf = c.st.FlushTargets(0, c.buf[:0])
+	for _, f := range c.buf {
+		host := f.Dir
 		outstanding++
 		c.nextTag++
 		c.inflight[c.nextTag] = done
 		c.Sys.Net.Send(c.ID, noc.DirID(host, 0), stats.ClassBarrier,
-			proto.LoadReqBytes, &flushReq{Src: c.ID, Seq: n - 1, Tag: c.nextTag})
+			proto.LoadReqBytes, &flushReq{Src: c.ID, Seq: f.Seq, Tag: c.nextTag})
 	}
 	if outstanding == 0 {
 		resume()
@@ -341,7 +318,7 @@ func (p *Protocol) Build(sys *proto.System, cores []noc.NodeID) []proto.CPU {
 	}
 	cpus := make([]proto.CPU, len(cores))
 	for i, id := range cores {
-		c := &cpu{seq: make(map[int]uint64), inflight: make(map[uint64]func())}
+		c := &cpu{st: core.NewMPProc(cfg.Hosts), inflight: make(map[uint64]func())}
 		c.InitBase(sys, id, &sys.Run.Procs[i])
 		c.Exec = c.exec
 		sys.Net.Register(id, c.handle)

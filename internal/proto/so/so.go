@@ -17,6 +17,7 @@ import (
 	"cord/internal/noc"
 	"cord/internal/obs"
 	"cord/internal/proto"
+	"cord/internal/proto/core"
 	"cord/internal/sim"
 	"cord/internal/stats"
 )
@@ -79,13 +80,17 @@ func (p *Protocol) Build(sys *proto.System, cores []noc.NodeID) []proto.CPU {
 	return cpus
 }
 
-// cpu is the source-ordering processor engine.
+// cpu is the source-ordering processor adapter: the ordering decisions
+// (when a release, barrier, or ordered atomic may issue) are core.SOProc
+// rules shared with the litmus model checker; this type owns timing, wire
+// formats, stats, and obs events plus the TSO store-buffer
+// micro-architecture.
 type cpu struct {
 	proto.ProcBase
 	cfg Config
 
-	pendingAcks int    // outstanding write-through stores (RC mode)
-	nextTag     uint64 // store tags for ack matching
+	st      core.SOProc // outstanding write-through stores (RC mode)
+	nextTag uint64      // store tags for ack matching
 	// atomicWait is the continuation blocked on an atomic's response.
 	atomicWait map[uint64]func()
 	// relSent records Release store send times by tag.
@@ -170,7 +175,7 @@ func (c *cpu) exec(op proto.Op, next func()) {
 
 func (c *cpu) sendAtomic(op proto.Op) {
 	c.nextTag++
-	c.pendingAcks++
+	c.st.NoteStore()
 	home := c.Sys.Map.HomeOf(op.Addr)
 	c.Sys.Net.Send(c.ID, home, stats.ClassAtomic, proto.HeaderBytes+op.Size, &storeMsg{
 		Src: c.ID, Addr: op.Addr, Value: op.Value, Size: op.Size,
@@ -178,10 +183,10 @@ func (c *cpu) sendAtomic(op proto.Op) {
 	})
 }
 
-// whenDrained runs fn once pendingAcks reaches zero, charging any wait to
-// the given stall kind.
+// whenDrained runs fn once all stores are acknowledged (core.SOProc's
+// ordering rule), charging any wait to the given stall kind.
 func (c *cpu) whenDrained(kind stats.StallKind, fn func()) {
-	if c.pendingAcks == 0 {
+	if c.st.CanIssueOrdered() {
 		fn()
 		return
 	}
@@ -190,7 +195,7 @@ func (c *cpu) whenDrained(kind stats.StallKind, fn func()) {
 	}
 	resume := c.StallUntil(kind, fn)
 	c.blocked = func() {
-		if c.pendingAcks == 0 {
+		if c.st.CanIssueOrdered() {
 			c.blocked = nil
 			resume()
 		}
@@ -199,7 +204,7 @@ func (c *cpu) whenDrained(kind stats.StallKind, fn func()) {
 
 func (c *cpu) send(op proto.Op, release bool) {
 	c.nextTag++
-	c.pendingAcks++
+	c.st.NoteStore()
 	class := stats.ClassRelaxedData
 	if release {
 		class = stats.ClassReleaseData
@@ -215,10 +220,7 @@ func (c *cpu) send(op proto.Op, release bool) {
 }
 
 func (c *cpu) onAck(m *ackMsg) {
-	if c.pendingAcks == 0 {
-		panic("so: spurious ack")
-	}
-	c.pendingAcks--
+	c.st.NoteAck()
 	if at, ok := c.relSent[m.Tag]; ok {
 		lat := c.Now() - at
 		c.PS.ReleaseLatency.Add(lat)
@@ -304,7 +306,7 @@ func (c *cpu) drainNext() {
 }
 
 func (c *cpu) whenEmptyTSO(fn func()) {
-	if len(c.buf) == 0 && c.pendingAcks == 0 {
+	if len(c.buf) == 0 && c.st.Drained() {
 		fn()
 		return
 	}
@@ -313,7 +315,7 @@ func (c *cpu) whenEmptyTSO(fn func()) {
 	}
 	resume := c.StallUntil(stats.StallAckWait, fn)
 	c.blocked = func() {
-		if len(c.buf) == 0 && c.pendingAcks == 0 {
+		if len(c.buf) == 0 && c.st.Drained() {
 			c.blocked = nil
 			resume()
 		}

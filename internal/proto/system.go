@@ -58,6 +58,10 @@ type System struct {
 	// Obs is the optional observability recorder; nil (the default) disables
 	// event tracing and metrics with no overhead beyond nil checks.
 	Obs *obs.Recorder
+
+	// stores indexes every directory slice's LLC store, registered by
+	// DirBase.InitBase, so tests can read back final memory (ReadMem).
+	stores map[noc.NodeID]*memsys.Store
 }
 
 // NewSystem wires an engine, network, and address map for the given
@@ -73,7 +77,20 @@ func NewSystem(seed int64, nc noc.Config, mode Mode) *System {
 		Timing: memsys.DefaultTiming(),
 		Mode:   mode,
 		Run:    run,
+		stores: make(map[noc.NodeID]*memsys.Store),
 	}
+}
+
+// ReadMem reads the committed value of addr from its home directory slice's
+// LLC store. It is a post-run inspection hook (differential tests compare
+// final simulator memory against the model checker's allowed outcomes) and
+// must not be called while the engine is running.
+func (s *System) ReadMem(a memsys.Addr) uint64 {
+	st, ok := s.stores[s.Map.HomeOf(a)]
+	if !ok {
+		return 0
+	}
+	return st.Read(a)
 }
 
 // Observe attaches an observability recorder to the system: protocol engines

@@ -19,6 +19,10 @@
 // refetches; ownership grants carry no data because producer buffers have no
 // remote sharer between flushes; and concurrent sharers of a data line are
 // not modeled because the evaluated workloads partition producer buffers.
+//
+// Ownership tracking, the dirty table, and the flush-before-flag release
+// discipline are core.WBProc rules shared with the litmus model checker;
+// this package owns timing, wire formats, stats, and obs.
 package wb
 
 import (
@@ -29,6 +33,7 @@ import (
 	"cord/internal/noc"
 	"cord/internal/obs"
 	"cord/internal/proto"
+	"cord/internal/proto/core"
 	"cord/internal/stats"
 )
 
@@ -67,7 +72,7 @@ type fill struct {
 type wbData struct {
 	Src  noc.NodeID
 	Line memsys.Addr
-	Vals map[memsys.Addr]uint64
+	Vals map[uint64]uint64
 	Tag  uint64
 }
 
@@ -91,13 +96,11 @@ type cpu struct {
 	proto.ProcBase
 	cfg Config
 
-	owned    map[memsys.Addr]bool
-	fetching map[memsys.Addr]bool
-	dirty    map[memsys.Addr]map[memsys.Addr]uint64 // line -> addr -> value
-	mshr     int
-	pending  int // outstanding write-back + flag acks
-	nextTag  uint64
-	blocked  func()
+	// st holds the protocol state proper — ownership, dirty data, MSHR and
+	// ack accounting — and decides store admission and flush eligibility.
+	st      core.WBProc
+	nextTag uint64
+	blocked func()
 	// atomicWait holds cores blocked on far-atomic value responses.
 	atomicWait map[uint64]func()
 	// hitToggle lets store hits retire at two per cycle: write-back hits
@@ -111,12 +114,10 @@ func (c *cpu) handle(_ noc.NodeID, payload any) {
 	case *proto.LoadResp:
 		c.HandleLoadResp(m)
 	case *fill:
-		c.onFill(m)
+		c.st.Fill(uint64(m.Line))
+		c.recheck()
 	case *ackMsg:
-		if c.pending == 0 {
-			panic("wb: spurious ack")
-		}
-		c.pending--
+		c.st.NoteAck()
 		if cont, ok := c.atomicWait[m.Tag]; ok {
 			delete(c.atomicWait, m.Tag)
 			cont()
@@ -125,16 +126,6 @@ func (c *cpu) handle(_ noc.NodeID, payload any) {
 	default:
 		panic(fmt.Sprintf("wb: cpu %v got unexpected message %T", c.ID, payload))
 	}
-}
-
-func (c *cpu) onFill(m *fill) {
-	if !c.fetching[m.Line] {
-		panic("wb: fill for line not being fetched")
-	}
-	delete(c.fetching, m.Line)
-	c.owned[m.Line] = true
-	c.mshr--
-	c.recheck()
 }
 
 func (c *cpu) recheck() {
@@ -150,7 +141,7 @@ func (c *cpu) exec(op proto.Op, next func()) {
 		// Release atomics flush dirty lines first, like Release stores.
 		issue := func() {
 			c.nextTag++
-			c.pending++
+			c.st.NoteFlag()
 			tag := c.nextTag
 			c.atomicWait[tag] = c.StallUntil(stats.StallAcquire, next)
 			home := c.Sys.Map.HomeOf(op.Addr)
@@ -186,45 +177,33 @@ func (c *cpu) exec(op proto.Op, next func()) {
 
 func (c *cpu) execStore(op proto.Op, next func()) {
 	line := op.Addr.Line()
-	record := func() {
-		vals := c.dirty[line]
-		if vals == nil {
-			vals = make(map[memsys.Addr]uint64)
-			c.dirty[line] = vals
-		}
-		if op.Value > vals[op.Addr] {
-			vals[op.Addr] = op.Value
-		}
-	}
-	if c.owned[line] || c.fetching[line] {
+	switch c.st.StoreAdmit(c.cfg.MSHRs, uint64(line)) {
+	case core.WBHit:
 		// Write hit (or hit-under-miss): data reuse, no traffic. Hits
 		// retire at two per cycle (see hitToggle).
-		record()
+		c.st.RecordDirty(uint64(line), uint64(op.Addr), op.Value)
 		c.hitToggle = !c.hitToggle
 		if c.hitToggle {
 			c.Sys.Eng.Schedule(0, c.Step)
 		} else {
 			next()
 		}
-		return
-	}
-	if c.mshr >= c.cfg.MSHRs {
-		c.block(stats.StallStoreBuf, func() bool { return c.mshr < c.cfg.MSHRs },
+	case core.WBMSHRFull:
+		c.block(stats.StallStoreBuf, func() bool { return c.st.MSHR < c.cfg.MSHRs },
 			func() { c.execStore(op, next) })
-		return
+	case core.WBMiss:
+		c.st.BeginFetch(uint64(line))
+		c.st.RecordDirty(uint64(line), uint64(op.Addr), op.Value)
+		home := c.Sys.Map.HomeOf(line)
+		c.Sys.Net.Send(c.ID, home, stats.ClassOwnReq, proto.HeaderBytes, &getM{Src: c.ID, Line: line})
+		if c.Sys.Mode == proto.TSO {
+			// TSO source-orders every store: the next op retires only after
+			// ownership (and hence global order) is established.
+			c.block(stats.StallStoreBuf, func() bool { return !c.st.Fetching[uint64(line)] }, next)
+			return
+		}
+		next()
 	}
-	c.mshr++
-	c.fetching[line] = true
-	record()
-	home := c.Sys.Map.HomeOf(line)
-	c.Sys.Net.Send(c.ID, home, stats.ClassOwnReq, proto.HeaderBytes, &getM{Src: c.ID, Line: line})
-	if c.Sys.Mode == proto.TSO {
-		// TSO source-orders every store: the next op retires only after
-		// ownership (and hence global order) is established.
-		c.block(stats.StallStoreBuf, func() bool { return !c.fetching[line] }, next)
-		return
-	}
-	next()
 }
 
 // execRelease flushes all dirty lines, waits for their acknowledgments, then
@@ -232,7 +211,7 @@ func (c *cpu) execStore(op proto.Op, next func()) {
 func (c *cpu) execRelease(op proto.Op, next func()) {
 	c.flushThen(stats.StallAckWait, func() {
 		c.nextTag++
-		c.pending++
+		c.st.NoteFlag()
 		home := c.Sys.Map.HomeOf(op.Addr)
 		c.Sys.Net.Send(c.ID, home, stats.ClassReleaseData, proto.HeaderBytes+op.Size,
 			&flagStore{Src: c.ID, Addr: op.Addr, Value: op.Value, Size: op.Size, Tag: c.nextTag})
@@ -243,30 +222,20 @@ func (c *cpu) execRelease(op proto.Op, next func()) {
 // flushThen drains MSHRs, writes back every dirty line, waits for all
 // acknowledgments (including prior flag stores), then runs fn.
 func (c *cpu) flushThen(kind stats.StallKind, fn func()) {
-	c.block(kind, func() bool { return c.mshr == 0 }, func() {
-		lines := make([]memsys.Addr, 0, len(c.dirty))
-		for line := range c.dirty {
-			lines = append(lines, line)
-		}
-		slices.Sort(lines)
-		for _, line := range lines {
-			vals := c.dirty[line]
+	c.block(kind, c.st.CanFlush, func() {
+		c.st.FlushLines(func(line uint64, vals map[uint64]uint64) {
 			c.nextTag++
-			c.pending++
-			home := c.Sys.Map.HomeOf(line)
+			home := c.Sys.Map.HomeOf(memsys.Addr(line))
 			c.Sys.Net.Send(c.ID, home, stats.ClassWriteback,
 				proto.HeaderBytes+memsys.LineBytes,
-				&wbData{Src: c.ID, Line: line, Vals: vals, Tag: c.nextTag})
-			delete(c.dirty, line)
-			// Ownership is retained (update-style flush): the next epoch's
-			// stores to this line hit without refetching.
-		}
-		c.block(kind, func() bool { return c.pending == 0 }, fn)
+				&wbData{Src: c.ID, Line: memsys.Addr(line), Vals: vals, Tag: c.nextTag})
+		})
+		c.block(kind, c.st.Drained, fn)
 	})
 }
 
 func (c *cpu) whenPendingDrained(fn func()) {
-	c.block(stats.StallAckWait, func() bool { return c.pending == 0 }, fn)
+	c.block(stats.StallAckWait, c.st.Drained, fn)
 }
 
 // block stalls the core until cond holds, charging kind.
@@ -306,13 +275,13 @@ func (d *dir) handle(_ noc.NodeID, payload any) {
 		})
 	case *wbData:
 		d.Sys.Eng.Schedule(d.Sys.Timing.CommitLatency(), func() {
-			addrs := make([]memsys.Addr, 0, len(m.Vals))
+			addrs := make([]uint64, 0, len(m.Vals))
 			for a := range m.Vals {
 				addrs = append(addrs, a)
 			}
 			slices.Sort(addrs)
 			for _, a := range addrs {
-				d.CommitValue(a, m.Vals[a])
+				d.CommitValue(memsys.Addr(a), m.Vals[a])
 			}
 			d.Sys.Net.Send(d.ID, m.Src, stats.ClassAck, proto.AckBytes, &ackMsg{Tag: m.Tag})
 		})
@@ -349,9 +318,7 @@ func (p *Protocol) Build(sys *proto.System, cores []noc.NodeID) []proto.CPU {
 	for i, id := range cores {
 		c := &cpu{
 			cfg:        p.Cfg,
-			owned:      make(map[memsys.Addr]bool),
-			fetching:   make(map[memsys.Addr]bool),
-			dirty:      make(map[memsys.Addr]map[memsys.Addr]uint64),
+			st:         core.NewWBProc(),
 			atomicWait: make(map[uint64]func()),
 		}
 		c.InitBase(sys, id, &sys.Run.Procs[i])
