@@ -3,24 +3,51 @@
 // under every CORD configuration, verifies source ordering, and
 // demonstrates that message passing reaches the ISA2 forbidden outcome.
 //
-//	cordcheck            # full suite
-//	cordcheck -test MP   # one shape, all placements, all configs
-//	cordcheck -quick     # canonical placements only
+//	cordcheck                      # full suite, all cores
+//	cordcheck -test MP             # one shape, all placements, all configs
+//	cordcheck -quick               # canonical placements only
+//	cordcheck -workers 8           # explicit parallelism (default GOMAXPROCS)
+//	cordcheck -exact               # full state keys + collision audit
+//	cordcheck -progress            # live ETA / states-per-second on stderr
+//	cordcheck -report out.json     # machine-readable per-instance verdicts
+//	cordcheck -mem-limit 2048      # abort beyond ~2 GiB of retained state
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"time"
 
 	"cord/internal/litmus"
+	"cord/internal/obs/live"
 )
+
+// report is the checkreport.json envelope: run parameters, aggregate
+// verdicts, and the per-instance rows.
+type report struct {
+	Workers    int                     `json:"workers"`
+	Exact      bool                    `json:"exact"`
+	Total      int                     `json:"total"`
+	Passed     int                     `json:"passed"`
+	States     int64                   `json:"states"`
+	Collisions int64                   `json:"collisions"`
+	WallMS     float64                 `json:"wall_ms"`
+	Instances  []litmus.InstanceReport `json:"instances"`
+}
 
 func main() {
 	var (
-		only  = flag.String("test", "", "restrict to one base shape")
-		quick = flag.Bool("quick", false, "canonical placements only")
-		verb  = flag.Bool("v", false, "print per-test results")
+		only     = flag.String("test", "", "restrict to one base shape")
+		quick    = flag.Bool("quick", false, "canonical placements only")
+		verb     = flag.Bool("v", false, "print per-test results")
+		workers  = flag.Int("workers", 0, "total exploration parallelism (0 = GOMAXPROCS)")
+		exact    = flag.Bool("exact", false, "keep full state keys and audit fingerprint collisions")
+		memLimit = flag.Int("mem-limit", 0, "approximate retained-state budget in MiB (0 = unlimited)")
+		progress = flag.Bool("progress", false, "print live progress with ETA and states/sec to stderr")
+		repOut   = flag.String("report", "", "write machine-readable checkreport JSON to this path")
 	)
 	flag.Parse()
 
@@ -43,62 +70,170 @@ func main() {
 		}
 	}
 
-	failed := 0
-	total, states := 0, 0
-	for _, cv := range litmus.CordConfigs() {
-		sr, err := litmus.RunSuite(suite, cv.Cfg)
-		if err != nil {
-			fmt.Fprintln(os.Stderr, "cordcheck:", err)
-			os.Exit(1)
-		}
-		total += sr.Total
-		states += sr.States
-		failed += sr.Total - sr.Passed
-		fmt.Printf("config %-14s %4d/%-4d passed (%d states)\n", cv.Name, sr.Passed, sr.Total, sr.States)
-		if *verb {
-			for _, f := range sr.Failed {
-				fmt.Println("  FAIL", f)
-			}
-		}
+	insts := litmus.FullMatrix(suite)
+
+	w := *workers
+	if w <= 0 {
+		w = runtime.GOMAXPROCS(0)
+	}
+	// Across-instance parallelism first (the matrix has ~1600 independent
+	// cells); leftover parallelism goes to in-instance exploration, so a
+	// single-instance run (-test X -quick) still uses every core.
+	iw := w
+	if iw > len(insts) {
+		iw = len(insts)
+	}
+	sw := w / iw
+	if sw < 1 {
+		sw = 1
 	}
 
-	// SO must also pass everything.
-	soCfg := litmus.DefaultConfig()
-	soCfg.Protos = []litmus.ProtoKind{litmus.SOP}
-	sr, err := litmus.RunSuite(suite, soCfg)
+	var budget *litmus.MemBudget
+	if *memLimit > 0 {
+		budget = litmus.NewMemBudget(int64(*memLimit) << 20)
+	}
+
+	var pr *live.Progress
+	var stopProgress func()
+	if *progress {
+		pr = live.NewProgress()
+		pr.SetUnitLabel("states")
+		pr.Start("cordcheck", len(insts))
+		stopProgress = pr.StartPrinter(os.Stderr, time.Second)
+	}
+
+	start := time.Now()
+	reports, err := litmus.RunMatrix(insts, litmus.SuiteOpts{
+		InstanceWorkers: iw,
+		StateWorkers:    sw,
+		Exact:           *exact,
+		MemBudget:       budget,
+		OnInstance: func(r litmus.InstanceReport) {
+			if pr != nil {
+				pr.Step(1)
+				pr.AddUnits(int64(r.States))
+			}
+		},
+	})
+	wall := time.Since(start)
+	if stopProgress != nil {
+		stopProgress()
+	}
+
+	rep := summarize(reports, w, *exact, wall)
+	failed := printSummary(reports, rep, *verb)
+
+	if *repOut != "" {
+		if werr := writeReport(*repOut, rep); werr != nil {
+			fmt.Fprintln(os.Stderr, "cordcheck:", werr)
+			os.Exit(1)
+		}
+	}
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "cordcheck:", err)
 		os.Exit(1)
 	}
-	total += sr.Total
-	states += sr.States
-	failed += sr.Total - sr.Passed
-	fmt.Printf("config %-14s %4d/%-4d passed (%d states)\n", "source-order", sr.Passed, sr.Total, sr.States)
-
-	// Demonstrate the §3.2 violation: MP reaches ISA2's forbidden outcome.
-	mpCfg := litmus.DefaultConfig()
-	mpCfg.Protos = []litmus.ProtoKind{litmus.MPP}
-	for _, b := range litmus.BaseTests() {
-		if b.Name != "ISA2" {
-			continue
-		}
-		r, err := litmus.Check(b, mpCfg)
-		if err != nil {
-			fmt.Fprintln(os.Stderr, "cordcheck:", err)
-			os.Exit(1)
-		}
-		if r.Forbidden {
-			fmt.Printf("message passing:    ISA2 forbidden outcome REACHED (as §3.2 predicts, %d states)\n", r.States)
-		} else {
-			fmt.Println("message passing:    ISA2 violation NOT demonstrated — model error")
-			failed++
-		}
-	}
-
-	fmt.Printf("total: %d test instances, %d states explored\n", total, states)
 	if failed > 0 {
 		fmt.Printf("FAILED: %d instances\n", failed)
 		os.Exit(1)
 	}
 	fmt.Println("all litmus checks passed; CORD enforces release consistency and is deadlock-free")
+}
+
+// summarize folds per-instance reports into the checkreport envelope.
+func summarize(reports []litmus.InstanceReport, workers int, exact bool, wall time.Duration) report {
+	rep := report{
+		Workers:   workers,
+		Exact:     exact,
+		WallMS:    float64(wall.Microseconds()) / 1000,
+		Instances: reports,
+	}
+	for i := range reports {
+		rep.Total++
+		if reports[i].Pass {
+			rep.Passed++
+		}
+		rep.States += int64(reports[i].States)
+		rep.Collisions += int64(reports[i].Collisions)
+	}
+	return rep
+}
+
+// printSummary renders the per-config lines (matching the historical
+// cordcheck output: the mp-demo demonstration is reported separately and
+// excluded from the instance/state totals) and returns the failure count.
+func printSummary(reports []litmus.InstanceReport, rep report, verbose bool) int {
+	type agg struct {
+		name          string
+		passed, total int
+		states        int64
+		rows          []litmus.InstanceReport
+	}
+	var order []string
+	byCfg := map[string]*agg{}
+	for _, r := range reports {
+		a := byCfg[r.Config]
+		if a == nil {
+			a = &agg{name: r.Config}
+			byCfg[r.Config] = a
+			order = append(order, r.Config)
+		}
+		a.total++
+		a.states += int64(r.States)
+		if r.Pass {
+			a.passed++
+		}
+		a.rows = append(a.rows, r)
+	}
+
+	failed := 0
+	total, states := 0, int64(0)
+	for _, name := range order {
+		a := byCfg[name]
+		if name == "mp-demo" {
+			continue
+		}
+		total += a.total
+		states += a.states
+		failed += a.total - a.passed
+		fmt.Printf("config %-14s %4d/%-4d passed (%d states)\n", a.name, a.passed, a.total, a.states)
+		if verbose {
+			for _, f := range a.rows {
+				if f.Pass {
+					continue
+				}
+				fmt.Printf("  FAIL %s (forbidden=%t deadlock=%t window=%t reached=%t)\n",
+					f.Test, f.Forbidden, f.Deadlock, f.WindowViolated, f.Reached)
+				for _, s := range f.Trace {
+					fmt.Println("    ", s)
+				}
+			}
+		}
+	}
+	if demo := byCfg["mp-demo"]; demo != nil {
+		for _, r := range demo.rows {
+			if r.Pass {
+				fmt.Printf("message passing:    %s forbidden outcome REACHED (as §3.2 predicts, %d states)\n",
+					r.Test, r.States)
+			} else {
+				fmt.Printf("message passing:    %s violation NOT demonstrated — model error\n", r.Test)
+				failed++
+			}
+		}
+	}
+	fmt.Printf("total: %d test instances, %d states explored", total, states)
+	if rep.Exact {
+		fmt.Printf(", %d fingerprint collisions", rep.Collisions)
+	}
+	fmt.Printf(" (%.1fs, %d workers)\n", rep.WallMS/1000, rep.Workers)
+	return failed
+}
+
+// writeReport marshals the checkreport envelope.
+func writeReport(path string, rep report) error {
+	data, err := json.MarshalIndent(rep, "", " ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
 }

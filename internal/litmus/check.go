@@ -2,6 +2,8 @@ package litmus
 
 import (
 	"fmt"
+	"sync"
+	"sync/atomic"
 
 	"cord/internal/proto/core"
 )
@@ -15,64 +17,351 @@ type checker struct {
 	cp  core.CordParams
 }
 
+// CheckOpts tunes exploration. The zero value is a serial, fingerprint-mode
+// check with no memory budget — behaviourally identical to Check.
+type CheckOpts struct {
+	// Workers is the number of state-exploration goroutines (<=1 = serial).
+	// Verdicts are identical at any worker count: exploration is exhaustive
+	// over the same canonically-deduplicated state space, so the reachable
+	// outcome set, the violation flags and the visited-state count do not
+	// depend on the schedule (DESIGN.md §10).
+	Workers int
+	// Exact keeps every full canonical state key alongside the 64-bit
+	// fingerprints, deciding membership by key and auditing fingerprint
+	// collisions (Result.Collisions).
+	Exact bool
+	// MemBudget, when non-nil, bounds the approximate bytes retained across
+	// every Check sharing it; exceeding it aborts with an error.
+	MemBudget *MemBudget
+}
+
+// MemBudget is a byte budget shared across concurrent checks (cordcheck
+// -mem-limit). The accounting is approximate — per-state structural overhead
+// plus the bytes of retained keys — and cooperative: checks abort with an
+// error once the budget is exhausted.
+type MemBudget struct {
+	limit int64
+	used  atomic.Int64
+}
+
+// NewMemBudget returns a budget of the given size in bytes.
+func NewMemBudget(bytes int64) *MemBudget { return &MemBudget{limit: bytes} }
+
+// Used reports the bytes charged so far.
+func (b *MemBudget) Used() int64 { return b.used.Load() }
+
+// charge records n approximate bytes; false reports budget exhaustion.
+// A nil budget admits everything.
+func (b *MemBudget) charge(n int64) bool {
+	if b == nil {
+		return true
+	}
+	return b.used.Add(n) <= b.limit
+}
+
+// worldOverheadBytes approximates the retained size of one explored world
+// (struct, per-proc and per-dir state, parent edge) for MemBudget
+// accounting.
+const worldOverheadBytes = 640
+
 // Check exhaustively explores every interleaving of processor steps and
 // message deliveries and returns the reachable terminal outcomes plus the
-// safety verdicts.
+// safety verdicts. It is CheckWith with default options (serial).
 func Check(t Test, cfg Config) (Result, error) {
+	return CheckWith(t, cfg, CheckOpts{})
+}
+
+// CheckWith is Check with explicit exploration options: parallel BFS over a
+// sharded fingerprint visited set, per-worker LIFO frontiers with batched
+// hand-off through a shared pool, and parent-edge counterexample recording.
+func CheckWith(t Test, cfg Config, opts CheckOpts) (Result, error) {
 	if err := t.Validate(); err != nil {
 		return Result{}, err
 	}
-	maxStates := cfg.MaxStates
+	maxStates := int64(cfg.MaxStates)
 	if maxStates == 0 {
 		maxStates = 4_000_000
 	}
-	c := &checker{t: t, cfg: cfg, cp: cfg.cordParams()}
-	res := Result{Test: t, Config: cfg, Outcomes: make(map[string]Outcome)}
+	workers := opts.Workers
+	if workers < 1 {
+		workers = 1
+	}
+	e := &explorer{
+		c:         &checker{t: t, cfg: cfg, cp: cfg.cordParams()},
+		visited:   newVisitedSet(workers, opts.Exact),
+		exact:     opts.Exact,
+		maxStates: maxStates,
+		budget:    opts.MemBudget,
+		outcomes:  make(map[string]Outcome),
+	}
+	e.cond = sync.NewCond(&e.mu)
 
-	start := newWorld(t, cfg)
-	visited := map[string]bool{start.key(): true}
-	stack := []*world{start}
-	for len(stack) > 0 {
-		w := stack[len(stack)-1]
-		stack = stack[:len(stack)-1]
-		res.States++
-		if res.States > maxStates {
-			return res, fmt.Errorf("litmus %s: state budget %d exceeded", t.Name, maxStates)
+	root := newWorld(t, cfg)
+	key := root.appendKey(nil)
+	e.visited.Add(core.Hash64(key), key)
+	if !e.budget.charge(e.stateCost(len(key))) {
+		return Result{Test: t, Config: cfg}, fmt.Errorf("litmus %s: memory budget exceeded", t.Name)
+	}
+	e.pending.Store(1)
+	e.global = append(e.global, root)
+
+	var wg sync.WaitGroup
+	for i := 0; i < workers; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			e.run()
+		}()
+	}
+	wg.Wait()
+
+	res := Result{
+		Test:           t,
+		Config:         cfg,
+		States:         int(e.states.Load()),
+		Collisions:     int(e.collisions.Load()),
+		Outcomes:       e.outcomes,
+		Forbidden:      e.forbidden,
+		Deadlock:       e.deadlock,
+		WindowViolated: e.window,
+		Reached:        e.reached,
+	}
+	if e.err != nil {
+		return res, e.err
+	}
+	if e.bad != nil {
+		cx := &Counterexample{
+			Kind:    e.badKind,
+			Steps:   e.bad.trace(),
+			StateFP: core.Hash64([]byte(e.badKey)),
 		}
-		if viol := c.windowViolated(w); viol {
-			res.WindowViolated = true
+		if cx.Kind == CxForbidden {
+			cx.Outcome = e.c.outcomeOf(e.bad)
 		}
-		succ := c.successors(w)
-		if len(succ) == 0 {
-			if c.terminal(w) {
-				var out Outcome
-				for p := range w.procs {
-					out.Regs[p] = w.procs[p].regs
-				}
-				for a := 0; a < MaxAddrs; a++ {
-					out.Mem[a] = w.dirs[c.t.Home[min(a, len(c.t.Home)-1)]].mem[a]
-				}
-				res.Outcomes[out.String()] = out
-				if t.Forbidden(out) {
-					res.Forbidden = true
-				}
-				if t.MustReach != nil && t.MustReach(out) {
-					res.Reached = true
-				}
-			} else {
-				res.Deadlock = true
-			}
-			continue
+		// Confirm before reporting: the trace must re-execute through the
+		// core rules to the same violating state.
+		if err := cx.confirm(t, cfg); err != nil {
+			return res, err
 		}
-		for _, s := range succ {
-			k := s.key()
-			if !visited[k] {
-				visited[k] = true
-				stack = append(stack, s)
-			}
-		}
+		res.Counterexample = cx
 	}
 	return res, nil
+}
+
+// explorer is the shared state of one CheckWith run's worker pool.
+type explorer struct {
+	c       *checker
+	visited *visitedSet
+	exact   bool
+
+	maxStates int64
+	budget    *MemBudget
+
+	states     atomic.Int64
+	collisions atomic.Int64
+	pending    atomic.Int64 // enqueued-but-unfinished states
+	aborted    atomic.Bool
+
+	mu     sync.Mutex
+	cond   *sync.Cond
+	global []*world // shared hand-off pool (batched)
+	done   bool
+	err    error
+
+	outcomes  map[string]Outcome
+	forbidden bool
+	deadlock  bool
+	window    bool
+	reached   bool
+
+	// bad is the canonically-selected violating state: minimal kind, then
+	// minimal canonical state key, so the reported counterexample's bad
+	// state is independent of worker count and schedule.
+	bad     *world
+	badKind CounterexampleKind
+	badKey  string
+}
+
+// Batching constants: a worker keeps up to localMax states on its private
+// LIFO frontier and hands the oldest half to the shared pool when it
+// overflows; an idle worker takes up to stealBatch states in one critical
+// section.
+const (
+	localMax   = 128
+	stealBatch = 32
+)
+
+// stateCost approximates the retained bytes of one visited state.
+func (e *explorer) stateCost(keyLen int) int64 {
+	c := int64(worldOverheadBytes)
+	if e.exact {
+		c += int64(keyLen)
+	}
+	return c
+}
+
+// run is one worker: pop from the local frontier, refill from the shared
+// pool when dry, expand, and hand off surplus work.
+func (e *explorer) run() {
+	var local []*world
+	var buf []byte
+	for {
+		if e.aborted.Load() {
+			return
+		}
+		var w *world
+		if n := len(local); n > 0 {
+			w = local[n-1]
+			local[n-1] = nil
+			local = local[:n-1]
+		} else if w = e.take(&local); w == nil {
+			return
+		}
+		buf = e.expand(w, &local, buf)
+		if e.pending.Add(-1) == 0 {
+			e.finish(nil)
+			return
+		}
+		if len(local) > localMax {
+			local = e.offload(local)
+		}
+	}
+}
+
+// take blocks until shared work or termination; it refills the caller's
+// local frontier with a batch and returns one state to expand.
+func (e *explorer) take(local *[]*world) *world {
+	e.mu.Lock()
+	for len(e.global) == 0 && !e.done {
+		e.cond.Wait()
+	}
+	n := len(e.global)
+	if n == 0 {
+		e.mu.Unlock()
+		return nil
+	}
+	k := stealBatch
+	if k > n {
+		k = n
+	}
+	batch := e.global[n-k:]
+	w := batch[k-1]
+	*local = append(*local, batch[:k-1]...)
+	for i := range batch {
+		batch[i] = nil
+	}
+	e.global = e.global[:n-k]
+	e.mu.Unlock()
+	return w
+}
+
+// offload moves the oldest half of an overflowing local frontier to the
+// shared pool. Oldest-first hand-off gives thieves the shallow states with
+// the largest subtrees, the classic work-stealing heuristic.
+func (e *explorer) offload(local []*world) []*world {
+	half := len(local) / 2
+	e.mu.Lock()
+	e.global = append(e.global, local[:half]...)
+	e.mu.Unlock()
+	e.cond.Broadcast()
+	rest := copy(local, local[half:])
+	for i := rest; i < len(local); i++ {
+		local[i] = nil
+	}
+	return local[:rest]
+}
+
+// finish terminates the pool, recording the first error (nil for clean
+// completion).
+func (e *explorer) finish(err error) {
+	e.aborted.Store(err != nil)
+	e.mu.Lock()
+	if err != nil && e.err == nil {
+		e.err = err
+	}
+	e.done = true
+	e.mu.Unlock()
+	e.cond.Broadcast()
+}
+
+// expand processes one state: safety checks, terminal classification, and
+// successor generation with visited-set deduplication. buf is the worker's
+// reusable encoding scratch buffer.
+func (e *explorer) expand(w *world, local *[]*world, buf []byte) []byte {
+	if e.states.Add(1) > e.maxStates {
+		e.finish(fmt.Errorf("litmus %s: state budget %d exceeded", e.c.t.Name, e.maxStates))
+		return buf
+	}
+	if e.c.windowViolated(w) {
+		buf = e.noteViolation(CxWindowViolation, w, buf)
+	}
+	succ := e.c.successors(w)
+	if len(succ) == 0 {
+		if e.c.terminal(w) {
+			buf = e.noteTerminal(w, buf)
+		} else {
+			buf = e.noteViolation(CxDeadlock, w, buf)
+		}
+		return buf
+	}
+	for _, s := range succ {
+		buf = s.appendKey(buf[:0])
+		added, collision := e.visited.Add(core.Hash64(buf), buf)
+		if collision {
+			e.collisions.Add(1)
+		}
+		if !added {
+			continue
+		}
+		if !e.budget.charge(e.stateCost(len(buf))) {
+			e.finish(fmt.Errorf("litmus %s: memory budget exceeded", e.c.t.Name))
+			return buf
+		}
+		e.pending.Add(1)
+		*local = append(*local, s)
+	}
+	return buf
+}
+
+// noteTerminal records a terminal outcome and its verdict flags.
+func (e *explorer) noteTerminal(w *world, buf []byte) []byte {
+	out := e.c.outcomeOf(w)
+	forbidden := e.c.t.Forbidden(out)
+	reached := e.c.t.MustReach != nil && e.c.t.MustReach(out)
+	e.mu.Lock()
+	e.outcomes[out.String()] = out
+	if forbidden {
+		e.forbidden = true
+	}
+	if reached {
+		e.reached = true
+	}
+	e.mu.Unlock()
+	if forbidden {
+		buf = e.noteViolation(CxForbidden, w, buf)
+	}
+	return buf
+}
+
+// noteViolation offers w as the counterexample candidate; the canonically
+// smallest (kind, state key) wins so selection is schedule-independent.
+func (e *explorer) noteViolation(kind CounterexampleKind, w *world, buf []byte) []byte {
+	buf = w.appendKey(buf[:0])
+	e.mu.Lock()
+	switch kind {
+	case CxWindowViolation:
+		e.window = true
+	case CxDeadlock:
+		e.deadlock = true
+	}
+	if e.bad == nil || kind < e.badKind ||
+		(kind == e.badKind && string(buf) < e.badKey) {
+		e.bad = w
+		e.badKind = kind
+		e.badKey = string(buf)
+	}
+	e.mu.Unlock()
+	return buf
 }
 
 // terminal: all programs retired, no in-flight or buffered work.
@@ -94,6 +383,19 @@ func (c *checker) terminal(w *world) bool {
 	return true
 }
 
+// outcomeOf extracts the terminal outcome: every register file plus the
+// final memory cells read from each address's home directory.
+func (c *checker) outcomeOf(w *world) Outcome {
+	var out Outcome
+	for p := range w.procs {
+		out.Regs[p] = w.procs[p].regs
+	}
+	for a := 0; a < MaxAddrs; a++ {
+		out.Mem[a] = w.dirs[c.t.Home[min(a, len(c.t.Home)-1)]].mem[a]
+	}
+	return out
+}
+
 // windowViolated checks the invariant that makes CORD's truncated wire
 // epochs unambiguous: a processor's in-flight epochs must span less than
 // the wire window. The processor-side stall is supposed to guarantee it.
@@ -108,12 +410,14 @@ func (c *checker) windowViolated(w *world) bool {
 	return false
 }
 
-// successors generates every enabled transition's resulting state.
+// successors generates every enabled transition's resulting state, each
+// annotated with the parent edge for counterexample reconstruction.
 func (c *checker) successors(w *world) []*world {
 	var out []*world
 	// Processor steps.
 	for p := range w.procs {
 		if s := c.stepProc(w, p); s != nil {
+			s.parent, s.step = w, Step{Proc: p}
 			out = append(out, s)
 		}
 	}
@@ -123,6 +427,7 @@ func (c *checker) successors(w *world) []*world {
 		m := s.net[i]
 		s.net = append(s.net[:i], s.net[i+1:]...)
 		c.deliver(s, m)
+		s.parent, s.step = w, Step{Deliver: true, Msg: m}
 		out = append(out, s)
 	}
 	return out

@@ -344,6 +344,14 @@ type Result struct {
 	// exceeded the wire window — must never happen if the stall logic is
 	// correct.
 	WindowViolated bool
+	// Collisions counts exact-mode fingerprint-collision audit hits: states
+	// the fingerprint-only visited set would have wrongly merged. Always 0
+	// outside exact mode (collisions are then undetectable — and, at 64
+	// bits, vanishingly unlikely; DESIGN.md §10).
+	Collisions int
+	// Counterexample, when a violation was found, is the replay-confirmed
+	// step trace to the canonically-selected violating state.
+	Counterexample *Counterexample
 }
 
 // Pass reports whether a protocol that should enforce release consistency

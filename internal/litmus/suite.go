@@ -1,7 +1,11 @@
 package litmus
 
 import (
+	"errors"
 	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
 
 	"cord/internal/proto/core"
 )
@@ -331,4 +335,160 @@ func FullCordSuite() []Test {
 		all = append(all, Variants(base)...)
 	}
 	return all
+}
+
+// SuiteInstance is one (configuration, test) cell of the verification
+// matrix.
+type SuiteInstance struct {
+	Config string
+	Cfg    Config
+	Test   Test
+	// ExpectForbidden inverts the pass criterion: the instance passes when
+	// the forbidden outcome IS reached (the §3.2 message-passing
+	// demonstrations).
+	ExpectForbidden bool
+}
+
+// FullMatrix expands a test suite into the complete verification matrix
+// cordcheck runs: every CORD configuration and the source-ordering baseline
+// over every test, plus the §3.2 demonstration that message passing reaches
+// ISA2's forbidden outcome.
+func FullMatrix(suite []Test) []SuiteInstance {
+	var out []SuiteInstance
+	for _, cv := range CordConfigs() {
+		for _, t := range suite {
+			out = append(out, SuiteInstance{Config: cv.Name, Cfg: cv.Cfg, Test: t})
+		}
+	}
+	soCfg := DefaultConfig()
+	soCfg.Protos = []ProtoKind{SOP}
+	for _, t := range suite {
+		out = append(out, SuiteInstance{Config: "source-order", Cfg: soCfg, Test: t})
+	}
+	mpCfg := DefaultConfig()
+	mpCfg.Protos = []ProtoKind{MPP}
+	for _, b := range BaseTests() {
+		if b.Name == "ISA2" {
+			out = append(out, SuiteInstance{Config: "mp-demo", Cfg: mpCfg, Test: b,
+				ExpectForbidden: true})
+		}
+	}
+	return out
+}
+
+// InstanceReport is one instance's machine-readable verdict (the rows of
+// cordcheck's checkreport.json).
+type InstanceReport struct {
+	Config          string   `json:"config"`
+	Test            string   `json:"test"`
+	Pass            bool     `json:"pass"`
+	ExpectForbidden bool     `json:"expect_forbidden,omitempty"`
+	States          int      `json:"states"`
+	Collisions      int      `json:"collisions,omitempty"`
+	WallMS          float64  `json:"wall_ms"`
+	Forbidden       bool     `json:"forbidden,omitempty"`
+	Deadlock        bool     `json:"deadlock,omitempty"`
+	WindowViolated  bool     `json:"window_violated,omitempty"`
+	Reached         bool     `json:"reached,omitempty"`
+	Trace           []string `json:"trace,omitempty"`
+	Error           string   `json:"error,omitempty"`
+}
+
+// SuiteOpts tunes a matrix run. InstanceWorkers instances explore
+// concurrently, each with StateWorkers exploration goroutines, so total
+// parallelism is their product.
+type SuiteOpts struct {
+	InstanceWorkers int
+	StateWorkers    int
+	Exact           bool
+	// MemBudget, when non-nil, bounds approximate retained bytes across the
+	// whole matrix run.
+	MemBudget *MemBudget
+	// OnInstance, when non-nil, is invoked after each instance completes
+	// (from instance-worker goroutines; it must be safe for concurrent use).
+	OnInstance func(InstanceReport)
+}
+
+// RunMatrix checks every instance, InstanceWorkers at a time, and returns
+// one report per instance in input order. Verdicts are deterministic: each
+// instance's exploration is exhaustive regardless of scheduling, so only
+// wall-clock fields vary between runs. A non-nil error aggregates every
+// instance that failed to complete (state budget, memory budget, replay
+// mismatch); the reports still cover all instances.
+func RunMatrix(insts []SuiteInstance, opts SuiteOpts) ([]InstanceReport, error) {
+	iw := opts.InstanceWorkers
+	if iw < 1 {
+		iw = 1
+	}
+	if iw > len(insts) {
+		iw = len(insts)
+	}
+	reports := make([]InstanceReport, len(insts))
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	for g := 0; g < iw; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= len(insts) {
+					return
+				}
+				reports[i] = runInstance(insts[i], opts)
+				if opts.OnInstance != nil {
+					opts.OnInstance(reports[i])
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	var errs []error
+	for i := range reports {
+		if reports[i].Error != "" {
+			errs = append(errs, fmt.Errorf("%s/%s: %s", reports[i].Config, reports[i].Test, reports[i].Error))
+		}
+	}
+	return reports, errors.Join(errs...)
+}
+
+// runInstance checks one matrix cell and reduces the result to a report.
+func runInstance(in SuiteInstance, opts SuiteOpts) InstanceReport {
+	sw := opts.StateWorkers
+	if sw < 1 {
+		sw = 1
+	}
+	start := time.Now()
+	r, err := CheckWith(in.Test, in.Cfg, CheckOpts{
+		Workers:   sw,
+		Exact:     opts.Exact,
+		MemBudget: opts.MemBudget,
+	})
+	rep := InstanceReport{
+		Config:          in.Config,
+		Test:            in.Test.Name,
+		ExpectForbidden: in.ExpectForbidden,
+		States:          r.States,
+		Collisions:      r.Collisions,
+		WallMS:          float64(time.Since(start).Microseconds()) / 1000,
+		Forbidden:       r.Forbidden,
+		Deadlock:        r.Deadlock,
+		WindowViolated:  r.WindowViolated,
+		Reached:         r.Reached,
+	}
+	if err != nil {
+		rep.Error = err.Error()
+		return rep
+	}
+	if in.ExpectForbidden {
+		rep.Pass = r.Forbidden && !r.Deadlock
+	} else {
+		rep.Pass = r.Pass()
+	}
+	if r.Counterexample != nil {
+		for _, s := range r.Counterexample.Steps {
+			rep.Trace = append(rep.Trace, s.String())
+		}
+	}
+	return rep
 }

@@ -1,0 +1,71 @@
+package litmus
+
+import "sync"
+
+// visitedSet is the checker's concurrent visited-state set: states are
+// fingerprinted to 64 bits (core.Hash64 over the canonical binary encoding)
+// and spread over power-of-two mutex-guarded shards picked by the low
+// fingerprint bits, so workers exploring disjoint regions rarely contend.
+//
+// In the default fingerprint mode only the 8-byte hash is stored; two
+// distinct states colliding on all 64 bits would be merged (probability
+// ~n²/2⁶⁵ — about 10⁻⁸ for a million-state instance; see DESIGN.md §10).
+// Exact mode additionally keeps every full canonical key: membership is then
+// decided by the key, and a fingerprint seen with a fresh key is counted as
+// a collision, auditing the fingerprint-only mode's merge risk.
+type visitedSet struct {
+	mask   uint64
+	exact  bool
+	shards []visitedShard
+}
+
+type visitedShard struct {
+	mu   sync.Mutex
+	fps  map[uint64]struct{}
+	keys map[string]struct{} // exact mode only
+	_    [24]byte            // keep shards off one another's cache lines
+}
+
+// newVisitedSet sizes the shard array to a power of two comfortably above
+// the worker count (4x), so the per-shard mutexes stay uncontended.
+func newVisitedSet(workers int, exact bool) *visitedSet {
+	n := 1
+	for n < workers*4 {
+		n <<= 1
+	}
+	v := &visitedSet{mask: uint64(n - 1), exact: exact, shards: make([]visitedShard, n)}
+	for i := range v.shards {
+		v.shards[i].fps = make(map[uint64]struct{})
+		if exact {
+			v.shards[i].keys = make(map[string]struct{})
+		}
+	}
+	return v
+}
+
+// Add inserts a state by fingerprint (and, in exact mode, full key).
+// added reports a first visit; collision reports an exact-mode audit hit:
+// the fingerprint was already present but the key was new, i.e. fingerprint
+// mode would have wrongly merged two distinct states.
+func (v *visitedSet) Add(fp uint64, key []byte) (added, collision bool) {
+	s := &v.shards[fp&v.mask]
+	s.mu.Lock()
+	if v.exact {
+		if _, ok := s.keys[string(key)]; ok {
+			s.mu.Unlock()
+			return false, false
+		}
+		_, fpSeen := s.fps[fp]
+		s.keys[string(key)] = struct{}{}
+		s.fps[fp] = struct{}{}
+		s.mu.Unlock()
+		return true, fpSeen
+	}
+	if _, ok := s.fps[fp]; ok {
+		s.mu.Unlock()
+		return false, false
+	}
+	s.fps[fp] = struct{}{}
+	s.mu.Unlock()
+	return true, false
+}

@@ -1,9 +1,7 @@
 package litmus
 
 import (
-	"fmt"
-	"slices"
-	"strings"
+	"encoding/binary"
 
 	"cord/internal/proto/core"
 )
@@ -43,11 +41,16 @@ type dirState struct {
 }
 
 // world is a full model state: processors, directories, and the in-flight
-// message multiset (the network may deliver in any order).
+// message multiset (the network may deliver in any order). parent and step
+// record the spanning-tree edge the explorer first reached this state
+// through, so a violation reconstructs a step-by-step counterexample trace.
 type world struct {
 	procs []procState
 	dirs  []dirState
 	net   []core.Msg
+
+	parent *world
+	step   Step
 }
 
 func newWorld(t Test, cfg Config) *world {
@@ -98,97 +101,43 @@ func (w *world) clone() *world {
 	return nw
 }
 
-// key canonicalizes the state for the visited set. Multisets (the network,
-// the directory recycle buffers, the MP ordering-point queues, the PE
-// tables, the WB maps) are encoded order-independently; everything else is
-// deterministic given the logical state.
-func (w *world) key() string {
-	var b strings.Builder
+// appendKey appends the state's canonical compact binary encoding for the
+// visited set (DESIGN.md §10). Multisets (the network, the directory recycle
+// buffers, the MP ordering-point queues, the PE tables, the WB maps) are
+// encoded order-independently by the core Append*Binary canonicalizers;
+// everything else is emitted in a fixed field order, length-prefixed where
+// variable, so the encoding is injective on the logical state. The parent
+// and step fields are exploration bookkeeping, not state, and are excluded.
+func (w *world) appendKey(buf []byte) []byte {
 	for p := range w.procs {
 		ps := &w.procs[p]
-		fmt.Fprintf(&b, "P%d pc%d r%v f%d a%t b%t.%d|", p, ps.pc, ps.regs,
-			ps.flushWait, ps.atomWait, ps.barIssued, ps.mpFlushPending)
-		fmt.Fprintf(&b, "c{%d %v %d %d %v %v}", ps.cord.Ep, ps.cord.Cnt,
-			ps.cord.CntLive, ps.cord.SeqIssued, ps.cord.Unacked, ps.cord.ByDir)
-		fmt.Fprintf(&b, "s%d m%v ", ps.so.PendingAcks, ps.mp.Seq)
-		wbKey(&b, &ps.wb)
-		b.WriteByte(';')
+		buf = binary.BigEndian.AppendUint32(buf, uint32(ps.pc))
+		for _, r := range ps.regs {
+			buf = binary.BigEndian.AppendUint64(buf, uint64(r))
+		}
+		buf = binary.BigEndian.AppendUint64(buf, uint64(ps.flushWait))
+		buf = appendBool(buf, ps.atomWait)
+		buf = appendBool(buf, ps.barIssued)
+		buf = binary.BigEndian.AppendUint32(buf, uint32(ps.mpFlushPending))
+		buf = ps.cord.AppendBinary(buf)
+		buf = ps.so.AppendBinary(buf)
+		buf = ps.mp.AppendBinary(buf)
+		buf = ps.wb.AppendBinary(buf)
 	}
 	for d := range w.dirs {
 		ds := &w.dirs[d]
-		fmt.Fprintf(&b, "D%d %v L%v ", d, ds.mem, ds.cord.Largest)
-		b.WriteString(peKey(ds.cord.Cnt))
-		b.WriteByte('/')
-		b.WriteString(peKey(ds.cord.Noti))
-		b.WriteByte('/')
-		b.WriteString(msgsKey(ds.cord.PendingRel))
-		b.WriteByte('/')
-		b.WriteString(msgsKey(ds.cord.PendingReq))
-		fmt.Fprintf(&b, " n%v ", ds.mp.Next)
-		b.WriteString(msgsKey(ds.mp.Pending))
-		b.WriteByte('/')
-		b.WriteString(msgsKey(ds.mp.Flushes))
-		b.WriteByte(';')
-	}
-	b.WriteString("N:")
-	b.WriteString(msgsKey(w.net))
-	return b.String()
-}
-
-// msgsKey encodes a message multiset canonically. core.Msg is a flat value
-// struct, so %v is a faithful, deterministic rendering.
-func msgsKey(ms []core.Msg) string {
-	ss := make([]string, len(ms))
-	for i, m := range ms {
-		ss[i] = fmt.Sprintf("%v", m)
-	}
-	slices.Sort(ss)
-	return strings.Join(ss, ",")
-}
-
-// peKey encodes a directory PE table canonically (entry order is an
-// artifact of arrival interleaving, not logical state).
-func peKey(tab []core.PE) string {
-	ss := make([]string, len(tab))
-	for i, e := range tab {
-		ss[i] = fmt.Sprintf("%d.%d=%d", e.Proc, e.Ep, e.N)
-	}
-	slices.Sort(ss)
-	return strings.Join(ss, ",")
-}
-
-// wbKey encodes the write-back processor state with sorted map keys.
-func wbKey(b *strings.Builder, w *core.WBProc) {
-	fmt.Fprintf(b, "w%d.%d o%v f%v d[", w.MSHR, w.Pending,
-		sortedSet(w.Owned), sortedSet(w.Fetching))
-	lines := make([]uint64, 0, len(w.Dirty))
-	for l := range w.Dirty {
-		lines = append(lines, l)
-	}
-	slices.Sort(lines)
-	for _, l := range lines {
-		vals := w.Dirty[l]
-		addrs := make([]uint64, 0, len(vals))
-		for a := range vals {
-			addrs = append(addrs, a)
+		for _, v := range ds.mem {
+			buf = binary.BigEndian.AppendUint64(buf, uint64(v))
 		}
-		slices.Sort(addrs)
-		fmt.Fprintf(b, "%d{", l)
-		for _, a := range addrs {
-			fmt.Fprintf(b, "%d=%d,", a, vals[a])
-		}
-		b.WriteByte('}')
+		buf = ds.cord.AppendBinary(buf)
+		buf = ds.mp.AppendBinary(buf)
 	}
-	b.WriteByte(']')
+	return core.AppendMsgSetBinary(buf, w.net)
 }
 
-func sortedSet(set map[uint64]bool) []uint64 {
-	out := make([]uint64, 0, len(set))
-	for k, ok := range set {
-		if ok {
-			out = append(out, k)
-		}
+func appendBool(buf []byte, b bool) []byte {
+	if b {
+		return append(buf, 1)
 	}
-	slices.Sort(out)
-	return out
+	return append(buf, 0)
 }

@@ -66,6 +66,33 @@ func TestProgressSnapshot(t *testing.T) {
 	}
 }
 
+func TestProgressUnits(t *testing.T) {
+	p := live.NewProgress()
+	p.Start("cordcheck", 10)
+	if s := p.Snapshot(); s.UnitLabel != "" || s.Units != 0 {
+		t.Fatalf("units before SetUnitLabel: %+v", s)
+	}
+	p.SetUnitLabel("states")
+	p.Step(1)
+	p.AddUnits(500)
+	p.AddUnits(250)
+	s := p.Snapshot()
+	if s.UnitLabel != "states" || s.Units != 750 {
+		t.Fatalf("snapshot = %+v, want 750 states", s)
+	}
+	if s.Elapsed > 0 && s.UnitRate <= 0 {
+		t.Errorf("no unit rate after AddUnits: %+v", s)
+	}
+	if !strings.Contains(s.String(), "750 states") {
+		t.Errorf("String() = %q, missing unit counter", s.String())
+	}
+	// Starting a new phase resets the unit counter.
+	p.Start("cordcheck", 10)
+	if s := p.Snapshot(); s.Units != 0 {
+		t.Errorf("units after restart = %d, want 0", s.Units)
+	}
+}
+
 func TestProgressPrinter(t *testing.T) {
 	p := live.NewProgress()
 	p.Start("sweep", 4)

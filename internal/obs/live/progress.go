@@ -21,11 +21,13 @@ import (
 // exp.ProgressSink, so exp.SetProgress(p) wires every figure sweep into it.
 // All methods are safe for concurrent use (the sweeps run on worker pools).
 type Progress struct {
-	mu      sync.Mutex
-	label   string
-	done    int
-	total   int
-	started time.Time
+	mu        sync.Mutex
+	label     string
+	done      int
+	total     int
+	started   time.Time
+	unitLabel string
+	units     int64
 }
 
 // NewProgress returns an idle tracker.
@@ -39,6 +41,7 @@ func (p *Progress) Start(label string, total int) {
 	p.label = label
 	p.total = total
 	p.done = 0
+	p.units = 0
 	p.started = time.Now()
 }
 
@@ -47,6 +50,22 @@ func (p *Progress) Step(n int) {
 	p.mu.Lock()
 	defer p.mu.Unlock()
 	p.done += n
+}
+
+// SetUnitLabel names a secondary work-unit counter (e.g. "states" for the
+// model checker's states-per-second throughput line). An empty label (the
+// default) omits units from snapshots.
+func (p *Progress) SetUnitLabel(label string) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.unitLabel = label
+}
+
+// AddUnits records n completed work units of the secondary counter.
+func (p *Progress) AddUnits(n int64) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.units += n
 }
 
 // Snapshot is one observation of a tracker.
@@ -60,6 +79,11 @@ type Snapshot struct {
 	// (-1 until the first step completes).
 	ETA  float64 `json:"eta_s"`
 	Rate float64 `json:"rate_per_s"`
+	// Units/UnitRate report the secondary work-unit counter (states for the
+	// model checker); omitted when no unit label is set.
+	UnitLabel string  `json:"unit_label,omitempty"`
+	Units     int64   `json:"units,omitempty"`
+	UnitRate  float64 `json:"unit_rate_per_s,omitempty"`
 }
 
 // Snapshot returns the current state with derived pct/rate/ETA.
@@ -80,6 +104,13 @@ func (p *Progress) Snapshot() Snapshot {
 			s.ETA = float64(remaining) / s.Rate
 		}
 	}
+	if p.unitLabel != "" {
+		s.UnitLabel = p.unitLabel
+		s.Units = p.units
+		if s.Elapsed > 0 {
+			s.UnitRate = float64(p.units) / s.Elapsed
+		}
+	}
 	return s
 }
 
@@ -93,6 +124,9 @@ func (s Snapshot) String() string {
 		label, s.Done, s.Total, s.Pct, s.Elapsed)
 	if s.ETA >= 0 {
 		line += fmt.Sprintf(" eta %.1fs", s.ETA)
+	}
+	if s.UnitLabel != "" {
+		line += fmt.Sprintf(" | %d %s (%.0f/s)", s.Units, s.UnitLabel, s.UnitRate)
 	}
 	return line
 }
