@@ -28,15 +28,31 @@ type kernelResult struct {
 	AllocsPerEvnt float64 `json:"allocs_per_event"`
 }
 
+// parallelResult is one row of the conservative-parallel engine sweep: the
+// same partitioned simulation at a given worker count. Speedup is relative
+// to the 1-worker row of the same topology; on a single-core machine it
+// measures scheduling overhead, not parallelism — which is why NumCPU is
+// recorded alongside.
+type parallelResult struct {
+	Hosts        int     `json:"hosts"`
+	Workers      int     `json:"workers"`
+	Events       uint64  `json:"events"`
+	WallMs       float64 `json:"wall_ms"`
+	EventsPerSec float64 `json:"events_per_sec"`
+	Speedup      float64 `json:"speedup_vs_1_worker"`
+}
+
 // kernelReport is the machine-readable benchmark artifact committed as
 // BENCH_kernel.json so the kernel's performance trajectory is recorded in
 // the repo rather than in CI logs.
 type kernelReport struct {
-	GeneratedBy string         `json:"generated_by"`
-	GoVersion   string         `json:"go_version"`
-	GOARCH      string         `json:"goarch"`
-	Scheduler   kernelResult   `json:"scheduler"`
-	Protocols   []kernelResult `json:"protocols"`
+	GeneratedBy string           `json:"generated_by"`
+	GoVersion   string           `json:"go_version"`
+	GOARCH      string           `json:"goarch"`
+	NumCPU      int              `json:"num_cpu"`
+	Scheduler   kernelResult     `json:"scheduler"`
+	Protocols   []kernelResult   `json:"protocols"`
+	Parallel    []parallelResult `json:"parallel"`
 }
 
 // benchScheduler measures the bare engine with no protocol on top: a
@@ -109,7 +125,7 @@ func benchProtocol(s exp.Scheme, ic exp.Interconnect) (kernelResult, error) {
 	}
 	wall := time.Since(start)
 	runtime.ReadMemStats(&m1)
-	n := sys.Eng.Executed()
+	n := sys.Executed()
 	return kernelResult{
 		Scheme:        string(s),
 		Fabric:        string(ic),
@@ -122,12 +138,42 @@ func benchProtocol(s exp.Scheme, ic exp.Interconnect) (kernelResult, error) {
 	}, nil
 }
 
+// benchParallel runs one CORD workload on a hosts-host CXL topology at the
+// given worker count and reports partitioned-engine throughput. The workload
+// scales with the host count (every host participates), so per-window
+// parallelism is real at every size.
+func benchParallel(hosts, workers int) (parallelResult, error) {
+	p := workload.ATA(hosts, 400)
+	nc := exp.NetConfig(exp.CXL)
+	nc.Hosts = hosts
+	cores, progs, err := p.Programs(nc)
+	if err != nil {
+		return parallelResult{}, err
+	}
+	sys := proto.NewSystem(42, nc, proto.RC)
+	sys.Workers = workers
+	start := time.Now()
+	if _, err := proto.Exec(sys, exp.Builder(exp.SchemeCORD), cores, progs); err != nil {
+		return parallelResult{}, err
+	}
+	wall := time.Since(start)
+	n := sys.Executed()
+	return parallelResult{
+		Hosts:        hosts,
+		Workers:      workers,
+		Events:       n,
+		WallMs:       float64(wall.Nanoseconds()) / 1e6,
+		EventsPerSec: float64(n) / wall.Seconds(),
+	}, nil
+}
+
 // kernelBench writes BENCH_kernel.json to path.
 func kernelBench(path string) error {
 	rep := kernelReport{
 		GeneratedBy: "cordbench -kernel",
 		GoVersion:   runtime.Version(),
 		GOARCH:      runtime.GOARCH,
+		NumCPU:      runtime.NumCPU(),
 		Scheduler:   benchScheduler(2_000_000),
 	}
 	for _, ic := range exp.Interconnects() {
@@ -139,6 +185,24 @@ func kernelBench(path string) error {
 			rep.Protocols = append(rep.Protocols, r)
 			fmt.Fprintf(os.Stderr, "kernel: %-4s %-3s %8d events  %6.1f ns/event  %5.2f Mevents/s  %.3f allocs/event\n",
 				r.Scheme, r.Fabric, r.Events, r.NsPerEvent, r.EventsPerSec/1e6, r.AllocsPerEvnt)
+		}
+	}
+	for _, hosts := range []int{8, 64} {
+		var base float64
+		for _, workers := range []int{1, 2, 4, 8} {
+			r, err := benchParallel(hosts, workers)
+			if err != nil {
+				return err
+			}
+			if workers == 1 {
+				base = r.WallMs
+			}
+			if base > 0 {
+				r.Speedup = base / r.WallMs
+			}
+			rep.Parallel = append(rep.Parallel, r)
+			fmt.Fprintf(os.Stderr, "parallel: %3d hosts %2d workers %8d events  %5.2f Mevents/s  %.2fx vs 1 worker\n",
+				r.Hosts, r.Workers, r.Events, r.EventsPerSec/1e6, r.Speedup)
 		}
 	}
 	out, err := json.MarshalIndent(rep, "", "  ")

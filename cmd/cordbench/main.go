@@ -35,8 +35,10 @@ func main() {
 		httpAddr = flag.String("http", "", "serve live sweep progress/metrics/pprof on this address, e.g. localhost:6060")
 		progress = flag.Bool("progress", false, "print sweep progress lines to stderr")
 		kernel   = flag.String("kernel", "", "measure event-kernel throughput and write BENCH_kernel.json to this path (- for stdout)")
+		workers  = flag.Int("sim-workers", 0, "host shards advanced concurrently by the partitioned engine (<=1 serial; results identical for any value)")
 	)
 	flag.Parse()
+	exp.SetSimWorkers(*workers)
 
 	// Sweep progress and aggregate metrics are observable two ways: -progress
 	// prints the tracker to stderr each second, -http serves it (with the

@@ -36,6 +36,10 @@ func main() {
 		verts   = flag.Int("vertices", 4096, "graph-pr/graph-sssp: vertex count")
 		degree  = flag.Int("degree", 8, "graph-pr/graph-sssp: average out-degree")
 		seed    = flag.Int64("seed", 42, "simulation seed")
+		hosts   = flag.Int("hosts", 0, "override the host count (0 = Table 1 default of 8; validated up to 256)")
+		cores   = flag.Int("cores", 0, "override the cores per host (0 = Table 1 default of 8)")
+		mesh    = flag.Int("mesh", 0, "override the intra-host mesh columns (0 = Table 1 default of 4)")
+		workers = flag.Int("sim-workers", 0, "host shards advanced concurrently by the partitioned engine (<=1 serial; results identical for any value)")
 		dump    = flag.String("dump-trace", "", "write the workload's trace to this file and exit")
 		from    = flag.String("from-trace", "", "replay a cordtrace file instead of a named workload")
 		char    = flag.Bool("characterize", false, "print Table 2-style workload statistics and exit")
@@ -53,6 +57,14 @@ func main() {
 		sys = cord.UPISystem()
 	}
 	sys.Seed = *seed
+	if *hosts > 0 {
+		sys.Hosts = *hosts
+	}
+	if *cores > 0 {
+		sys.CoresPerHost = *cores
+	}
+	sys.MeshCols = *mesh
+	sys.SimWorkers = *workers
 	if *tso {
 		sys.Model = cord.TotalStoreOrder
 	}

@@ -79,10 +79,19 @@ type System struct {
 	// RingTopology replaces the single inter-host switch with a
 	// bidirectional ring (per-link latency InterHostNs).
 	RingTopology bool
+	// MeshCols overrides the intra-host mesh width (columns); 0 keeps the
+	// Table 1 default (4, i.e. a 2x4 mesh for 8 cores). It is clamped to
+	// CoresPerHost.
+	MeshCols int
 	// Model is the enforced consistency model.
 	Model Consistency
 	// Seed drives all randomness; equal seeds give identical results.
 	Seed int64
+	// SimWorkers bounds how many host shards the conservative-parallel
+	// simulation engine advances concurrently (<= 1 means serial). Results
+	// are byte-identical for every value; it only trades wall-clock time.
+	// Single-host systems always run on one engine.
+	SimWorkers int
 }
 
 // CXLSystem returns the paper's CXL configuration (Table 1).
@@ -106,6 +115,12 @@ func (s System) netConfig() (noc.Config, error) {
 	if s.CoresPerHost > 0 {
 		nc.TilesPerHost = s.CoresPerHost
 		if nc.TilesPerHost < nc.MeshCols {
+			nc.MeshCols = nc.TilesPerHost
+		}
+	}
+	if s.MeshCols > 0 {
+		nc.MeshCols = s.MeshCols
+		if nc.MeshCols > nc.TilesPerHost {
 			nc.MeshCols = nc.TilesPerHost
 		}
 	}
@@ -235,6 +250,7 @@ func Simulate(w Workload, p Protocol, s System) (*Result, error) {
 		return nil, err
 	}
 	sys := proto.NewSystem(s.Seed, nc, s.mode())
+	sys.Workers = s.SimWorkers
 	run, err := proto.Exec(sys, b, cores, progs)
 	if err != nil {
 		return nil, err

@@ -54,7 +54,7 @@ func BenchmarkSendIntraHost(b *testing.B) {
 	runSendBench(b, cfg, CoreID(0, 0), DirID(0, 5))
 }
 
-// BenchmarkSendInterHost: switch traversal with egress/ingress serialization.
+// BenchmarkSendInterHost: switch traversal with egress-port serialization.
 func BenchmarkSendInterHost(b *testing.B) {
 	cfg := CXLConfig()
 	cfg.JitterCycles = 0
@@ -66,4 +66,42 @@ func BenchmarkSendInterHost(b *testing.B) {
 func BenchmarkSendJittered(b *testing.B) {
 	cfg := CXLConfig() // JitterCycles = 4
 	runSendBench(b, cfg, CoreID(0, 0), DirID(1, 5))
+}
+
+// BenchmarkSendInterHostPartitioned: the same cross-host send on the
+// host-partitioned network — outbox append, window-barrier Flush (partition
+// + sort + inject), and slot-based delivery on the destination shard. Mixed
+// with an intra-host send per pair so the measurement also covers shard-local
+// scheduling through the cached per-host engine.
+func BenchmarkSendInterHostPartitioned(b *testing.B) {
+	cfg := CXLConfig() // jitter on: one per-shard PRNG draw per inter-host hop
+	cl, net := partitionedNet(cfg, 1)
+	src, dst, far := CoreID(0, 0), DirID(0, 5), DirID(1, 5)
+	payload := any(&benchMsg{v: 42})
+	k := 0
+	driver := func(_ uint64, _ any) {
+		for i := 0; i < k; i++ {
+			net.Send(src, dst, stats.ClassRelaxedData, 80, payload)
+			net.Send(src, far, stats.ClassAck, 16, payload)
+		}
+	}
+	round := func(kk int) {
+		k = kk
+		var at sim.Time
+		for _, e := range cl.Engines() {
+			if now := e.Now(); now > at {
+				at = now
+			}
+		}
+		cl.Engine(0).ScheduleDeliverAt(at+1, driver, 0, nil)
+		if err := cl.Run(1, net); err != nil {
+			b.Fatal(err)
+		}
+	}
+	round(1024)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for n := b.N; n > 0; n -= 1024 {
+		round(512) // 512 pairs = 1024 sends per round
+	}
 }

@@ -1,9 +1,20 @@
-// Package noc models the multi-PU interconnect of the simulated system:
-// a 2x4 mesh inside each CPU host and a single switch between hosts, matching
-// Table 1 of the paper. It provides latency (per-hop mesh latency, inter-host
-// link latency), bandwidth (serialization on the inter-host ports), optional
-// delivery jitter (to exercise out-of-order arrival handling in protocols),
-// and per-class traffic accounting.
+// Package noc models the multi-PU interconnect of the simulated system: a
+// mesh inside each CPU host and a single switch (or ring) between hosts. The
+// paper-default geometry is Table 1's: 8 CPU hosts, each with 8 tiles in a
+// 2x4 mesh (CXLConfig/UPIConfig); every dimension — host count, tiles per
+// host, mesh width — is configurable, and the scaling studies run the same
+// code at 64-256 hosts. The network provides latency (per-hop mesh latency,
+// inter-host link latency), bandwidth (serialization on the inter-host
+// ports), optional delivery jitter (to exercise out-of-order arrival handling
+// in protocols), and per-class traffic accounting.
+//
+// A Network runs in one of two modes. The single-engine mode (New) schedules
+// every delivery directly on one sim.Engine. The partitioned mode
+// (NewPartitioned) serves the host-sharded cluster scheduler: intra-host
+// deliveries schedule directly on the source host's engine, while cross-host
+// sends are buffered in a source-shard-owned outbox and injected into the
+// destination shard at the next window barrier (Flush) in deterministic
+// (time, source host, sequence) order — the sim.Exchanger contract.
 package noc
 
 import (
@@ -120,6 +131,17 @@ func UPIConfig() Config {
 }
 
 // Validate reports configuration errors.
+// Validation bounds on the timing parameters. They are physically absurd
+// (half a millisecond per mesh hop, one second across the interconnect) and
+// exist to keep latency arithmetic far from uint64 overflow: FuzzConfigValidate
+// found that an unbounded HopCycles — e.g. a negative value forced through
+// the unsigned sim.Time — wraps delay computation and corrupts the event
+// wheel.
+const (
+	maxHopCycles   = 1 << 20
+	maxInterHostNs = 1e9
+)
+
 func (c Config) Validate() error {
 	switch {
 	case c.Hosts < 1:
@@ -130,12 +152,33 @@ func (c Config) Validate() error {
 		return fmt.Errorf("noc: MeshCols = %d, need >= 1", c.MeshCols)
 	case c.TilesPerHost%c.MeshCols != 0:
 		return fmt.Errorf("noc: TilesPerHost %d not divisible by MeshCols %d", c.TilesPerHost, c.MeshCols)
-	case c.LinkBytesPerCycle <= 0:
-		return fmt.Errorf("noc: LinkBytesPerCycle must be positive")
+	case c.HopCycles > maxHopCycles:
+		return fmt.Errorf("noc: HopCycles %d exceeds the %d-cycle bound", c.HopCycles, int64(maxHopCycles))
+	case math.IsNaN(c.InterHostNs) || c.InterHostNs < 0 || c.InterHostNs > maxInterHostNs:
+		return fmt.Errorf("noc: InterHostNs %v outside [0, %g]", c.InterHostNs, float64(maxInterHostNs))
+	case math.IsNaN(c.LinkBytesPerCycle) || math.IsInf(c.LinkBytesPerCycle, 0) || c.LinkBytesPerCycle <= 0:
+		return fmt.Errorf("noc: LinkBytesPerCycle must be positive and finite")
+	case c.JitterCycles < 0:
+		return fmt.Errorf("noc: JitterCycles %d must be non-negative", c.JitterCycles)
 	case c.PortTile < 0 || c.PortTile >= c.TilesPerHost:
 		return fmt.Errorf("noc: PortTile %d out of range", c.PortTile)
 	}
 	return nil
+}
+
+// Lookahead returns the conservative parallel-simulation window W in cycles:
+// a lower bound on the delivery latency of any cross-host message. Every
+// cross-host send pays at least one inter-host link traversal
+// (sim.FromNanos(InterHostNs); ring distances are >= 1 link) on top of
+// non-negative mesh, serialization, queueing, and jitter terms, so an event
+// executing at time t cannot make another host's shard busy before t+W.
+// Clamped to >= 1 so a degenerate zero-latency configuration still advances.
+func (c Config) Lookahead() sim.Time {
+	w := sim.FromNanos(c.InterHostNs)
+	if w < 1 {
+		w = 1
+	}
+	return w
 }
 
 // meshHops returns the Manhattan distance between two tiles of a host mesh.
@@ -173,18 +216,52 @@ func unpackID(w uint64) NodeID {
 	return NodeID{Host: int(w >> 33), Tile: int(w >> 1 & 0xFFFFFFFF), Kind: NodeKind(w & 1)}
 }
 
+// xmsg is one buffered cross-shard message in partitioned mode. The
+// (at, srcHost, seq) triple is the deterministic injection order at the
+// window barrier: at and srcHost fix the position across shards, seq (a
+// per-source-host counter) fixes it within one shard's same-cycle sends.
+type xmsg struct {
+	at      sim.Time
+	seq     uint64
+	srcHost int32
+	dstIdx  int32
+	traced  bool
+	src     uint64 // packed source NodeID
+	class   stats.MsgClass
+	bytes   int32
+	dur     sim.Time // full source-to-destination latency, for the KDeliver event
+	payload any
+}
+
 // Network connects cores and directories. Handlers are registered per node;
 // Send computes delay (mesh hops, serialization, inter-host latency, jitter),
 // accounts traffic, and schedules the destination handler.
 type Network struct {
+	cfg Config
+	// Single-engine mode (New): one engine, one traffic accumulator, one
+	// optional recorder.
 	eng     *sim.Engine
-	cfg     Config
 	traffic *stats.Traffic
 	// obs is the optional observability recorder; nil disables tracing.
 	obs *obs.Recorder
-	// egress[h] / ingress[h] are host h's directional switch ports.
-	egress  []link
-	ingress []link
+
+	// Partitioned mode (NewPartitioned): per-host engines, traffic
+	// accumulators, recorders, and cross-shard outboxes. engines != nil
+	// selects this mode. Everything indexed by host is touched only from
+	// that host's shard during a window, so the hot paths need no locks;
+	// Flush runs single-threaded at the window barrier.
+	engines  []*sim.Engine
+	traffics []*stats.Traffic
+	recs     []*obs.Recorder
+	outbox   [][]xmsg // [src shard] -> buffered cross-host sends
+	seqs     []uint64 // per-source-host send sequence numbers
+	held     []xmsg   // messages beyond the last flush horizon
+	due      []xmsg   // scratch: messages injected this flush
+	scratch  []xmsg   // scratch: next held buffer
+
+	// egress[h] is host h's directional switch port; its serialization
+	// state is owned by the sending host's shard.
+	egress []link
 	// handlers / deliver are dense per-node tables indexed by
 	// (host, tile, kind): the registered handler and its monomorphic
 	// delivery wrapper (allocated once at Register, reused per message).
@@ -196,24 +273,45 @@ type Network struct {
 	linkWhole uint64
 }
 
-// New creates a network. It panics on invalid configuration, which is a
-// programming error in experiment setup, not a runtime condition.
-func New(eng *sim.Engine, cfg Config, traffic *stats.Traffic) *Network {
+func newNetwork(cfg Config) *Network {
 	if err := cfg.Validate(); err != nil {
 		panic(err)
 	}
 	n := &Network{
-		eng:      eng,
 		cfg:      cfg,
-		traffic:  traffic,
 		egress:   make([]link, cfg.Hosts),
-		ingress:  make([]link, cfg.Hosts),
 		handlers: make([]Handler, cfg.Hosts*cfg.TilesPerHost*2),
 		deliver:  make([]sim.DeliverFunc, cfg.Hosts*cfg.TilesPerHost*2),
 	}
 	if bpc := cfg.LinkBytesPerCycle; bpc >= 1 && bpc == math.Trunc(bpc) {
 		n.linkWhole = uint64(bpc)
 	}
+	return n
+}
+
+// New creates a single-engine network. It panics on invalid configuration,
+// which is a programming error in experiment setup, not a runtime condition.
+func New(eng *sim.Engine, cfg Config, traffic *stats.Traffic) *Network {
+	n := newNetwork(cfg)
+	n.eng = eng
+	n.traffic = traffic
+	return n
+}
+
+// NewPartitioned creates a network over the host-sharded cluster scheduler:
+// engines[h] and traffics[h] belong to host h's shard. The returned network
+// implements sim.Exchanger; pass it to sim.Cluster.Run so buffered
+// cross-host messages are injected at each window barrier.
+func NewPartitioned(engines []*sim.Engine, cfg Config, traffics []*stats.Traffic) *Network {
+	n := newNetwork(cfg)
+	if len(engines) != cfg.Hosts || len(traffics) != cfg.Hosts {
+		panic(fmt.Sprintf("noc: %d engines / %d traffics for %d hosts",
+			len(engines), len(traffics), cfg.Hosts))
+	}
+	n.engines = engines
+	n.traffics = traffics
+	n.outbox = make([][]xmsg, cfg.Hosts)
+	n.seqs = make([]uint64, cfg.Hosts)
 	return n
 }
 
@@ -233,6 +331,31 @@ func (n *Network) Config() Config { return n.cfg }
 // SetObserver installs the observability recorder (nil disables). Metrics are
 // updated for every message; hop events obey the recorder's sampling.
 func (n *Network) SetObserver(rec *obs.Recorder) { n.obs = rec }
+
+// SetObservers installs per-shard recorders for partitioned mode (nil
+// disables): messages record into their source host's recorder, deliveries
+// into the destination host's.
+func (n *Network) SetObservers(recs []*obs.Recorder) {
+	if recs != nil && len(recs) != n.cfg.Hosts {
+		panic(fmt.Sprintf("noc: %d recorders for %d hosts", len(recs), n.cfg.Hosts))
+	}
+	n.recs = recs
+}
+
+// recOf returns host h's recorder in partitioned mode (nil when untraced).
+func (n *Network) recOf(h int) *obs.Recorder {
+	if n.recs == nil {
+		return nil
+	}
+	return n.recs[h]
+}
+
+// nodeAt inverts nodeIndex.
+func (n *Network) nodeAt(idx int32) NodeID {
+	i := int(idx)
+	return NodeID{Host: (i >> 1) / n.cfg.TilesPerHost, Tile: (i >> 1) % n.cfg.TilesPerHost,
+		Kind: NodeKind(i & 1)}
+}
 
 // Register installs the delivery handler for node id.
 func (n *Network) Register(id NodeID, h Handler) {
@@ -292,11 +415,16 @@ func (n *Network) serialization(bytes int) sim.Time {
 
 // Send transmits a message of the given class and size from src to dst and
 // invokes dst's handler with payload on arrival. Inter-host messages consume
-// bandwidth on the source egress and destination ingress ports.
+// bandwidth on the source host's egress port (serializing one after another).
 //
 // The untraced path (no observability recorder, or this message not sampled)
 // performs no allocation: delivery is a monomorphic event carrying the
 // node's pre-built sim.DeliverFunc, the packed source, and the payload.
+//
+// In partitioned mode, Send must execute on the source host's shard — true
+// for every protocol engine, whose components only send from their own node —
+// and cross-host deliveries are buffered until the next window barrier
+// (Flush) instead of being scheduled immediately.
 func (n *Network) Send(src, dst NodeID, class stats.MsgClass, bytes int, payload any) {
 	if bytes <= 0 {
 		panic(fmt.Sprintf("noc: message size %d must be positive", bytes))
@@ -305,32 +433,15 @@ func (n *Network) Send(src, dst NodeID, class stats.MsgClass, bytes int, payload
 	if idx < 0 || n.handlers[idx] == nil {
 		panic(fmt.Sprintf("noc: no handler registered for %v", dst))
 	}
+	if n.engines != nil {
+		n.sendSharded(src, dst, idx, class, bytes, payload)
+		return
+	}
 	interHost := src.Host != dst.Host
 	n.traffic.Add(class, bytes, interHost)
 	n.obs.CountMsg(class, bytes, interHost)
 
-	delay := n.Latency(src, dst)
-	var queueing sim.Time
-	if interHost {
-		ser := n.serialization(bytes)
-		now := n.eng.Now()
-		// Egress port serialization with queueing.
-		eg := &n.egress[src.Host]
-		start := now
-		if eg.nextFree > start {
-			start = eg.nextFree
-		}
-		eg.nextFree = start + ser
-		queueing = start - now
-		// Ingress port occupancy (approximate: advance nextFree, but do not
-		// re-queue — the switch is output-buffered).
-		ig := &n.ingress[dst.Host]
-		if ig.nextFree < start+delay {
-			ig.nextFree = start + delay
-		}
-		ig.nextFree += ser
-		delay += queueing + ser
-	}
+	delay, queueing := n.delay(n.eng, src, dst, bytes, interHost)
 	if n.cfg.JitterCycles > 0 {
 		delay += sim.Time(n.eng.Rand().Intn(n.cfg.JitterCycles + 1))
 	}
@@ -357,6 +468,164 @@ func (n *Network) Send(src, dst NodeID, class stats.MsgClass, bytes int, payload
 		return
 	}
 	n.eng.ScheduleDeliver(delay, n.deliver[idx], packID(src), payload)
+}
+
+// delay computes a message's latency excluding jitter — mesh hops plus, for
+// inter-host messages, the link traversal, serialization, and egress-port
+// queueing — charging the egress port. The egress state is owned by the
+// sending host (= the executing shard in partitioned mode), so this is safe
+// under parallel windows.
+func (n *Network) delay(eng *sim.Engine, src, dst NodeID, bytes int, interHost bool) (delay, queueing sim.Time) {
+	delay = n.Latency(src, dst)
+	if !interHost {
+		return delay, 0
+	}
+	ser := n.serialization(bytes)
+	now := eng.Now()
+	eg := &n.egress[src.Host]
+	start := now
+	if eg.nextFree > start {
+		start = eg.nextFree
+	}
+	eg.nextFree = start + ser
+	queueing = start - now
+	return delay + queueing + ser, queueing
+}
+
+// sendSharded is the partitioned-mode Send path. Intra-host messages behave
+// exactly as in single-engine mode, on the source host's engine and recorder.
+// Cross-host messages are appended to the source shard's outbox with their
+// computed arrival time and injected at the next window barrier. Delivery
+// jitter draws from the source shard's engine PRNG, so each host's jitter
+// stream depends only on that shard's (deterministic) send order — never on
+// how shards interleave across workers.
+func (n *Network) sendSharded(src, dst NodeID, idx int, class stats.MsgClass, bytes int, payload any) {
+	sh := src.Host
+	eng := n.engines[sh]
+	interHost := sh != dst.Host
+	n.traffics[sh].Add(class, bytes, interHost)
+	rec := n.recOf(sh)
+	rec.CountMsg(class, bytes, interHost)
+
+	delay, queueing := n.delay(eng, src, dst, bytes, interHost)
+	if n.cfg.JitterCycles > 0 {
+		delay += sim.Time(eng.Rand().Intn(n.cfg.JitterCycles + 1))
+	}
+	rec.ObserveLatency(class, delay)
+	traced := rec.Take()
+	if traced {
+		now := eng.Now()
+		osrc, odst := src.Obs(), dst.Obs()
+		rec.Record(obs.Event{At: now, Kind: obs.KSend, Src: osrc, Dst: odst,
+			Class: class, Bytes: bytes, Dur: delay, Wait: queueing})
+		if interHost && queueing > 0 {
+			rec.Record(obs.Event{At: now + queueing, Kind: obs.KLink,
+				Src: osrc, Dst: odst, Class: class, Bytes: bytes, Wait: queueing})
+		}
+	}
+	if interHost {
+		n.seqs[sh]++
+		n.outbox[sh] = append(n.outbox[sh], xmsg{
+			at: eng.Now() + delay, seq: n.seqs[sh], srcHost: int32(sh),
+			dstIdx: int32(idx), traced: traced, src: packID(src),
+			class: class, bytes: int32(bytes), dur: delay, payload: payload,
+		})
+		return
+	}
+	if traced {
+		h := n.handlers[idx]
+		osrc, odst := src.Obs(), dst.Obs()
+		eng.Schedule(delay, func() {
+			rec.Record(obs.Event{At: eng.Now(), Kind: obs.KDeliver,
+				Src: osrc, Dst: odst, Class: class, Bytes: bytes, Dur: delay})
+			h(src, payload)
+		})
+		return
+	}
+	eng.ScheduleDeliver(delay, n.deliver[idx], packID(src), payload)
+}
+
+// Flush implements sim.Exchanger: it injects every buffered cross-host
+// message with arrival time <= horizon into its destination shard's engine,
+// in (arrival time, source host, per-host sequence) order — a total order,
+// since the sequence is unique per source host. Later messages are retained
+// for a future window. Flush runs single-threaded at the window barrier, so
+// it may touch every shard's engine and outbox.
+func (n *Network) Flush(horizon sim.Time) (int, sim.Time) {
+	due := n.due[:0]
+	keep := n.scratch[:0]
+	for _, m := range n.held {
+		if m.at <= horizon {
+			due = append(due, m)
+		} else {
+			keep = append(keep, m)
+		}
+	}
+	for sh := range n.outbox {
+		ob := n.outbox[sh]
+		for _, m := range ob {
+			if m.at <= horizon {
+				due = append(due, m)
+			} else {
+				keep = append(keep, m)
+			}
+		}
+		for i := range ob {
+			ob[i].payload = nil // release references; entries were copied out
+		}
+		n.outbox[sh] = ob[:0]
+	}
+	slices.SortFunc(due, func(a, b xmsg) int {
+		if c := cmp.Compare(a.at, b.at); c != 0 {
+			return c
+		}
+		if c := cmp.Compare(a.srcHost, b.srcHost); c != 0 {
+			return c
+		}
+		return cmp.Compare(a.seq, b.seq)
+	})
+	for i := range due {
+		n.inject(&due[i])
+	}
+	for i := range due {
+		due[i].payload = nil
+	}
+	n.due = due[:0]
+	old := n.held
+	for i := range old {
+		old[i].payload = nil
+	}
+	n.held, n.scratch = keep, old[:0]
+	var earliest sim.Time
+	for i := range keep {
+		if i == 0 || keep[i].at < earliest {
+			earliest = keep[i].at
+		}
+	}
+	return len(keep), earliest
+}
+
+// inject schedules one flushed cross-host arrival on its destination shard.
+// Untraced deliveries stay monomorphic and allocation-free; traced ones
+// record the KDeliver into the destination host's recorder (the source
+// host's recorder already holds the matching KSend).
+func (n *Network) inject(m *xmsg) {
+	dst := n.nodeAt(m.dstIdx)
+	eng := n.engines[dst.Host]
+	if !m.traced {
+		eng.ScheduleDeliverAt(m.at, n.deliver[m.dstIdx], m.src, m.payload)
+		return
+	}
+	rec := n.recOf(dst.Host)
+	h := n.handlers[m.dstIdx]
+	src := unpackID(m.src)
+	osrc, odst := src.Obs(), dst.Obs()
+	class, bytes, dur, payload := m.class, int(m.bytes), m.dur, m.payload
+	eng.ScheduleAt(m.at, func() {
+		rec.Record(obs.Event{At: eng.Now(), Kind: obs.KDeliver,
+			Src: osrc, Dst: odst, Class: class, Bytes: bytes, Dur: dur})
+		h(src, payload)
+	})
 }
 
 // LocalDir returns the directory slice co-located with a core: the same tile.

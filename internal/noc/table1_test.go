@@ -1,0 +1,67 @@
+package noc
+
+import (
+	"testing"
+
+	"cord/internal/sim"
+)
+
+// TestTable1Defaults pins the canonical configurations to the paper's
+// Table 1, field by field. The package documentation, CXLConfig, and the
+// evaluation harness must all describe the same machine — this test exists
+// because they once drifted (a "2 hosts" example comment survived a default
+// bump to 8 hosts).
+func TestTable1Defaults(t *testing.T) {
+	cases := []struct {
+		name string
+		cfg  Config
+		// expected Table 1 parameters
+		hosts, tiles, cols int
+		hop                sim.Time
+		interNs            float64
+		linkBPC            float64
+		jitter             int
+	}{
+		{name: "CXL", cfg: CXLConfig(),
+			hosts: 8, tiles: 8, cols: 4, hop: 10, interNs: 150, linkBPC: 32, jitter: 4},
+		{name: "UPI", cfg: UPIConfig(),
+			hosts: 8, tiles: 8, cols: 4, hop: 10, interNs: 50, linkBPC: 32, jitter: 4},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			if err := c.cfg.Validate(); err != nil {
+				t.Fatalf("default config invalid: %v", err)
+			}
+			if c.cfg.Hosts != c.hosts {
+				t.Errorf("Hosts = %d, Table 1 says %d", c.cfg.Hosts, c.hosts)
+			}
+			if c.cfg.TilesPerHost != c.tiles {
+				t.Errorf("TilesPerHost = %d, Table 1 says %d", c.cfg.TilesPerHost, c.tiles)
+			}
+			if c.cfg.MeshCols != c.cols {
+				t.Errorf("MeshCols = %d, Table 1's 2x4 mesh needs %d", c.cfg.MeshCols, c.cols)
+			}
+			if rows := c.cfg.TilesPerHost / c.cfg.MeshCols; rows != 2 {
+				t.Errorf("mesh is %dx%d, Table 1 says 2x%d", rows, c.cfg.MeshCols, c.cols)
+			}
+			if c.cfg.HopCycles != c.hop {
+				t.Errorf("HopCycles = %d, Table 1 says %d", c.cfg.HopCycles, c.hop)
+			}
+			if c.cfg.InterHostNs != c.interNs {
+				t.Errorf("InterHostNs = %g, Table 1 says %g", c.cfg.InterHostNs, c.interNs)
+			}
+			if c.cfg.LinkBytesPerCycle != c.linkBPC {
+				t.Errorf("LinkBytesPerCycle = %g, Table 1's 64 GB/s at 2 GHz is %g",
+					c.cfg.LinkBytesPerCycle, c.linkBPC)
+			}
+			if c.cfg.JitterCycles != c.jitter {
+				t.Errorf("JitterCycles = %d, want %d", c.cfg.JitterCycles, c.jitter)
+			}
+			// Lookahead is the conservative window: the full link latency in
+			// cycles (2 cycles/ns), 300 for CXL and 100 for UPI.
+			if want := sim.FromNanos(c.interNs); c.cfg.Lookahead() != want {
+				t.Errorf("Lookahead = %d cycles, want %d", c.cfg.Lookahead(), want)
+			}
+		})
+	}
+}

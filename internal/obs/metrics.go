@@ -116,6 +116,31 @@ func (r *Recorder) EngineDepth(depth int) {
 	}
 }
 
+// Merge folds other into m: counters and stalls sum, latency distributions
+// merge, queue peaks take the maximum. Every field is commutative under
+// Merge, so per-shard registries folded in any order equal a single shared
+// registry — which is what makes partitioned-run metrics independent of the
+// worker count.
+func (m *Metrics) Merge(other *Metrics) {
+	for c := 0; c < stats.NumClasses; c++ {
+		m.MsgsIntra[c] += other.MsgsIntra[c]
+		m.MsgsInter[c] += other.MsgsInter[c]
+		m.BytesIntra[c] += other.BytesIntra[c]
+		m.BytesInter[c] += other.BytesInter[c]
+		m.Latency[c].Merge(&other.Latency[c])
+	}
+	for k := 0; k < stats.NumStallKinds; k++ {
+		m.StallCycles[k] += other.StallCycles[k]
+		m.StallCount[k] += other.StallCount[k]
+	}
+	if other.DirQueuePeak > m.DirQueuePeak {
+		m.DirQueuePeak = other.DirQueuePeak
+	}
+	if other.EngineQueuePeak > m.EngineQueuePeak {
+		m.EngineQueuePeak = other.EngineQueuePeak
+	}
+}
+
 // TotalBytes sums both scopes for one class (the figure stats.Traffic
 // reports as Inter+Intra).
 func (m *Metrics) TotalBytes(c stats.MsgClass) uint64 {

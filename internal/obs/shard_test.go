@@ -1,0 +1,127 @@
+package obs
+
+import (
+	"testing"
+
+	"cord/internal/stats"
+)
+
+func TestSplitNilRecorder(t *testing.T) {
+	var r *Recorder
+	children := r.Split(4)
+	if len(children) != 4 {
+		t.Fatalf("Split(4) gave %d children", len(children))
+	}
+	for i, c := range children {
+		if c != nil {
+			t.Fatalf("child %d of a nil recorder is non-nil", i)
+		}
+		c.CountMsg(stats.ClassAck, 8, true) // must stay nil-safe
+	}
+	r.MergeShards(children) // and so must the merge
+}
+
+func TestMergeShardsMetricsSum(t *testing.T) {
+	r := NewMetricsOnly()
+	children := r.Split(3)
+	for i, c := range children {
+		if c.Metrics() == nil {
+			t.Fatalf("child %d lost metrics", i)
+		}
+		c.CountMsg(stats.ClassAck, 10*(i+1), true)
+		c.ObserveLatency(stats.ClassAck, 100)
+		c.AddStall(stats.StallAckWait, 5)
+		c.EngineDepth(i + 1)
+	}
+	r.MergeShards(children)
+	m := r.Metrics()
+	if m.MsgsInter[stats.ClassAck] != 3 {
+		t.Errorf("merged %d ack messages, want 3", m.MsgsInter[stats.ClassAck])
+	}
+	if m.BytesInter[stats.ClassAck] != 60 {
+		t.Errorf("merged %d ack bytes, want 60", m.BytesInter[stats.ClassAck])
+	}
+	if m.StallCount[stats.StallAckWait] != 3 || m.StallCycles[stats.StallAckWait] != 15 {
+		t.Errorf("merged stalls %d/%d, want 3/15",
+			m.StallCount[stats.StallAckWait], m.StallCycles[stats.StallAckWait])
+	}
+	if m.EngineQueuePeak != 3 {
+		t.Errorf("merged queue peak %d, want max 3", m.EngineQueuePeak)
+	}
+	// Merging twice must not double-count (children are drained).
+	r.MergeShards(children)
+	if r.Metrics().MsgsInter[stats.ClassAck] != 3 {
+		t.Error("second MergeShards double-counted metrics")
+	}
+}
+
+func TestMergeShardsEventOrder(t *testing.T) {
+	r := New()
+	children := r.Split(2)
+	// Shard 1 records earlier timestamps than shard 0; within shard 0, a
+	// future-stamped KLink (recorded at send time) rides behind its KSend —
+	// the merge orders streams by head event only, preserving sub-order.
+	children[0].Record(Event{At: 10, Kind: KSend, Seq: 1})
+	children[0].Record(Event{At: 50, Kind: KLink, Seq: 2}) // future-stamped
+	children[0].Record(Event{At: 12, Kind: KDeliver, Seq: 3})
+	children[1].Record(Event{At: 5, Kind: KSend, Seq: 4})
+	children[1].Record(Event{At: 11, Kind: KDeliver, Seq: 5})
+	r.MergeShards(children)
+	got := r.Events()
+	want := []uint64{4, 1, 5, 2, 3}
+	if len(got) != len(want) {
+		t.Fatalf("merged %d events, want %d", len(got), len(want))
+	}
+	for i, seq := range want {
+		if got[i].Seq != seq {
+			t.Fatalf("event %d: Seq %d, want %d (merged order %v)", i, got[i].Seq, seq, got)
+		}
+	}
+	for _, c := range children {
+		if len(c.Events()) != 0 {
+			t.Error("children retain events after merge")
+		}
+	}
+}
+
+func TestSplitSharedMetricsWriteThrough(t *testing.T) {
+	// A live recorder (ShareMetrics) hands children the shared registry:
+	// their updates land in the parent immediately, and MergeShards must not
+	// fold the same registry in again.
+	r := NewMetricsOnly()
+	r.ShareMetrics()
+	children := r.Split(2)
+	children[0].CountMsg(stats.ClassAck, 8, true)
+	children[1].CountMsg(stats.ClassAck, 8, true)
+	if got := r.MetricsSnapshot().MsgsInter[stats.ClassAck]; got != 2 {
+		t.Fatalf("live registry saw %d messages mid-run, want 2", got)
+	}
+	r.MergeShards(children)
+	if got := r.MetricsSnapshot().MsgsInter[stats.ClassAck]; got != 2 {
+		t.Fatalf("MergeShards double-counted shared registry: %d, want 2", got)
+	}
+}
+
+func TestSplitSamplingIndependentCounters(t *testing.T) {
+	r := New()
+	r.SetSample(2)
+	children := r.Split(2)
+	// Each child samples 1-in-2 with its own counter: the decision pattern
+	// per shard must not depend on the other shard's activity.
+	takes := []bool{children[0].Take(), children[0].Take(), children[0].Take(), children[0].Take()}
+	takesB := []bool{children[1].Take(), children[1].Take(), children[1].Take(), children[1].Take()}
+	for i := range takes {
+		if takes[i] != takesB[i] {
+			t.Fatalf("shard sampling depends on sibling activity: %v vs %v", takes, takesB)
+		}
+	}
+	n := 0
+	for _, took := range takes {
+		if took {
+			n++
+		}
+	}
+	if n != 2 {
+		t.Fatalf("1-in-2 sampling took %d of 4", n)
+	}
+}

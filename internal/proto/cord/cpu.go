@@ -473,7 +473,7 @@ func (c *cpu) onAck(m *ackMsg) {
 			c.PS.ReleaseLatency.Add(lat)
 			delete(c.relIssued, m.Ep)
 		}
-		if rec := c.Sys.Obs; rec.Take() {
+		if rec := c.Obs; rec.Take() {
 			rec.Record(obs.Event{At: c.Now(), Kind: obs.KRelAck,
 				Src: c.ID.Obs(), Seq: m.Ep, Dur: lat})
 		}

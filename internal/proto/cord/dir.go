@@ -74,7 +74,7 @@ func (d *dir) handle(src noc.NodeID, payload any) {
 	case *notifyMsg:
 		d.onNotify(m)
 	case *wbMsg:
-		d.Sys.Eng.Schedule(d.Sys.Timing.CommitLatency(), func() {
+		d.Eng.Schedule(d.Sys.Timing.CommitLatency(), func() {
 			d.CommitValue(m.Addr, m.Value)
 			d.Sys.Net.Send(d.ID, m.Src, stats.ClassAck, proto.AckBytes, &wbAckMsg{Tag: m.Tag})
 		})
@@ -92,12 +92,12 @@ func (d *dir) onRelaxed(m *relaxedMsg) {
 	if d.st.NoteRelaxed(d.pix(m.Src), m.Ep) {
 		d.occCnt.Inc()
 	}
-	if rec := d.Sys.Obs; rec.Take() {
+	if rec := d.Obs; rec.Take() {
 		// The store is directory-ordered the moment its counter bumps.
-		rec.Record(obs.Event{At: d.Sys.Eng.Now(), Kind: obs.KOrdered,
+		rec.Record(obs.Event{At: d.Eng.Now(), Kind: obs.KOrdered,
 			Src: d.ID.Obs(), Dst: m.Src.Obs(), Seq: m.Ep, Addr: uint64(m.Addr)})
 	}
-	d.Sys.Eng.Schedule(d.Sys.Timing.CommitLatency(), func() {
+	d.Eng.Schedule(d.Sys.Timing.CommitLatency(), func() {
 		if m.Atomic {
 			old := d.FetchAdd(m.Addr, m.Value)
 			d.Sys.Net.Send(d.ID, m.Src, stats.ClassAtomicResp, proto.AckBytes+8,
@@ -132,10 +132,10 @@ func (d *dir) onRelease(m *releaseMsg) {
 // noteRetry records a recycle-buffer admission: the depth for the metrics
 // registry and, when sampled, a KRetry event.
 func (d *dir) noteRetry(class stats.MsgClass, src noc.NodeID, ep uint64) {
-	rec := d.Sys.Obs
+	rec := d.Obs
 	rec.DirDepth(d.st.Buffered())
 	if rec.Take() {
-		rec.Record(obs.Event{At: d.Sys.Eng.Now(), Kind: obs.KRetry,
+		rec.Record(obs.Event{At: d.Eng.Now(), Kind: obs.KRetry,
 			Src: d.ID.Obs(), Dst: src.Obs(), Class: class, Seq: ep})
 	}
 }
@@ -144,7 +144,7 @@ func (d *dir) noteRetry(class stats.MsgClass, src noc.NodeID, ep uint64) {
 // latency out; the core rule applies the table effects at that point, and
 // the acknowledgment leaves for the issuing core.
 func (d *dir) commitRelease(cm core.Msg) {
-	d.Sys.Eng.Schedule(d.Sys.Timing.CommitLatency(), func() {
+	d.Eng.Schedule(d.Sys.Timing.CommitLatency(), func() {
 		switch {
 		case cm.Atomic:
 			d.FetchAdd(memsys.Addr(cm.Addr), cm.Val)
@@ -166,8 +166,8 @@ func (d *dir) commitRelease(cm core.Msg) {
 		if cm.Atomic {
 			class, size = stats.ClassAtomicResp, proto.AckBytes+8
 		}
-		if rec := d.Sys.Obs; rec.Take() {
-			rec.Record(obs.Event{At: d.Sys.Eng.Now(), Kind: obs.KRelCommit,
+		if rec := d.Obs; rec.Take() {
+			rec.Record(obs.Event{At: d.Eng.Now(), Kind: obs.KRelCommit,
 				Src: d.ID.Obs(), Dst: src.Obs(), Seq: cm.Ep, Addr: cm.Addr})
 		}
 		d.Sys.Net.Send(d.ID, src, class, size, &ackMsg{Ep: cm.Ep})
@@ -214,8 +214,8 @@ func (d *dir) serveNotify(cm core.Msg) {
 // wireNotify sends a core-emitted notification to its destination directory.
 func (d *dir) wireNotify(out core.Msg) {
 	dst := noc.DirID(out.Dir/d.tiles, out.Dir%d.tiles)
-	if rec := d.Sys.Obs; rec.Take() {
-		rec.Record(obs.Event{At: d.Sys.Eng.Now(), Kind: obs.KNotify,
+	if rec := d.Obs; rec.Take() {
+		rec.Record(obs.Event{At: d.Eng.Now(), Kind: obs.KNotify,
 			Src: d.ID.Obs(), Dst: dst.Obs(), Seq: out.Ep})
 	}
 	d.Sys.Net.Send(d.ID, dst, stats.ClassNotify, proto.NotifyBytes,

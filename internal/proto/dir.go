@@ -4,6 +4,7 @@ import (
 	"cord/internal/memsys"
 	"cord/internal/noc"
 	"cord/internal/obs"
+	"cord/internal/sim"
 	"cord/internal/stats"
 )
 
@@ -14,6 +15,10 @@ type DirBase struct {
 	Sys   *System
 	ID    noc.NodeID
 	Store *memsys.Store
+	// Eng and Obs are the slice's host-shard engine and recorder, cached at
+	// InitBase (see ProcBase).
+	Eng *sim.Engine
+	Obs *obs.Recorder
 
 	waiters map[memsys.Addr][]pollWaiter
 }
@@ -27,6 +32,8 @@ type pollWaiter struct {
 func (d *DirBase) InitBase(sys *System, id noc.NodeID) {
 	d.Sys = sys
 	d.ID = id
+	d.Eng = sys.EngOf(id.Host)
+	d.Obs = sys.ObsOf(id.Host)
 	d.Store = memsys.NewStore()
 	d.waiters = make(map[memsys.Addr][]pollWaiter)
 	if sys.stores != nil {
@@ -42,8 +49,8 @@ func (d *DirBase) CommitValue(addr memsys.Addr, v uint64) {
 	if cur := d.Store.Read(addr); v > cur {
 		d.Store.Write(addr, v)
 	}
-	if rec := d.Sys.Obs; rec.Take() {
-		rec.Record(obs.Event{At: d.Sys.Eng.Now(), Kind: obs.KCommit,
+	if rec := d.Obs; rec.Take() {
+		rec.Record(obs.Event{At: d.Eng.Now(), Kind: obs.KCommit,
 			Src: d.ID.Obs(), Addr: uint64(addr), Seq: v})
 	}
 	d.wake(addr)
@@ -80,7 +87,7 @@ func (d *DirBase) respond(req *LoadReq, val uint64) {
 // until a commit satisfies it. Protocol directory handlers route LoadReq
 // messages here.
 func (d *DirBase) HandleLoadReq(m *LoadReq) {
-	d.Sys.Eng.Schedule(d.Sys.Timing.LLCCycles, func() {
+	d.Eng.Schedule(d.Sys.Timing.LLCCycles, func() {
 		if val := d.Store.Read(m.Addr); val >= m.Want {
 			d.respond(m, val)
 			return

@@ -78,7 +78,7 @@ func runMicro(t testing.TB, b proto.Builder, rounds int) (uint64, float64, float
 	}
 	wall := time.Since(start)
 	runtime.ReadMemStats(&m1)
-	n := sys.Eng.Executed()
+	n := sys.Executed()
 	return n, float64(m1.Mallocs-m0.Mallocs) / float64(n),
 		float64(wall.Nanoseconds()) / float64(n)
 }
@@ -146,7 +146,7 @@ func BenchmarkAdapterExec(b *testing.B) {
 				if _, err := proto.Exec(sys, bl, cores, progs); err != nil {
 					b.Fatal(err)
 				}
-				events += sys.Eng.Executed()
+				events += sys.Executed()
 			}
 			b.StopTimer()
 			if events > 0 {

@@ -25,6 +25,7 @@ import (
 	"cord/internal/obs"
 	"cord/internal/proto"
 	"cord/internal/proto/core"
+	"cord/internal/sim"
 	"cord/internal/stats"
 )
 
@@ -77,8 +78,12 @@ type orderer struct {
 	sys   *proto.System
 	host  int
 	tiles int
-	st    core.MPOrderer
-	dirs  map[int]*dir // by slice
+	// eng and obs are the host shard's engine and recorder (see
+	// proto.ProcBase); the orderer is host-resident state.
+	eng  *sim.Engine
+	obs  *obs.Recorder
+	st   core.MPOrderer
+	dirs map[int]*dir // by slice
 	// flights correlates a parked flushing read back to its wire request.
 	// Tags are per-CPU counters, so the key must include the source.
 	flights map[flightKey]*flushReq
@@ -94,6 +99,8 @@ func newOrderer(sys *proto.System, host int) *orderer {
 	return &orderer{
 		sys:     sys,
 		host:    host,
+		eng:     sys.EngOf(host),
+		obs:     sys.ObsOf(host),
 		tiles:   nc.TilesPerHost,
 		st:      core.NewMPOrderer(nc.Hosts * nc.TilesPerHost),
 		dirs:    make(map[int]*dir),
@@ -114,10 +121,10 @@ func (o *orderer) submit(m *mpStore, at *dir) {
 		func(f core.Msg) { o.respondFlush(o.takeFlight(f)) })
 	if !inOrder {
 		// Out-of-order arrival: held at the ordering point until the gap fills.
-		rec := o.sys.Obs
+		rec := o.obs
 		rec.DirDepth(o.st.PendingFor(cm.Src))
 		if rec.Take() {
-			rec.Record(obs.Event{At: o.sys.Eng.Now(), Kind: obs.KRetry,
+			rec.Record(obs.Event{At: o.eng.Now(), Kind: obs.KRetry,
 				Src: at.ID.Obs(), Dst: m.Src.Obs(), Class: stats.ClassRelaxedData,
 				Seq: m.Seq})
 		}
@@ -138,9 +145,9 @@ func (o *orderer) takeFlight(f core.Msg) *flushReq {
 // respondFlush completes a flushing read after the commit pipeline drains
 // (one LLC commit latency), from the host's port slice.
 func (o *orderer) respondFlush(f *flushReq) {
-	o.sys.Eng.Schedule(o.sys.Timing.CommitLatency(), func() {
-		if rec := o.sys.Obs; rec.Take() {
-			rec.Record(obs.Event{At: o.sys.Eng.Now(), Kind: obs.KNotify,
+	o.eng.Schedule(o.sys.Timing.CommitLatency(), func() {
+		if rec := o.obs; rec.Take() {
+			rec.Record(obs.Event{At: o.eng.Now(), Kind: obs.KNotify,
 				Src: noc.DirID(o.host, 0).Obs(), Dst: f.Src.Obs(), Seq: f.Tag})
 		}
 		o.sys.Net.Send(noc.DirID(o.host, 0), f.Src, stats.ClassAck,
@@ -177,7 +184,7 @@ func (d *dir) handle(_ noc.NodeID, payload any) {
 }
 
 func (d *dir) commit(m core.Msg) {
-	d.Sys.Eng.Schedule(d.Sys.Timing.CommitLatency(), func() {
+	d.Eng.Schedule(d.Sys.Timing.CommitLatency(), func() {
 		if m.Atomic {
 			old := d.FetchAdd(memsys.Addr(m.Addr), m.Val)
 			src := noc.CoreID(m.Src/d.ord.tiles, m.Src%d.ord.tiles)
@@ -215,7 +222,7 @@ func (c *cpu) handle(_ noc.NodeID, payload any) {
 			panic("mp: unknown flush tag")
 		}
 		delete(c.inflight, m.Tag)
-		if rec := c.Sys.Obs; rec.Take() {
+		if rec := c.Obs; rec.Take() {
 			rec.Record(obs.Event{At: c.Now(), Kind: obs.KRelAck,
 				Src: c.ID.Obs(), Seq: m.Tag})
 		}

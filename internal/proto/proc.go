@@ -40,6 +40,11 @@ type ProcBase struct {
 	Sys *System
 	ID  noc.NodeID
 	PS  *stats.ProcStats
+	// Eng and Obs are the core's host-shard engine and recorder, cached at
+	// InitBase so the hot path never routes through Sys (which in a
+	// partitioned system would alias another shard's clock).
+	Eng *sim.Engine
+	Obs *obs.Recorder
 
 	// Exec performs a store or barrier op and calls next() when the core may
 	// proceed to the following op in program order. The protocol sets it.
@@ -57,6 +62,8 @@ func (p *ProcBase) InitBase(sys *System, id noc.NodeID, ps *stats.ProcStats) {
 	p.Sys = sys
 	p.ID = id
 	p.PS = ps
+	p.Eng = sys.EngOf(id.Host)
+	p.Obs = sys.ObsOf(id.Host)
 	p.acquires = make(map[uint64]func())
 }
 
@@ -66,10 +73,10 @@ func (p *ProcBase) Start(prog Program) {
 	p.pc = 0
 	p.done = len(prog) == 0
 	if p.done {
-		p.PS.Finished = p.Sys.Eng.Now()
+		p.PS.Finished = p.Eng.Now()
 		return
 	}
-	p.Sys.Eng.Schedule(0, p.Step)
+	p.Eng.Schedule(0, p.Step)
 }
 
 // Done reports whether the program has retired.
@@ -81,7 +88,7 @@ func (p *ProcBase) Step() {
 	if p.pc >= len(p.prog) {
 		if !p.done {
 			p.done = true
-			p.PS.Finished = p.Sys.Eng.Now()
+			p.PS.Finished = p.Eng.Now()
 		}
 		return
 	}
@@ -89,12 +96,12 @@ func (p *ProcBase) Step() {
 	opSeq := uint64(p.pc)
 	p.pc++
 	p.PS.Ops++
-	next := func() { p.Sys.Eng.Schedule(IssueCycles, p.Step) }
-	if rec := p.Sys.Obs; rec.Take() {
+	next := func() { p.Eng.Schedule(IssueCycles, p.Step) }
+	if rec := p.Obs; rec.Take() {
 		// One sampling decision covers the op's whole lifecycle: issue now,
 		// done when the protocol releases the core. Compute ops are a single
 		// issue event carrying their (known) duration.
-		issued := p.Sys.Eng.Now()
+		issued := p.Eng.Now()
 		src := p.ID.Obs()
 		ev := obs.Event{At: issued, Kind: obs.KOpIssue, Src: src, Seq: opSeq,
 			Addr: uint64(op.Addr), Op: uint8(op.Kind), Ord: uint8(op.Ord)}
@@ -105,7 +112,7 @@ func (p *ProcBase) Step() {
 		if op.Kind != OpCompute {
 			inner := next
 			next = func() {
-				now := p.Sys.Eng.Now()
+				now := p.Eng.Now()
 				rec.Record(obs.Event{At: now, Kind: obs.KOpDone, Src: src,
 					Seq: opSeq, Addr: uint64(op.Addr), Dur: now - issued,
 					Op: uint8(op.Kind), Ord: uint8(op.Ord)})
@@ -116,7 +123,7 @@ func (p *ProcBase) Step() {
 	switch op.Kind {
 	case OpCompute:
 		p.PS.ComputeCyc += op.Cycles
-		p.Sys.Eng.Schedule(op.Cycles, p.Step)
+		p.Eng.Schedule(op.Cycles, p.Step)
 	case OpAcquire:
 		p.beginAcquire(op, next)
 	case OpStoreWT, OpStoreWB, OpBarrier, OpAtomic:
@@ -139,13 +146,13 @@ func (p *ProcBase) Step() {
 // beginAcquire sends the poll request and blocks the core until the response
 // arrives, charging the wait to StallAcquire.
 func (p *ProcBase) beginAcquire(op Op, next func()) {
-	start := p.Sys.Eng.Now()
+	start := p.Eng.Now()
 	tag := p.nextTag
 	p.nextTag++
 	p.acquires[tag] = func() {
-		d := p.Sys.Eng.Now() - start
+		d := p.Eng.Now() - start
 		p.PS.AddStall(stats.StallAcquire, d)
-		p.Sys.Obs.AddStall(stats.StallAcquire, d)
+		p.Obs.AddStall(stats.StallAcquire, d)
 		next()
 	}
 	home := p.Sys.Map.HomeOf(op.Addr)
@@ -169,19 +176,19 @@ func (p *ProcBase) HandleLoadResp(m *LoadResp) {
 // When tracing is on, the stall is bracketed by KStallBegin/KStallEnd events
 // under one sampling decision.
 func (p *ProcBase) StallUntil(kind stats.StallKind, resume func()) func() {
-	start := p.Sys.Eng.Now()
-	rec := p.Sys.Obs
+	start := p.Eng.Now()
+	rec := p.Obs
 	traced := rec.Take()
 	if traced {
 		rec.Record(obs.Event{At: start, Kind: obs.KStallBegin,
 			Src: p.ID.Obs(), Seq: uint64(kind)})
 	}
 	return func() {
-		d := p.Sys.Eng.Now() - start
+		d := p.Eng.Now() - start
 		p.PS.AddStall(kind, d)
 		rec.AddStall(kind, d)
 		if traced {
-			rec.Record(obs.Event{At: p.Sys.Eng.Now(), Kind: obs.KStallEnd,
+			rec.Record(obs.Event{At: p.Eng.Now(), Kind: obs.KStallEnd,
 				Src: p.ID.Obs(), Seq: uint64(kind), Dur: d})
 		}
 		resume()
@@ -189,4 +196,4 @@ func (p *ProcBase) StallUntil(kind stats.StallKind, resume func()) func() {
 }
 
 // Now is shorthand for the engine clock.
-func (p *ProcBase) Now() sim.Time { return p.Sys.Eng.Now() }
+func (p *ProcBase) Now() sim.Time { return p.Eng.Now() }

@@ -38,7 +38,7 @@ func (nullProto) Build(sys *System, cores []noc.NodeID) []CPU {
 			case *LoadReq:
 				d.HandleLoadReq(m)
 			case *nullStore:
-				sys.Eng.Schedule(sys.Timing.CommitLatency(), func() { d.CommitValue(m.Addr, m.Value) })
+				d.Eng.Schedule(sys.Timing.CommitLatency(), func() { d.CommitValue(m.Addr, m.Value) })
 			default:
 				panic("nullDir: unexpected message")
 			}

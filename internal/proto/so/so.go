@@ -225,7 +225,7 @@ func (c *cpu) onAck(m *ackMsg) {
 		lat := c.Now() - at
 		c.PS.ReleaseLatency.Add(lat)
 		delete(c.relSent, m.Tag)
-		if rec := c.Sys.Obs; rec.Take() {
+		if rec := c.Obs; rec.Take() {
 			rec.Record(obs.Event{At: c.Now(), Kind: obs.KRelAck,
 				Src: c.ID.Obs(), Seq: m.Tag, Dur: lat})
 		}
@@ -332,7 +332,7 @@ func (d *dir) handle(_ noc.NodeID, payload any) {
 	case *proto.LoadReq:
 		d.HandleLoadReq(m)
 	case *storeMsg:
-		d.Sys.Eng.Schedule(d.Sys.Timing.CommitLatency(), func() {
+		d.Eng.Schedule(d.Sys.Timing.CommitLatency(), func() {
 			var old uint64
 			class := stats.ClassAck
 			size := proto.AckBytes
@@ -344,8 +344,8 @@ func (d *dir) handle(_ noc.NodeID, payload any) {
 				d.CommitValue(m.Addr, m.Value)
 			}
 			if m.Release {
-				if rec := d.Sys.Obs; rec.Take() {
-					rec.Record(obs.Event{At: d.Sys.Eng.Now(), Kind: obs.KRelCommit,
+				if rec := d.Obs; rec.Take() {
+					rec.Record(obs.Event{At: d.Eng.Now(), Kind: obs.KRelCommit,
 						Src: d.ID.Obs(), Dst: m.Src.Obs(), Seq: m.Tag, Addr: uint64(m.Addr)})
 				}
 			}

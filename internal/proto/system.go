@@ -48,8 +48,23 @@ func (m Mode) String() string {
 }
 
 // System bundles the simulation substrate one protocol instance runs on.
+//
+// Single-host topologies run on one sim.Engine exactly as before. Multi-host
+// topologies are partitioned: one engine per host, advanced by a sim.Cluster
+// in conservative windows of the interconnect's lookahead, with the network
+// buffering cross-host messages between windows. Components therefore never
+// touch Eng/Obs directly for per-host work — they cache their host's engine
+// and recorder via EngOf/ObsOf (see ProcBase/DirBase.InitBase).
 type System struct {
-	Eng    *sim.Engine
+	// Eng is shard 0's engine — the sole engine when Hosts == 1, and the
+	// clock build-time (pre-run) code may schedule against either way.
+	Eng *sim.Engine
+	// Cluster is the windowed multi-engine scheduler; nil when Hosts == 1.
+	Cluster *sim.Cluster
+	// Workers bounds how many host shards execute a window concurrently
+	// (<= 1 means serial; results are identical for every value).
+	Workers int
+
 	Net    *noc.Network
 	Map    *memsys.Map
 	Timing memsys.Timing
@@ -59,26 +74,70 @@ type System struct {
 	// event tracing and metrics with no overhead beyond nil checks.
 	Obs *obs.Recorder
 
+	// recs are Obs's per-shard children in a partitioned observed run,
+	// merged back into Obs at the end of Exec.
+	recs []*obs.Recorder
+	// shardTraffic is the per-shard traffic matrix in a partitioned run,
+	// folded into Run.Traffic at the end of Exec.
+	shardTraffic []stats.Traffic
+
 	// stores indexes every directory slice's LLC store, registered by
 	// DirBase.InitBase, so tests can read back final memory (ReadMem).
 	stores map[noc.NodeID]*memsys.Store
 }
 
-// NewSystem wires an engine, network, and address map for the given
-// interconnect configuration.
+// NewSystem wires an engine (or, for multi-host topologies, one engine per
+// host), network, and address map for the given interconnect configuration.
 func NewSystem(seed int64, nc noc.Config, mode Mode) *System {
-	eng := sim.NewEngine(seed)
 	run := &stats.Run{}
-	net := noc.New(eng, nc, &run.Traffic)
-	return &System{
-		Eng:    eng,
-		Net:    net,
+	s := &System{
 		Map:    memsys.NewMap(nc.Hosts, nc.TilesPerHost),
 		Timing: memsys.DefaultTiming(),
 		Mode:   mode,
 		Run:    run,
 		stores: make(map[noc.NodeID]*memsys.Store),
 	}
+	if nc.Hosts <= 1 {
+		s.Eng = sim.NewEngine(seed)
+		s.Net = noc.New(s.Eng, nc, &run.Traffic)
+		return s
+	}
+	s.Cluster = sim.NewCluster(seed, nc.Hosts, nc.Lookahead())
+	s.Eng = s.Cluster.Engine(0)
+	s.shardTraffic = make([]stats.Traffic, nc.Hosts)
+	traffics := make([]*stats.Traffic, nc.Hosts)
+	for i := range traffics {
+		traffics[i] = &s.shardTraffic[i]
+	}
+	s.Net = noc.NewPartitioned(s.Cluster.Engines(), nc, traffics)
+	return s
+}
+
+// EngOf returns the engine that executes host's events: the host's shard in
+// a partitioned system, the sole engine otherwise.
+func (s *System) EngOf(host int) *sim.Engine {
+	if s.Cluster != nil {
+		return s.Cluster.Engine(host)
+	}
+	return s.Eng
+}
+
+// ObsOf returns the recorder host-resident components record into: the
+// host's shard child in an observed partitioned run, Obs otherwise (possibly
+// nil — all recorder methods are nil-safe).
+func (s *System) ObsOf(host int) *obs.Recorder {
+	if s.recs != nil {
+		return s.recs[host]
+	}
+	return s.Obs
+}
+
+// Executed sums the events fired across all engines.
+func (s *System) Executed() uint64 {
+	if s.Cluster != nil {
+		return s.Cluster.Executed()
+	}
+	return s.Eng.Executed()
 }
 
 // ReadMem reads the committed value of addr from its home directory slice's
@@ -94,15 +153,38 @@ func (s *System) ReadMem(a memsys.Addr) uint64 {
 }
 
 // Observe attaches an observability recorder to the system: protocol engines
-// read s.Obs, the network counts and traces every message, and the simulation
-// engine reports event-queue occupancy. Call before Exec. A nil rec detaches.
+// read their host's recorder (ObsOf), the network counts and traces every
+// message, and each simulation engine reports event-queue occupancy. In a
+// partitioned system the recorder is split into one lock-free child per host
+// shard; Exec merges them back deterministically. Call before Exec (protocol
+// builders cache per-host recorders at build time). A nil rec detaches.
 func (s *System) Observe(rec *obs.Recorder) {
 	s.Obs = rec
-	s.Net.SetObserver(rec)
-	if rec != nil && rec.Metrics() != nil {
-		s.Eng.SetHook(func(_ sim.Time, pending int) { rec.EngineDepth(pending) })
-	} else {
-		s.Eng.SetHook(nil)
+	if s.Cluster == nil {
+		s.Net.SetObserver(rec)
+		if rec != nil && rec.Metrics() != nil {
+			s.Eng.SetHook(func(_ sim.Time, pending int) { rec.EngineDepth(pending) })
+		} else {
+			s.Eng.SetHook(nil)
+		}
+		return
+	}
+	if rec == nil {
+		s.recs = nil
+		s.Net.SetObservers(nil)
+		for _, e := range s.Cluster.Engines() {
+			e.SetHook(nil)
+		}
+		return
+	}
+	s.recs = rec.Split(s.Cluster.Shards())
+	s.Net.SetObservers(s.recs)
+	for i, e := range s.Cluster.Engines() {
+		if r := s.recs[i]; r.Metrics() != nil {
+			e.SetHook(func(_ sim.Time, pending int) { r.EngineDepth(pending) })
+		} else {
+			e.SetHook(nil)
+		}
 	}
 }
 
@@ -157,8 +239,21 @@ func Exec(sys *System, b Builder, cores []noc.NodeID, progs []Program) (*stats.R
 	for i, c := range cpus {
 		c.Start(progs[i])
 	}
-	if err := sys.Eng.Run(); err != nil {
-		return nil, fmt.Errorf("proto: %s: %w", b.Name(), err)
+	if sys.Cluster == nil {
+		if err := sys.Eng.Run(); err != nil {
+			return nil, fmt.Errorf("proto: %s: %w", b.Name(), err)
+		}
+	} else {
+		if err := sys.Cluster.Run(sys.Workers, sys.Net); err != nil {
+			return nil, fmt.Errorf("proto: %s: %w", b.Name(), err)
+		}
+		for i := range sys.shardTraffic {
+			sys.Run.Traffic.Merge(&sys.shardTraffic[i])
+			sys.shardTraffic[i] = stats.Traffic{}
+		}
+		if sys.Obs != nil {
+			sys.Obs.MergeShards(sys.recs)
+		}
 	}
 	var finish sim.Time
 	for i, c := range cpus {

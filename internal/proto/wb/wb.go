@@ -184,7 +184,7 @@ func (c *cpu) execStore(op proto.Op, next func()) {
 		c.st.RecordDirty(uint64(line), uint64(op.Addr), op.Value)
 		c.hitToggle = !c.hitToggle
 		if c.hitToggle {
-			c.Sys.Eng.Schedule(0, c.Step)
+			c.Eng.Schedule(0, c.Step)
 		} else {
 			next()
 		}
@@ -269,12 +269,12 @@ func (d *dir) handle(_ noc.NodeID, payload any) {
 	case *getM:
 		// Ownership grant without a data fill: producer buffers have no
 		// remote sharer between flushes, so the grant is a control message.
-		d.Sys.Eng.Schedule(d.Sys.Timing.LLCCycles, func() {
+		d.Eng.Schedule(d.Sys.Timing.LLCCycles, func() {
 			d.Sys.Net.Send(d.ID, m.Src, stats.ClassOwnData,
 				proto.HeaderBytes, &fill{Line: m.Line})
 		})
 	case *wbData:
-		d.Sys.Eng.Schedule(d.Sys.Timing.CommitLatency(), func() {
+		d.Eng.Schedule(d.Sys.Timing.CommitLatency(), func() {
 			addrs := make([]uint64, 0, len(m.Vals))
 			for a := range m.Vals {
 				addrs = append(addrs, a)
@@ -286,7 +286,7 @@ func (d *dir) handle(_ noc.NodeID, payload any) {
 			d.Sys.Net.Send(d.ID, m.Src, stats.ClassAck, proto.AckBytes, &ackMsg{Tag: m.Tag})
 		})
 	case *flagStore:
-		d.Sys.Eng.Schedule(d.Sys.Timing.CommitLatency(), func() {
+		d.Eng.Schedule(d.Sys.Timing.CommitLatency(), func() {
 			class, size := stats.ClassAck, proto.AckBytes
 			if m.Atomic {
 				d.FetchAdd(m.Addr, m.Value)
@@ -295,8 +295,8 @@ func (d *dir) handle(_ noc.NodeID, payload any) {
 				d.CommitValue(m.Addr, m.Value)
 			}
 			if !m.Atomic {
-				if rec := d.Sys.Obs; rec.Take() {
-					rec.Record(obs.Event{At: d.Sys.Eng.Now(), Kind: obs.KRelCommit,
+				if rec := d.Obs; rec.Take() {
+					rec.Record(obs.Event{At: d.Eng.Now(), Kind: obs.KRelCommit,
 						Src: d.ID.Obs(), Dst: m.Src.Obs(), Seq: m.Tag, Addr: uint64(m.Addr)})
 				}
 			}

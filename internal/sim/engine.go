@@ -356,6 +356,31 @@ func (e *Engine) ScheduleDeliver(delay Time, fn DeliverFunc, src uint64, payload
 	e.enqueue(e.now+delay, idx)
 }
 
+// ScheduleDeliverAt is ScheduleDeliver at an absolute time: the cluster
+// scheduler uses it to inject cross-shard message arrivals at the timestamp
+// the source shard computed. Like ScheduleAt, scheduling in the past panics.
+func (e *Engine) ScheduleDeliverAt(at Time, fn DeliverFunc, src uint64, payload any) {
+	if at < e.now {
+		panic(fmt.Sprintf("sim: ScheduleDeliverAt(%d) before now (%d)", at, e.now))
+	}
+	idx := e.allocSlot()
+	s := &e.slots[idx]
+	s.deliver = fn
+	s.src = src
+	s.payload = payload
+	e.enqueue(at, idx)
+}
+
+// NextAt returns the timestamp of the earliest queued event, or false when
+// the queue is empty. The cluster scheduler uses it to compute the global
+// minimum next-event time that anchors each conservative window.
+func (e *Engine) NextAt() (Time, bool) {
+	if e.nearCount+len(e.heap) == 0 {
+		return 0, false
+	}
+	return e.peek(), true
+}
+
 // Stop makes Run return after the currently executing event completes.
 func (e *Engine) Stop() { e.stopped = true }
 

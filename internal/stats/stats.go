@@ -84,6 +84,18 @@ func (t *Traffic) Add(class MsgClass, bytes int, interHost bool) {
 	}
 }
 
+// Merge folds other's counters into t. Traffic is a pure accumulator, so
+// per-shard instances merged in any order equal a single shared instance —
+// the property the host-partitioned engine relies on.
+func (t *Traffic) Merge(other *Traffic) {
+	for c := 0; c < NumClasses; c++ {
+		t.InterBytes[c] += other.InterBytes[c]
+		t.IntraBytes[c] += other.IntraBytes[c]
+		t.InterMsgs[c] += other.InterMsgs[c]
+		t.IntraMsgs[c] += other.IntraMsgs[c]
+	}
+}
+
 // TotalInter returns total inter-host bytes, the paper's headline traffic
 // metric.
 func (t *Traffic) TotalInter() uint64 {

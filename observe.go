@@ -76,6 +76,7 @@ func SimulateObserved(w Workload, p Protocol, s System, opt TraceOptions) (*Resu
 		rec.SetSample(opt.Sample)
 	}
 	sys := proto.NewSystem(s.Seed, nc, s.mode())
+	sys.Workers = s.SimWorkers
 	sys.Observe(rec)
 	run, err := proto.Exec(sys, b, cores, progs)
 	if err != nil {
