@@ -8,6 +8,7 @@ import (
 	"time"
 
 	"cord/internal/exp"
+	rt "cord/internal/obs/runtime"
 	"cord/internal/proto"
 	"cord/internal/sim"
 	"cord/internal/workload"
@@ -32,7 +33,10 @@ type kernelResult struct {
 // same partitioned simulation at a given worker count. Speedup is relative
 // to the 1-worker row of the same topology; on a single-core machine it
 // measures scheduling overhead, not parallelism — which is why NumCPU is
-// recorded alongside.
+// recorded alongside. The efficiency columns come from the runtime telemetry
+// collector riding the run and attribute the gap to 8x: what fraction of the
+// window capacity did useful work, and whether the loss was barrier
+// imbalance, steal/start lag, or the single-threaded cross-host merge.
 type parallelResult struct {
 	Hosts        int     `json:"hosts"`
 	Workers      int     `json:"workers"`
@@ -40,6 +44,13 @@ type parallelResult struct {
 	WallMs       float64 `json:"wall_ms"`
 	EventsPerSec float64 `json:"events_per_sec"`
 	Speedup      float64 `json:"speedup_vs_1_worker"`
+
+	Windows     uint64  `json:"windows"`
+	Efficiency  float64 `json:"efficiency"`
+	LostBarrier float64 `json:"lost_barrier"`
+	LostSteal   float64 `json:"lost_steal"`
+	LostMerge   float64 `json:"lost_merge"`
+	Dominant    string  `json:"dominant_loss"`
 }
 
 // kernelReport is the machine-readable benchmark artifact committed as
@@ -152,18 +163,27 @@ func benchParallel(hosts, workers int) (parallelResult, error) {
 	}
 	sys := proto.NewSystem(42, nc, proto.RC)
 	sys.Workers = workers
+	col := rt.NewCollector(hosts)
+	sys.AttachRuntime(col)
 	start := time.Now()
 	if _, err := proto.Exec(sys, exp.Builder(exp.SchemeCORD), cores, progs); err != nil {
 		return parallelResult{}, err
 	}
 	wall := time.Since(start)
 	n := sys.Executed()
+	sc := rt.Analyze(col.Snapshot())
 	return parallelResult{
 		Hosts:        hosts,
 		Workers:      workers,
 		Events:       n,
 		WallMs:       float64(wall.Nanoseconds()) / 1e6,
 		EventsPerSec: float64(n) / wall.Seconds(),
+		Windows:      sc.Windows,
+		Efficiency:   sc.Efficiency,
+		LostBarrier:  sc.LostBarrier,
+		LostSteal:    sc.LostSteal,
+		LostMerge:    sc.LostMerge,
+		Dominant:     sc.Dominant,
 	}, nil
 }
 
@@ -201,8 +221,9 @@ func kernelBench(path string) error {
 				r.Speedup = base / r.WallMs
 			}
 			rep.Parallel = append(rep.Parallel, r)
-			fmt.Fprintf(os.Stderr, "parallel: %3d hosts %2d workers %8d events  %5.2f Mevents/s  %.2fx vs 1 worker\n",
-				r.Hosts, r.Workers, r.Events, r.EventsPerSec/1e6, r.Speedup)
+			fmt.Fprintf(os.Stderr, "parallel: %3d hosts %2d workers %8d events  %5.2f Mevents/s  %.2fx vs 1 worker  eff %4.1f%% (%s-bound)\n",
+				r.Hosts, r.Workers, r.Events, r.EventsPerSec/1e6, r.Speedup,
+				r.Efficiency*100, r.Dominant)
 		}
 	}
 	out, err := json.MarshalIndent(rep, "", "  ")

@@ -20,6 +20,7 @@ import (
 	"cord"
 	"cord/internal/obs"
 	"cord/internal/obs/live"
+	rt "cord/internal/obs/runtime"
 )
 
 func main() {
@@ -47,8 +48,9 @@ func main() {
 		traceOut    = flag.String("trace-out", "", "write a Chrome trace_event JSON (Perfetto-loadable) of protocol events to this file, plus a .jsonl event stream alongside")
 		traceSample = flag.Int("trace-sample", 1, "record 1-in-N traced transactions (deterministic; metrics stay complete)")
 		metricsOut  = flag.String("metrics-out", "", "write the observability metrics registry as JSON to this file")
-		httpAddr    = flag.String("http", "", "serve live introspection (/metrics, /progress, /debug/pprof) on this address, e.g. localhost:6060")
+		httpAddr    = flag.String("http", "", "serve live introspection (/metrics, /progress, /runtime, /debug/pprof) on this address, e.g. localhost:6060")
 		progressF   = flag.Bool("progress", false, "print progress lines to stderr while simulating")
+		runtimeOut  = flag.String("runtime-report", "", "write the simulator-runtime telemetry report (per-shard window timings, steal/barrier/merge attribution) as JSON to this file; analyze with 'cordtrace scaling'")
 	)
 	flag.Parse()
 
@@ -126,11 +128,39 @@ func main() {
 		return
 	}
 
+	// Simulator-runtime telemetry: collected whenever something will consume
+	// it (-runtime-report, the live server's /runtime + cord_sim_* families,
+	// or per-window progress units). Single-host systems have no parallel
+	// runtime to observe; -compare reuses one system per protocol, so the
+	// per-run report is only offered for single-protocol runs.
+	if *runtimeOut != "" && *compare {
+		fmt.Fprintln(os.Stderr, "cordsim: -runtime-report is per run; drop -compare")
+		os.Exit(1)
+	}
+	var col *rt.Collector
+	if sys.Hosts > 1 && !*compare &&
+		(*runtimeOut != "" || *httpAddr != "" || *progressF) {
+		col = rt.NewCollector(sys.Hosts)
+	}
+	if *runtimeOut != "" && col == nil {
+		fmt.Fprintln(os.Stderr, "cordsim: -runtime-report needs a multi-host run (-hosts > 1)")
+		os.Exit(1)
+	}
+
 	// Live introspection: -progress prints the shared tracker to stderr,
 	// -http additionally serves it (plus the metrics registry and pprof).
 	var prog *live.Progress
 	if *progressF || *httpAddr != "" {
 		prog = live.NewProgress()
+	}
+	if prog != nil && col != nil {
+		// Step the ETA in executed events, advanced once per window barrier.
+		prog.SetUnitLabel("events")
+		var last uint64
+		col.SetOnWindow(func(total uint64) {
+			prog.AddUnits(int64(total - last))
+			last = total
+		})
 	}
 	var rec *obs.Recorder
 	if *httpAddr != "" {
@@ -152,6 +182,7 @@ func main() {
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(1)
 		}
+		srv.SetRuntime(col)
 		srv.Start()
 		defer srv.Close()
 		fmt.Fprintf(os.Stderr, "live introspection on http://%s\n", srv.Addr())
@@ -161,7 +192,7 @@ func main() {
 		defer stop()
 	}
 	observed := func(p cord.Protocol, opt cord.TraceOptions) (*cord.Result, *cord.Observation, error) {
-		if opt.Recorder == nil && opt.Sample == 0 && !opt.MetricsOnly {
+		if opt.Recorder == nil && opt.Sample == 0 && !opt.MetricsOnly && opt.Runtime == nil {
 			r, err := cord.Simulate(w, p, sys)
 			return r, nil, err
 		}
@@ -213,9 +244,9 @@ func main() {
 		err error
 	)
 	if rec != nil {
-		r, o, err = observed(cord.Protocol(strings.ToUpper(*protoF)), cord.TraceOptions{Recorder: rec})
-	} else if *traceOut != "" || *metricsOut != "" {
-		opt := cord.TraceOptions{Sample: *traceSample, MetricsOnly: *traceOut == ""}
+		r, o, err = observed(cord.Protocol(strings.ToUpper(*protoF)), cord.TraceOptions{Recorder: rec, Runtime: col})
+	} else if *traceOut != "" || *metricsOut != "" || col != nil {
+		opt := cord.TraceOptions{Sample: *traceSample, MetricsOnly: *traceOut == "", Runtime: col}
 		r, o, err = observed(cord.Protocol(strings.ToUpper(*protoF)), opt)
 	} else {
 		r, err = cord.Simulate(w, cord.Protocol(strings.ToUpper(*protoF)), sys)
@@ -228,7 +259,12 @@ func main() {
 		prog.Step(1)
 	}
 	if o != nil {
-		writeObservation(o, *traceOut, *metricsOut)
+		writeObservation(o, *traceOut, *metricsOut, col)
+	}
+	if *runtimeOut != "" {
+		writeFile(*runtimeOut, func(w io.Writer) error { return col.Snapshot().WriteJSON(w) })
+		fmt.Printf("runtime report written to %s (analyze with: cordtrace scaling %s)\n",
+			*runtimeOut, *runtimeOut)
 	}
 	fmt.Printf("workload          %s\n", w.Name)
 	fmt.Printf("protocol          %s (%s, %s)\n", strings.ToUpper(*protoF), *fabric, model(*tso))
@@ -253,29 +289,39 @@ func model(tso bool) string {
 	return "RC"
 }
 
-// writeObservation exports the recorded events (Chrome trace + JSONL) and the
-// metrics registry to the requested files.
-func writeObservation(o *cord.Observation, traceOut, metricsOut string) {
-	write := func(path string, fn func(w io.Writer) error) {
-		f, err := os.Create(path)
-		if err != nil {
-			fmt.Fprintln(os.Stderr, err)
-			os.Exit(1)
-		}
-		if err := fn(f); err != nil {
-			fmt.Fprintln(os.Stderr, err)
-			os.Exit(1)
-		}
-		f.Close()
+// writeFile creates path and writes it with fn, exiting on error.
+func writeFile(path string, fn func(w io.Writer) error) {
+	f, err := os.Create(path)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
 	}
+	if err := fn(f); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	f.Close()
+}
+
+// writeObservation exports the recorded events (Chrome trace + JSONL) and the
+// metrics registry to the requested files. With a runtime collector attached,
+// the Chrome trace additionally carries the simulator-timeline track group —
+// the .json then embeds wall-clock data and is not byte-stable across runs,
+// while the .jsonl event stream stays deterministic.
+func writeObservation(o *cord.Observation, traceOut, metricsOut string, col *rt.Collector) {
 	if traceOut != "" {
-		write(traceOut, o.WriteChromeTrace)
+		if col != nil {
+			rep := col.Snapshot()
+			writeFile(traceOut, func(w io.Writer) error { return o.WriteChromeTraceRuntime(w, rep) })
+		} else {
+			writeFile(traceOut, o.WriteChromeTrace)
+		}
 		jsonl := strings.TrimSuffix(traceOut, ".json") + ".jsonl"
-		write(jsonl, o.WriteJSONL)
+		writeFile(jsonl, o.WriteJSONL)
 		fmt.Printf("trace written to %s (load in https://ui.perfetto.dev) and %s\n", traceOut, jsonl)
 	}
 	if metricsOut != "" {
-		write(metricsOut, o.WriteMetricsJSON)
+		writeFile(metricsOut, o.WriteMetricsJSON)
 		fmt.Printf("metrics written to %s\n", metricsOut)
 	}
 }

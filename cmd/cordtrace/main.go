@@ -9,6 +9,8 @@
 //	top       [-k 10] trace.jsonl     slowest releases with per-segment latency
 //	diff      a.jsonl b.jsonl         per-class traffic delta between two runs
 //	breakdown trace.jsonl...          Fig. 2-style breakdown row per trace
+//	scaling   report.json             parallel-efficiency attribution of a
+//	                                  cordsim -runtime-report snapshot
 //
 // All subcommands accept -csv for machine-readable output. Traces must be
 // recorded at -trace-sample 1 for the attribution to be exact; sampled traces
@@ -23,6 +25,7 @@ import (
 
 	"cord/internal/obs"
 	"cord/internal/obs/analyze"
+	rt "cord/internal/obs/runtime"
 )
 
 func usage() {
@@ -33,6 +36,8 @@ commands:
   top       trace.jsonl        slowest releases on the critical path (-k N)
   diff      a.jsonl b.jsonl    per-class traffic delta between two traces
   breakdown trace.jsonl...     compute/stall/traffic breakdown per trace
+  scaling   report.json        parallel efficiency + lost-speedup attribution
+                               from a cordsim -runtime-report snapshot
 
 flags (per command):
   -csv    emit CSV instead of aligned tables
@@ -56,6 +61,8 @@ func main() {
 		err = cmdDiff(args)
 	case "breakdown":
 		err = cmdBreakdown(args)
+	case "scaling":
+		err = cmdScaling(args)
 	case "-h", "--help", "help":
 		usage()
 	default:
@@ -171,6 +178,26 @@ func cmdDiff(args []string) error {
 	}
 	fmt.Printf("A = %s\nB = %s\n\n", fs.Arg(0), fs.Arg(1))
 	return analyze.WriteTrafficDiff(os.Stdout, rows)
+}
+
+func cmdScaling(args []string) error {
+	fs := flag.NewFlagSet("scaling", flag.ExitOnError)
+	csv := fs.Bool("csv", false, "emit per-bucket CSV")
+	fs.Parse(args)
+	if fs.NArg() != 1 {
+		return fmt.Errorf("scaling wants exactly one runtime report, got %d", fs.NArg())
+	}
+	rep, err := rt.LoadReport(fs.Arg(0))
+	if err != nil {
+		return err
+	}
+	if rep.Totals.Windows == 0 {
+		return fmt.Errorf("%s: no windows recorded (single-host run?)", fs.Arg(0))
+	}
+	if *csv {
+		return rt.WriteScalingCSV(os.Stdout, rep)
+	}
+	return rt.WriteScaling(os.Stdout, rep)
 }
 
 func cmdBreakdown(args []string) error {

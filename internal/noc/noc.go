@@ -271,6 +271,21 @@ type Network struct {
 	// the configured bandwidth is fractional and serialization falls back
 	// to float ceil.
 	linkWhole uint64
+
+	// fobs is the optional simulator-runtime flush census hook (nil
+	// disables). It is invoked once per Flush, single-threaded at the
+	// window barrier, so it adds nothing to the per-message send path.
+	fobs FlushObserver
+}
+
+// FlushObserver receives the cross-shard outbox census at each Exchanger
+// barrier: how many buffered messages the flush injected, how many remain
+// buffered past the horizon (outbox depth), and the wire bytes the injected
+// messages carried. Implemented by obs/runtime.Collector; this is simulator
+// telemetry about the merge itself and never feeds back into simulation
+// state.
+type FlushObserver interface {
+	RecordFlush(injected, retained, mergedBytes int)
 }
 
 func newNetwork(cfg Config) *Network {
@@ -341,6 +356,10 @@ func (n *Network) SetObservers(recs []*obs.Recorder) {
 	}
 	n.recs = recs
 }
+
+// SetFlushObserver installs the runtime flush-census hook (nil detaches).
+// Only meaningful in partitioned mode, where Flush runs; harmless otherwise.
+func (n *Network) SetFlushObserver(o FlushObserver) { n.fobs = o }
 
 // recOf returns host h's recorder in partitioned mode (nil when untraced).
 func (n *Network) recOf(h int) *obs.Recorder {
@@ -586,6 +605,13 @@ func (n *Network) Flush(horizon sim.Time) (int, sim.Time) {
 	})
 	for i := range due {
 		n.inject(&due[i])
+	}
+	if n.fobs != nil {
+		bytes := 0
+		for i := range due {
+			bytes += int(due[i].bytes)
+		}
+		n.fobs.RecordFlush(len(due), len(keep), bytes)
 	}
 	for i := range due {
 		due[i].payload = nil

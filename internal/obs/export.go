@@ -75,6 +75,15 @@ func tsMicros(t sim.Time) float64 { return sim.Nanos(t) / 1000 }
 // Perfetto and chrome://tracing load). Message sends and finished stalls
 // become duration ("X") slices; ordering/commit/ack events become instants.
 func WriteChromeTrace(w io.Writer, events []Event) error {
+	return WriteChromeTraceWith(w, events, nil)
+}
+
+// WriteChromeTraceWith is WriteChromeTrace with an extension hook: after the
+// protocol events, extra (if non-nil) is handed the comma-managing emitter
+// and may append additional trace_event objects — the simulator-runtime
+// timeline track group attaches this way. The default export keeps extra nil
+// so the deterministic trace bytes never depend on wall-clock data.
+func WriteChromeTraceWith(w io.Writer, events []Event, extra func(emit func(format string, args ...any))) error {
 	bw := bufio.NewWriter(w)
 	bw.WriteString("{\"displayTimeUnit\":\"ns\",\"traceEvents\":[\n")
 	first := true
@@ -159,6 +168,9 @@ func WriteChromeTrace(w io.Writer, events []Event) error {
 			emit(`{"ph":"i","s":"t","name":%q,"cat":"proto","pid":%d,"tid":%d,"ts":%.3f,"args":{"seq":%d}}`,
 				ev.Kind.String(), ev.Src.Host, tid(ev.Src), tsMicros(ev.At), ev.Seq)
 		}
+	}
+	if extra != nil {
+		extra(emit)
 	}
 	bw.WriteString("\n]}\n")
 	return bw.Flush()

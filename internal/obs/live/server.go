@@ -12,6 +12,8 @@ import (
 	"sync/atomic"
 
 	"cord/internal/obs"
+	rt "cord/internal/obs/runtime"
+	"cord/internal/sim"
 	"cord/internal/stats"
 )
 
@@ -22,6 +24,9 @@ import (
 //	              (per-class message/byte counters, latency summaries with
 //	              p50/p95/p99, stall totals, queue peaks) plus sweep progress
 //	/progress     the progress Snapshot as JSON
+//	/runtime      simulator-runtime telemetry Report as JSON (when a
+//	              collector is attached via SetRuntime; cord_sim_* families
+//	              also join /metrics)
 //	/debug/vars   expvar (the same registry document as metrics-out JSON)
 //	/debug/pprof  the standard Go profiler endpoints
 //
@@ -32,10 +37,18 @@ type Server struct {
 	rec  *obs.Recorder
 	prog *Progress
 	info map[string]string
+	rt   atomic.Pointer[rt.Collector]
 
 	srv *http.Server
 	lis net.Listener
 }
+
+// SetRuntime attaches a simulator-runtime telemetry collector: /runtime
+// serves its Report snapshot as JSON and /metrics gains the cord_sim_*
+// families (per-shard busy/idle/barrier wall time, steal counters, outbox
+// census, live parallel efficiency). Safe to call while serving; nil
+// detaches.
+func (s *Server) SetRuntime(col *rt.Collector) { s.rt.Store(col) }
 
 // active is the server expvar reads through: expvar.Publish is global and
 // permanent, so the package publishes one "cord" Func that always follows
@@ -58,6 +71,7 @@ func NewServer(addr string, rec *obs.Recorder, prog *Progress, info map[string]s
 	mux.HandleFunc("/", s.handleIndex)
 	mux.HandleFunc("/metrics", s.handleMetrics)
 	mux.HandleFunc("/progress", s.handleProgress)
+	mux.HandleFunc("/runtime", s.handleRuntime)
 	mux.Handle("/debug/vars", expvar.Handler())
 	mux.HandleFunc("/debug/pprof/", pprof.Index)
 	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
@@ -117,8 +131,19 @@ func (s *Server) handleIndex(w http.ResponseWriter, r *http.Request) {
 	fmt.Fprint(w, "cord live introspection\n\n"+
 		"/metrics      Prometheus text metrics + sweep progress\n"+
 		"/progress     progress snapshot (JSON)\n"+
+		"/runtime      simulator-runtime telemetry report (JSON)\n"+
 		"/debug/vars   expvar registry\n"+
 		"/debug/pprof  Go profiler\n")
+}
+
+func (s *Server) handleRuntime(w http.ResponseWriter, _ *http.Request) {
+	col := s.rt.Load()
+	if col == nil {
+		http.Error(w, "no runtime collector attached (single-host run?)", http.StatusNotFound)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	col.Snapshot().WriteJSON(w)
 }
 
 func (s *Server) handleProgress(w http.ResponseWriter, _ *http.Request) {
@@ -150,6 +175,9 @@ func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
 	if s.rec.Enabled() {
 		m := s.rec.MetricsSnapshot()
 		writePrometheus(w, &m)
+	}
+	if col := s.rt.Load(); col != nil {
+		writeRuntimePrometheus(w, col.Snapshot())
 	}
 	if s.prog != nil {
 		snap := s.prog.Snapshot()
@@ -197,6 +225,28 @@ func writePrometheus(w http.ResponseWriter, m *obs.Metrics) {
 		fmt.Fprintf(w, "cord_msg_latency_cycles_count{class=%q} %d\n", class, d.Count())
 	}
 
+	// Cumulative histogram buckets alongside the summary: the summary's
+	// quantiles are pre-computed per instance, the buckets let PromQL
+	// aggregate across runs (histogram_quantile over the le label). Exported
+	// as an explicitly-typed counter family — a single family cannot be both
+	// summary and histogram in the exposition format.
+	fmt.Fprint(w, "# HELP cord_msg_latency_cycles_bucket cumulative latency histogram "+
+		"(log2 buckets; use histogram_quantile over le)\n"+
+		"# TYPE cord_msg_latency_cycles_bucket counter\n")
+	for c := 0; c < stats.NumClasses; c++ {
+		d := &m.Latency[c]
+		if d.Count() == 0 {
+			continue
+		}
+		class := stats.MsgClass(c).String()
+		d.ForBuckets(func(le sim.Time, cum uint64) {
+			fmt.Fprintf(w, "cord_msg_latency_cycles_bucket{class=%q,le=\"%d\"} %d\n",
+				class, uint64(le), cum)
+		})
+		fmt.Fprintf(w, "cord_msg_latency_cycles_bucket{class=%q,le=\"+Inf\"} %d\n",
+			class, d.Count())
+	}
+
 	fmt.Fprint(w, "# HELP cord_stall_cycles_total processor stall cycles by kind\n"+
 		"# TYPE cord_stall_cycles_total counter\n")
 	for k := 0; k < stats.NumStallKinds; k++ {
@@ -216,4 +266,43 @@ func writePrometheus(w http.ResponseWriter, m *obs.Metrics) {
 	}
 	fmt.Fprintf(w, "# TYPE cord_dir_queue_peak gauge\ncord_dir_queue_peak %d\n", m.DirQueuePeak)
 	fmt.Fprintf(w, "# TYPE cord_engine_queue_peak gauge\ncord_engine_queue_peak %d\n", m.EngineQueuePeak)
+}
+
+// writeRuntimePrometheus renders the simulator-runtime telemetry families.
+// These describe the simulator process itself (wall-clock, non-deterministic)
+// and are namespaced cord_sim_* to keep them apart from the simulated-machine
+// metrics above.
+func writeRuntimePrometheus(w http.ResponseWriter, r *rt.Report) {
+	fmt.Fprintf(w, "# TYPE cord_sim_windows_total counter\ncord_sim_windows_total %d\n", r.Totals.Windows)
+	fmt.Fprintf(w, "# TYPE cord_sim_events_total counter\ncord_sim_events_total %d\n", r.Totals.Events)
+	fmt.Fprintf(w, "# TYPE cord_sim_window_wall_ns_total counter\ncord_sim_window_wall_ns_total %d\n", r.Totals.WallNs)
+	fmt.Fprintf(w, "# TYPE cord_sim_flush_ns_total counter\ncord_sim_flush_ns_total %d\n", r.Totals.FlushNs)
+
+	shardFam := func(name, help string, val func(t *rt.ShardTotals) uint64) {
+		fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s counter\n", name, help, name)
+		for i := range r.PerShard {
+			fmt.Fprintf(w, "%s{shard=\"%d\"} %d\n", name, r.PerShard[i].Shard, val(&r.PerShard[i]))
+		}
+	}
+	shardFam("cord_sim_shard_busy_ns", "wall ns the shard spent executing events",
+		func(t *rt.ShardTotals) uint64 { return t.BusyNs })
+	shardFam("cord_sim_shard_idle_ns", "wall ns the shard waited to start its window",
+		func(t *rt.ShardTotals) uint64 { return t.IdleNs })
+	shardFam("cord_sim_shard_barrier_ns", "wall ns the shard waited at window barriers",
+		func(t *rt.ShardTotals) uint64 { return t.BarrierNs })
+	shardFam("cord_sim_shard_events_total", "events the shard executed",
+		func(t *rt.ShardTotals) uint64 { return t.Events })
+
+	fmt.Fprint(w, "# HELP cord_sim_steal_total work-queue shard claims by the window workers\n"+
+		"# TYPE cord_sim_steal_total counter\n")
+	fmt.Fprintf(w, "cord_sim_steal_total{result=\"attempt\"} %d\n", r.Totals.StealTries)
+	fmt.Fprintf(w, "cord_sim_steal_total{result=\"hit\"} %d\n", r.Totals.StealHits)
+
+	fmt.Fprintf(w, "# TYPE cord_sim_outbox_injected_total counter\ncord_sim_outbox_injected_total %d\n", r.Totals.Injected)
+	fmt.Fprintf(w, "# TYPE cord_sim_outbox_merged_bytes_total counter\ncord_sim_outbox_merged_bytes_total %d\n", r.Totals.MergedBytes)
+	fmt.Fprintf(w, "# TYPE cord_sim_outbox_retained_peak gauge\ncord_sim_outbox_retained_peak %d\n", r.RetainedPeak)
+
+	s := rt.Analyze(r)
+	fmt.Fprintf(w, "# HELP cord_sim_parallel_efficiency busy fraction of window capacity\n"+
+		"# TYPE cord_sim_parallel_efficiency gauge\ncord_sim_parallel_efficiency %.4f\n", s.Efficiency)
 }

@@ -1,0 +1,235 @@
+package runtime
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+)
+
+// Report is the serializable snapshot of a Collector: run-wide totals,
+// per-shard accounting, and the (possibly coarsened) window series. It is the
+// payload of `cordsim -runtime-report`, the `/runtime` live endpoint, and the
+// input to `cordtrace scaling`.
+type Report struct {
+	Hosts   int `json:"hosts"`
+	Workers int `json:"workers"`
+
+	Totals       Bucket `json:"totals"`
+	Flushes      uint64 `json:"flushes"`
+	RetainedPeak uint64 `json:"outbox_retained_peak"`
+
+	PerShard []ShardTotals `json:"per_shard"`
+
+	// WindowsPerBucket is the series stride after coarsening; individual
+	// buckets still carry their exact Windows count (the final bucket may be
+	// partial).
+	WindowsPerBucket uint64         `json:"windows_per_bucket"`
+	Series           []SeriesBucket `json:"series"`
+}
+
+// SeriesBucket is one timeline bucket with its per-shard decomposition.
+type SeriesBucket struct {
+	Bucket
+	Shards []ShardSlice `json:"shards"`
+}
+
+// WriteJSON serializes the report as indented JSON.
+func (r *Report) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(r)
+}
+
+// ReadReport parses a report previously written by WriteJSON.
+func ReadReport(rd io.Reader) (*Report, error) {
+	var r Report
+	if err := json.NewDecoder(rd).Decode(&r); err != nil {
+		return nil, fmt.Errorf("runtime: parse report: %w", err)
+	}
+	return &r, nil
+}
+
+// LoadReport reads a report file.
+func LoadReport(path string) (*Report, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return ReadReport(f)
+}
+
+// Scaling is the parallel-efficiency analysis of a report: how much of the
+// cluster's execution capacity did useful work, and where the rest went.
+//
+// The model: each window runs on slots = min(workers, active shards). Its
+// execute-phase capacity is slots x wall-ns; the barrier merge is
+// single-threaded, so its capacity is slots x flush-ns of which only 1 x
+// flush-ns is useful. Lost execute capacity splits between barrier imbalance
+// (shards finished and waited — the window's critical-path shard was longer)
+// and steal/start lag (shards waited to begin — work distribution), in
+// proportion to the measured per-shard barrier vs idle nanoseconds, which
+// together tile exactly the capacity the busy time didn't use.
+type Scaling struct {
+	Windows uint64 `json:"windows"`
+	Events  uint64 `json:"events"`
+
+	// Efficiency is useful/(capacity): (busy+flush) / (cap+flushCap), in
+	// [0,1]. SpeedupEstimate is the run's effective parallelism:
+	// useful work divided by elapsed wall (busy+flush)/(wall+flush) — what a
+	// perfectly efficient run would achieve with that many workers.
+	Efficiency      float64 `json:"efficiency"`
+	SpeedupEstimate float64 `json:"speedup_estimate"`
+
+	// Loss attribution, as fractions of total capacity (they sum with
+	// Efficiency to ~1).
+	LostBarrier float64 `json:"lost_barrier"`
+	LostSteal   float64 `json:"lost_steal"`
+	LostMerge   float64 `json:"lost_merge"`
+
+	// Dominant names the largest loss bucket ("barrier", "steal", "merge",
+	// or "none" when efficiency is ~1).
+	Dominant string `json:"dominant"`
+
+	PerBucket []BucketScaling `json:"per_bucket,omitempty"`
+}
+
+// BucketScaling is the same analysis for one timeline bucket.
+type BucketScaling struct {
+	Start       uint64  `json:"start_cycle"`
+	End         uint64  `json:"end_cycle"`
+	Windows     uint64  `json:"windows"`
+	Efficiency  float64 `json:"efficiency"`
+	LostBarrier float64 `json:"lost_barrier"`
+	LostSteal   float64 `json:"lost_steal"`
+	LostMerge   float64 `json:"lost_merge"`
+	Dominant    string  `json:"dominant"`
+}
+
+// analyzeBucket attributes one bucket's capacity.
+func analyzeBucket(b *Bucket) (eff, barrier, steal, merge float64) {
+	cap := float64(b.CapNs + b.FlushCapNs)
+	if cap <= 0 {
+		return 1, 0, 0, 0
+	}
+	useful := float64(b.BusyNs + b.FlushNs)
+	if useful > cap {
+		useful = cap // clock granularity can overshoot by a few ns
+	}
+	mergeLost := float64(b.FlushCapNs) - float64(b.FlushNs)
+	if mergeLost < 0 {
+		mergeLost = 0
+	}
+	execLost := cap - useful - mergeLost
+	if execLost < 0 {
+		execLost = 0
+	}
+	den := float64(b.BarrierNs + b.IdleNs)
+	var barrierLost, stealLost float64
+	if den > 0 {
+		barrierLost = execLost * float64(b.BarrierNs) / den
+		stealLost = execLost - barrierLost
+	} else {
+		barrierLost = execLost // nothing measured: fold into barrier
+	}
+	return useful / cap, barrierLost / cap, stealLost / cap, mergeLost / cap
+}
+
+func dominant(eff, barrier, steal, merge float64) string {
+	if barrier < 0.01 && steal < 0.01 && merge < 0.01 {
+		return "none"
+	}
+	switch {
+	case barrier >= steal && barrier >= merge:
+		return "barrier"
+	case steal >= merge:
+		return "steal"
+	default:
+		return "merge"
+	}
+}
+
+// Analyze computes the scaling breakdown for a report.
+func Analyze(r *Report) Scaling {
+	s := Scaling{Windows: r.Totals.Windows, Events: r.Totals.Events}
+	s.Efficiency, s.LostBarrier, s.LostSteal, s.LostMerge = analyzeBucket(&r.Totals)
+	elapsed := float64(r.Totals.WallNs + r.Totals.FlushNs)
+	if elapsed > 0 {
+		s.SpeedupEstimate = float64(r.Totals.BusyNs+r.Totals.FlushNs) / elapsed
+	}
+	s.Dominant = dominant(s.Efficiency, s.LostBarrier, s.LostSteal, s.LostMerge)
+	s.PerBucket = make([]BucketScaling, 0, len(r.Series))
+	for i := range r.Series {
+		b := &r.Series[i].Bucket
+		eff, ba, st, me := analyzeBucket(b)
+		s.PerBucket = append(s.PerBucket, BucketScaling{
+			Start: b.Start, End: b.End, Windows: b.Windows,
+			Efficiency: eff, LostBarrier: ba, LostSteal: st, LostMerge: me,
+			Dominant: dominant(eff, ba, st, me),
+		})
+	}
+	return s
+}
+
+// WriteScaling renders the human-readable scaling report `cordtrace scaling`
+// prints: run-wide efficiency with loss attribution, the per-shard balance
+// table, and the bucketed timeline.
+func WriteScaling(w io.Writer, r *Report) error {
+	s := Analyze(r)
+	fmt.Fprintf(w, "simulator scaling report: %d hosts x %d workers\n", r.Hosts, r.Workers)
+	fmt.Fprintf(w, "windows %d  events %d  wall %.2fms  merge %.2fms  flushes %d\n",
+		s.Windows, s.Events,
+		float64(r.Totals.WallNs)/1e6, float64(r.Totals.FlushNs)/1e6, r.Flushes)
+	fmt.Fprintf(w, "parallel efficiency %.1f%%  (effective workers %.2f of %d)\n",
+		s.Efficiency*100, s.SpeedupEstimate, r.Workers)
+	fmt.Fprintf(w, "lost capacity: barrier imbalance %.1f%% | steal/start lag %.1f%% | cross-host merge %.1f%%  -> dominant: %s\n",
+		s.LostBarrier*100, s.LostSteal*100, s.LostMerge*100, s.Dominant)
+	fmt.Fprintf(w, "cross-host: %d msgs / %d bytes merged, outbox peak %d retained\n",
+		r.Totals.Injected, r.Totals.MergedBytes, r.RetainedPeak)
+
+	fmt.Fprintf(w, "\nper-shard (busy+idle+barrier tiles each shard's window wall):\n")
+	fmt.Fprintf(w, "  %5s %12s %10s %10s %10s %7s\n",
+		"shard", "events", "busy-ms", "idle-ms", "barr-ms", "busy%")
+	for i := range r.PerShard {
+		t := &r.PerShard[i]
+		var pct float64
+		if t.WallNs > 0 {
+			pct = 100 * float64(t.BusyNs) / float64(t.WallNs)
+		}
+		fmt.Fprintf(w, "  %5d %12d %10.2f %10.2f %10.2f %6.1f%%\n",
+			t.Shard, t.Events,
+			float64(t.BusyNs)/1e6, float64(t.IdleNs)/1e6, float64(t.BarrierNs)/1e6, pct)
+	}
+
+	if len(s.PerBucket) > 0 {
+		fmt.Fprintf(w, "\ntimeline (%d windows/bucket):\n", r.WindowsPerBucket)
+		fmt.Fprintf(w, "  %22s %8s %6s %9s %9s %9s  %s\n",
+			"cycles", "windows", "eff%", "barrier%", "steal%", "merge%", "dominant")
+		for i := range s.PerBucket {
+			b := &s.PerBucket[i]
+			fmt.Fprintf(w, "  [%9d,%9d] %8d %5.1f%% %8.1f%% %8.1f%% %8.1f%%  %s\n",
+				b.Start, b.End, b.Windows, b.Efficiency*100,
+				b.LostBarrier*100, b.LostSteal*100, b.LostMerge*100, b.Dominant)
+		}
+	}
+	return nil
+}
+
+// WriteScalingCSV renders the per-bucket analysis as CSV for plotting.
+func WriteScalingCSV(w io.Writer, r *Report) error {
+	s := Analyze(r)
+	if _, err := fmt.Fprintln(w,
+		"start_cycle,end_cycle,windows,efficiency,lost_barrier,lost_steal,lost_merge,dominant"); err != nil {
+		return err
+	}
+	for i := range s.PerBucket {
+		b := &s.PerBucket[i]
+		if _, err := fmt.Fprintf(w, "%d,%d,%d,%.4f,%.4f,%.4f,%.4f,%s\n",
+			b.Start, b.End, b.Windows, b.Efficiency,
+			b.LostBarrier, b.LostSteal, b.LostMerge, b.Dominant); err != nil {
+			return err
+		}
+	}
+	return nil
+}

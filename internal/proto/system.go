@@ -6,6 +6,7 @@ import (
 	"cord/internal/memsys"
 	"cord/internal/noc"
 	"cord/internal/obs"
+	rt "cord/internal/obs/runtime"
 	"cord/internal/sim"
 	"cord/internal/stats"
 )
@@ -186,6 +187,28 @@ func (s *System) Observe(rec *obs.Recorder) {
 			e.SetHook(nil)
 		}
 	}
+}
+
+// AttachRuntime wires a simulator-runtime telemetry collector into the
+// partitioned scheduler: the cluster reports per-window shard timings and
+// steal counters at each barrier, the network reports the cross-host outbox
+// census at each flush. Reports false (and attaches nothing) on a
+// single-host system, which has no windows to observe. Unlike Observe, this
+// never touches the simulated machine: wall-clock telemetry stays out of the
+// deterministic trace/metrics/stats outputs by construction. A nil col
+// detaches.
+func (s *System) AttachRuntime(col *rt.Collector) bool {
+	if s.Cluster == nil {
+		return false
+	}
+	if col == nil {
+		s.Cluster.SetWindowObserver(nil)
+		s.Net.SetFlushObserver(nil)
+		return true
+	}
+	s.Cluster.SetWindowObserver(col)
+	s.Net.SetFlushObserver(col)
+	return true
 }
 
 // Dirs enumerates every directory node in the system.

@@ -1,9 +1,13 @@
 package sim
 
 import (
+	"context"
 	"fmt"
+	"runtime/pprof"
+	"strconv"
 	"sync"
 	"sync/atomic"
+	"time"
 )
 
 // Exchanger buffers cross-shard messages between conservative windows. The
@@ -19,6 +23,54 @@ type Exchanger interface {
 	Flush(horizon Time) (remaining int, earliest Time)
 }
 
+// WindowRecord is the per-window runtime telemetry handed to a WindowObserver
+// at each barrier. All wall-clock fields are host nanoseconds, measured with
+// the monotonic clock; they describe the simulator's own execution, never the
+// simulated machine, and must therefore never feed back into simulation
+// results (see DESIGN.md §12 on the telemetry quarantine).
+//
+// The per-shard slices are owned by the cluster and reused between windows:
+// observers must copy out what they keep.
+type WindowRecord struct {
+	// Anchor and Deadline are the window's simulated-time bounds: the global
+	// minimum pending timestamp and Anchor + W - 1.
+	Anchor   Time
+	Deadline Time
+	// Workers is the worker count the window executed with (after clamping
+	// to the active-shard count); Active the number of shards that had
+	// events due.
+	Workers int
+	Active  int
+	// WallNs is the barrier-to-barrier wall time of the execute phase.
+	// FlushNs is the single-threaded Exchanger merge time charged to this
+	// window (the pre-window flush plus the previous window's census probe).
+	WallNs  int64
+	FlushNs int64
+	// StealAttempts counts work-queue claims by the window's workers;
+	// StealHits the claims that yielded a shard. Both are zero on the serial
+	// path (one worker runs the shards inline — nothing to steal).
+	StealAttempts uint64
+	StealHits     uint64
+	// Per-shard measurements, indexed by shard. A shard inactive this window
+	// has ShardStartNs[i] == -1. For active shards, ShardStartNs is the lag
+	// from window start until the shard began executing (queueing behind
+	// other shards on its worker), ShardBusyNs the time inside RunUntil, and
+	// ShardEvents the events the shard retired. The shard's barrier wait is
+	// WallNs - ShardStartNs - ShardBusyNs by construction, so the three
+	// components tile the window wall exactly.
+	ShardStartNs []int64
+	ShardBusyNs  []int64
+	ShardEvents  []uint64
+}
+
+// WindowObserver receives one WindowRecord per executed window, invoked
+// single-threaded at the barrier after every shard has finished. Implemented
+// by obs/runtime.Collector; the hook costs nothing when unset (no clock
+// reads, no extra branches on the per-event path).
+type WindowObserver interface {
+	ObserveWindow(*WindowRecord)
+}
+
 // Cluster advances one Engine per shard (one shard per simulated host) in
 // bounded conservative windows. The window width is the minimum cross-shard
 // delivery latency W: an event executing at time t can only schedule work on
@@ -32,13 +84,32 @@ type Exchanger interface {
 // cross-shard messages in a total (time, source-host, sequence) order at the
 // single-threaded barrier. Workers only decide how many shards execute their
 // window concurrently; each shard's event order is fully determined either
-// way, so a 1-worker run and an 8-worker run are byte-identical.
+// way, so a 1-worker run and an 8-worker run are byte-identical. Runtime
+// telemetry (SetWindowObserver) reads only the wall clock and engine event
+// counters — it observes the schedule without becoming an input to it.
 type Cluster struct {
 	engines []*Engine
 	window  Time
 
 	active []int   // scratch: shards with events due in the current window
 	errs   []error // scratch: per-shard errors from a parallel window
+
+	// Runtime telemetry (nil = disabled, zero overhead). rec's per-shard
+	// slices are allocated once by SetWindowObserver and reused per window;
+	// flushNs accumulates Exchanger merge time between barriers; the steal
+	// counters are flushed by workers once per window (not per claim).
+	wobs          WindowObserver
+	rec           WindowRecord
+	flushNs       int64
+	stealAttempts atomic.Uint64
+	stealHits     atomic.Uint64
+
+	// pprof goroutine labels for the parallel window path, built lazily on
+	// first parallel window so -http CPU profiles attribute samples per
+	// shard/worker. The serial path never labels (it would cost allocations
+	// on the 0 allocs/op window loop).
+	shardLabels  []string
+	workerLabels []string
 }
 
 // seedFor derives shard i's engine seed from the base seed (splitmix-style
@@ -99,6 +170,39 @@ func (c *Cluster) SetMaxEvents(n uint64) {
 	}
 }
 
+// SetWindowObserver installs the per-window runtime telemetry hook (nil
+// detaches). The record's per-shard slices are allocated here, once, so the
+// window loop itself stays allocation-free with telemetry enabled. Call
+// before Run; the observer is invoked single-threaded at window barriers.
+func (c *Cluster) SetWindowObserver(o WindowObserver) {
+	c.wobs = o
+	if o != nil && c.rec.ShardStartNs == nil {
+		n := len(c.engines)
+		c.rec.ShardStartNs = make([]int64, n)
+		c.rec.ShardBusyNs = make([]int64, n)
+		c.rec.ShardEvents = make([]uint64, n)
+	}
+}
+
+// shardLabel returns the cached pprof label value for shard i.
+func (c *Cluster) shardLabel(i int) string {
+	if c.shardLabels == nil {
+		c.shardLabels = make([]string, len(c.engines))
+		for s := range c.shardLabels {
+			c.shardLabels[s] = strconv.Itoa(s)
+		}
+	}
+	return c.shardLabels[i]
+}
+
+// workerLabel returns the cached pprof label value for worker w.
+func (c *Cluster) workerLabel(w int) string {
+	for len(c.workerLabels) <= w {
+		c.workerLabels = append(c.workerLabels, strconv.Itoa(len(c.workerLabels)))
+	}
+	return c.workerLabels[w]
+}
+
 // earliest returns the minimum next-event time across all shards.
 func (c *Cluster) earliest() (Time, bool) {
 	var min Time
@@ -109,6 +213,18 @@ func (c *Cluster) earliest() (Time, bool) {
 		}
 	}
 	return min, any
+}
+
+// flush runs one Exchanger barrier merge, charging its wall time to the next
+// window's telemetry record when an observer is attached.
+func (c *Cluster) flush(ex Exchanger, horizon Time) (int, Time) {
+	if c.wobs == nil {
+		return ex.Flush(horizon)
+	}
+	start := time.Now()
+	remaining, earliest := ex.Flush(horizon)
+	c.flushNs += time.Since(start).Nanoseconds()
+	return remaining, earliest
 }
 
 // Run executes the cluster to completion: windows of width W anchored at the
@@ -131,9 +247,9 @@ func (c *Cluster) Run(workers int, ex Exchanger) error {
 		}
 		deadline := t + c.window - 1
 		if ex != nil {
-			buffered, bufEarliest = ex.Flush(deadline)
+			buffered, bufEarliest = c.flush(ex, deadline)
 		}
-		if err := c.runWindow(deadline, workers); err != nil {
+		if err := c.runWindow(t, deadline, workers); err != nil {
 			return err
 		}
 		if ex != nil {
@@ -142,7 +258,7 @@ func (c *Cluster) Run(workers int, ex Exchanger) error {
 			// strictly after deadline, so this Flush injects nothing — it
 			// only reports what remains, which the next iteration needs to
 			// anchor a window even when every engine has drained.
-			buffered, bufEarliest = ex.Flush(deadline)
+			buffered, bufEarliest = c.flush(ex, deadline)
 		}
 	}
 }
@@ -152,7 +268,7 @@ func (c *Cluster) Run(workers int, ex Exchanger) error {
 // cross-shard event at <= deadline can be created during it), so they run on
 // up to workers goroutines; with one worker they run inline, in shard order,
 // with zero scheduling overhead.
-func (c *Cluster) runWindow(deadline Time, workers int) error {
+func (c *Cluster) runWindow(anchor, deadline Time, workers int) error {
 	c.active = c.active[:0]
 	for i, e := range c.engines {
 		if at, ok := e.NextAt(); ok && at <= deadline {
@@ -165,32 +281,96 @@ func (c *Cluster) runWindow(deadline Time, workers int) error {
 	if workers > len(c.active) {
 		workers = len(c.active)
 	}
+	tel := c.wobs != nil
+	var start time.Time
+	if tel {
+		start = time.Now()
+		for i := range c.rec.ShardStartNs {
+			c.rec.ShardStartNs[i] = -1
+			c.rec.ShardBusyNs[i] = 0
+			c.rec.ShardEvents[i] = 0
+		}
+	}
 	if workers <= 1 {
 		for _, i := range c.active {
+			var s0 time.Duration
+			var e0 uint64
+			if tel {
+				s0 = time.Since(start)
+				e0 = c.engines[i].executed
+			}
 			if err := c.engines[i].RunUntil(deadline); err != nil {
 				return fmt.Errorf("sim: shard %d: %w", i, err)
 			}
+			if tel {
+				d := time.Since(start)
+				c.rec.ShardStartNs[i] = s0.Nanoseconds()
+				c.rec.ShardBusyNs[i] = (d - s0).Nanoseconds()
+				c.rec.ShardEvents[i] = c.engines[i].executed - e0
+			}
 		}
+		c.observeWindow(tel, start, anchor, deadline, workers)
 		return nil
 	}
+	// The parallel loop lives in its own method: its goroutine closures
+	// capture the wall-clock base, and sharing a frame with the serial path
+	// above would make that base escape to the heap — one allocation per
+	// window even at one worker, breaking the serial 0 allocs/op guarantee.
+	if err := c.runShardsParallel(start, tel, deadline, workers); err != nil {
+		return err
+	}
+	c.observeWindow(tel, start, anchor, deadline, workers)
+	return nil
+}
+
+// runShardsParallel executes the active shards on workers goroutines claiming
+// shards off a shared atomic cursor.
+func (c *Cluster) runShardsParallel(start time.Time, tel bool, deadline Time, workers int) error {
 	// The goroutines read the shard list through the receiver: capturing a
-	// local slice header here would move it to the heap and cost an
-	// allocation per window even on the serial path above.
+	// local slice header would cost an extra heap move per window.
 	var next atomic.Int64
 	var wg sync.WaitGroup
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
-		go func() {
+		go func(w int) {
 			defer wg.Done()
+			var attempts, hits uint64
 			for {
 				k := int(next.Add(1)) - 1
+				attempts++
 				if k >= len(c.active) {
-					return
+					break
 				}
+				hits++
 				i := c.active[k]
-				c.errs[i] = c.engines[i].RunUntil(deadline)
+				// Label the shard's execution so CPU profiles (-http
+				// /debug/pprof/profile) attribute samples per shard and
+				// worker. Parallel path only: pprof.Do allocates per call,
+				// which is noise next to a goroutine spawn but would break
+				// the serial window loop's 0 allocs/op.
+				pprof.Do(context.Background(),
+					pprof.Labels("cord_shard", c.shardLabel(i), "cord_worker", c.workerLabel(w)),
+					func(context.Context) {
+						var s0 time.Duration
+						var e0 uint64
+						if tel {
+							s0 = time.Since(start)
+							e0 = c.engines[i].executed
+						}
+						c.errs[i] = c.engines[i].RunUntil(deadline)
+						if tel {
+							d := time.Since(start)
+							c.rec.ShardStartNs[i] = s0.Nanoseconds()
+							c.rec.ShardBusyNs[i] = (d - s0).Nanoseconds()
+							c.rec.ShardEvents[i] = c.engines[i].executed - e0
+						}
+					})
 			}
-		}()
+			if tel {
+				c.stealAttempts.Add(attempts)
+				c.stealHits.Add(hits)
+			}
+		}(w)
 	}
 	wg.Wait()
 	for _, i := range c.active {
@@ -199,4 +379,22 @@ func (c *Cluster) runWindow(deadline Time, workers int) error {
 		}
 	}
 	return nil
+}
+
+// observeWindow finalizes and delivers the window's telemetry record. Runs
+// single-threaded after the barrier; a disabled hook returns immediately.
+func (c *Cluster) observeWindow(tel bool, start time.Time, anchor, deadline Time, workers int) {
+	if !tel {
+		return
+	}
+	c.rec.Anchor = anchor
+	c.rec.Deadline = deadline
+	c.rec.Workers = workers
+	c.rec.Active = len(c.active)
+	c.rec.WallNs = time.Since(start).Nanoseconds()
+	c.rec.FlushNs = c.flushNs
+	c.flushNs = 0
+	c.rec.StealAttempts = c.stealAttempts.Swap(0)
+	c.rec.StealHits = c.stealHits.Swap(0)
+	c.wobs.ObserveWindow(&c.rec)
 }

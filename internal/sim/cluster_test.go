@@ -177,6 +177,98 @@ func TestClusterWorkerCountInvariance(t *testing.T) {
 	}
 }
 
+// windowCapture records every WindowRecord it observes (copying the
+// cluster-owned slices, as the contract requires).
+type windowCapture struct {
+	recs []WindowRecord
+}
+
+func (w *windowCapture) ObserveWindow(r *WindowRecord) {
+	cp := *r
+	cp.ShardStartNs = append([]int64(nil), r.ShardStartNs...)
+	cp.ShardBusyNs = append([]int64(nil), r.ShardBusyNs...)
+	cp.ShardEvents = append([]uint64(nil), r.ShardEvents...)
+	w.recs = append(w.recs, cp)
+}
+
+func TestClusterWindowObserver(t *testing.T) {
+	for _, workers := range []int{1, 4} {
+		const shards = 4
+		c := NewCluster(5, shards, Time(25))
+		cap := &windowCapture{}
+		c.SetWindowObserver(cap)
+		ex := &chanExchanger{c: c}
+		for s := 0; s < shards; s++ {
+			s := s
+			rounds := 0
+			var tick func()
+			tick = func() {
+				rounds++
+				if rounds < 10 {
+					c.Engine(s).Schedule(Time(2+s), tick)
+					if rounds%4 == 0 {
+						dst := (s + 1) % shards
+						ex.post(c.Engine(s).Now()+25, dst, func() {})
+					}
+				}
+			}
+			c.Engine(s).Schedule(Time(1+s), tick)
+		}
+		if err := c.Run(workers, ex); err != nil {
+			t.Fatal(err)
+		}
+		if len(cap.recs) == 0 {
+			t.Fatalf("workers=%d: no windows observed", workers)
+		}
+		var events uint64
+		for wi, r := range cap.recs {
+			if r.Deadline != r.Anchor+c.window-1 {
+				t.Fatalf("workers=%d window %d: bounds [%d,%d] not one window wide",
+					workers, wi, r.Anchor, r.Deadline)
+			}
+			if r.Active < 1 || r.Active > shards {
+				t.Fatalf("workers=%d window %d: active=%d", workers, wi, r.Active)
+			}
+			if r.Workers > r.Active {
+				t.Fatalf("workers=%d window %d: workers=%d > active=%d",
+					workers, wi, r.Workers, r.Active)
+			}
+			active := 0
+			for s := 0; s < shards; s++ {
+				if r.ShardStartNs[s] < 0 {
+					if r.ShardBusyNs[s] != 0 || r.ShardEvents[s] != 0 {
+						t.Fatalf("inactive shard %d has busy/events", s)
+					}
+					continue
+				}
+				active++
+				events += r.ShardEvents[s]
+				// Tiling: start lag + busy must fit inside the window wall, so
+				// the implied barrier wait is non-negative.
+				if spent := r.ShardStartNs[s] + r.ShardBusyNs[s]; spent > r.WallNs {
+					t.Fatalf("workers=%d window %d shard %d: start+busy %dns > wall %dns",
+						workers, wi, s, spent, r.WallNs)
+				}
+			}
+			if active != r.Active {
+				t.Fatalf("workers=%d window %d: %d shards reported, Active=%d",
+					workers, wi, active, r.Active)
+			}
+			if workers == 1 && (r.StealAttempts != 0 || r.StealHits != 0) {
+				t.Fatalf("serial window reported steals: %d/%d", r.StealHits, r.StealAttempts)
+			}
+			if workers > 1 && uint64(r.Active) != r.StealHits {
+				t.Fatalf("workers=%d window %d: %d steal hits for %d active shards",
+					workers, wi, r.StealHits, r.Active)
+			}
+		}
+		if events != c.Executed() {
+			t.Fatalf("workers=%d: observed %d events, cluster executed %d",
+				workers, events, c.Executed())
+		}
+	}
+}
+
 // BenchmarkClusterWindowSerial measures the sharded scheduler's overhead at
 // one worker: the same churn as BenchmarkEngineChurn, split over 8 shards
 // with no cross-shard traffic, so the delta to the plain engine is pure
@@ -223,7 +315,7 @@ func benchCluster(b *testing.B, workers int) {
 			if !ok {
 				b.Fatal("cluster drained")
 			}
-			if err := c.runWindow(t+c.window-1, workers); err != nil {
+			if err := c.runWindow(t, t+c.window-1, workers); err != nil {
 				b.Fatal(err)
 			}
 		}

@@ -407,6 +407,33 @@ func (d *Dist) Quantile(q float64) sim.Time {
 	return d.max
 }
 
+// ForBuckets walks the distribution's log buckets in increasing order, up to
+// the highest non-empty one, calling f with each bucket's inclusive upper
+// bound in cycles and the cumulative sample count at or below it. Bucket b
+// holds samples of bit length b (bucket 0 holds only zero), so the bounds run
+// 0, 1, 3, 7, 15, … — the cumulative view Prometheus histogram exposition
+// (`_bucket{le=...}`) needs. No-op on an empty distribution.
+func (d *Dist) ForBuckets(f func(le sim.Time, cumulative uint64)) {
+	if d.count == 0 {
+		return
+	}
+	hi := 0
+	for b, n := range d.buckets {
+		if n != 0 {
+			hi = b
+		}
+	}
+	var cum uint64
+	for b := 0; b <= hi; b++ {
+		cum += d.buckets[b]
+		var le sim.Time
+		if b > 0 {
+			le = sim.Time(1)<<b - 1
+		}
+		f(le, cum)
+	}
+}
+
 // Merge folds other into d.
 func (d *Dist) Merge(other *Dist) {
 	for i, n := range other.buckets {

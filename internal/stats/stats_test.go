@@ -213,3 +213,35 @@ func TestDistMerge(t *testing.T) {
 		t.Fatalf("merge: count=%d max=%d", a.Count(), a.Max())
 	}
 }
+
+func TestDistForBuckets(t *testing.T) {
+	var d Dist
+	calls := 0
+	d.ForBuckets(func(sim.Time, uint64) { calls++ })
+	if calls != 0 {
+		t.Fatal("empty dist walked buckets")
+	}
+	// 0 -> bucket 0 (le 0); 1 -> bucket 1 (le 1); 2,3 -> bucket 2 (le 3);
+	// 9 -> bucket 4 (le 15). Bucket 3 (le 7) is empty but still emitted.
+	for _, v := range []sim.Time{0, 1, 2, 3, 9} {
+		d.Add(v)
+	}
+	type row struct {
+		le  sim.Time
+		cum uint64
+	}
+	var got []row
+	d.ForBuckets(func(le sim.Time, cum uint64) { got = append(got, row{le, cum}) })
+	want := []row{{0, 1}, {1, 2}, {3, 4}, {7, 4}, {15, 5}}
+	if len(got) != len(want) {
+		t.Fatalf("rows = %+v, want %+v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("row %d = %+v, want %+v", i, got[i], want[i])
+		}
+	}
+	if got[len(got)-1].cum != d.Count() {
+		t.Fatalf("last cumulative %d != count %d", got[len(got)-1].cum, d.Count())
+	}
+}

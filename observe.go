@@ -4,6 +4,7 @@ import (
 	"io"
 
 	"cord/internal/obs"
+	rt "cord/internal/obs/runtime"
 	"cord/internal/proto"
 )
 
@@ -20,6 +21,32 @@ type TraceOptions struct {
 	// the recorder directly). The live introspection server attaches this
 	// way so /metrics can scrape a run in flight.
 	Recorder *obs.Recorder
+	// Runtime, when non-nil, collects simulator-runtime telemetry (per-shard
+	// window timings, steal counters, cross-host merge census) for
+	// partitioned multi-host runs. It rides a channel of its own: attaching
+	// it never changes the deterministic trace/metrics/stats bytes. Ignored
+	// on single-host systems, which have no parallel runtime to observe.
+	Runtime *rt.Collector
+}
+
+// NewRuntimeCollector creates a simulator-runtime telemetry collector to pass
+// as TraceOptions.Runtime (the collector type itself lives in an internal
+// package, so external callers construct it here; its methods — Snapshot,
+// Windows, Events, SetOnWindow — remain fully usable on the returned value).
+// The collector sizes itself to the system's host count on the first observed
+// window.
+func NewRuntimeCollector() *rt.Collector { return rt.NewCollector(0) }
+
+// AnalyzeRuntime computes the parallel-efficiency breakdown of a runtime
+// report (a Collector.Snapshot): efficiency, lost-capacity attribution
+// across barrier imbalance / steal lag / cross-host merge, and a per-bucket
+// timeline — the same analysis `cordtrace scaling` renders.
+func AnalyzeRuntime(rep *rt.Report) rt.Scaling { return rt.Analyze(rep) }
+
+// WriteRuntimeScaling renders a report's scaling analysis as the
+// human-readable table `cordtrace scaling` prints.
+func WriteRuntimeScaling(w io.Writer, rep *rt.Report) error {
+	return rt.WriteScaling(w, rep)
 }
 
 // Observation holds what a traced simulation recorded: the structured event
@@ -43,6 +70,19 @@ func (o *Observation) WriteJSONL(w io.Writer) error {
 // loadable in Perfetto (https://ui.perfetto.dev) or chrome://tracing.
 func (o *Observation) WriteChromeTrace(w io.Writer) error {
 	return obs.WriteChromeTrace(w, o.rec.Events())
+}
+
+// WriteChromeTraceRuntime is WriteChromeTrace with the simulator-runtime
+// timeline track group appended: one track per host shard, window slices
+// split into idle/busy/barrier from the report's wall-clock measurements.
+// Because those measurements are non-deterministic, a trace written this way
+// is not byte-stable across runs — it is opt-in (cordsim only merges the
+// track when a runtime collector was attached), and the plain
+// WriteChromeTrace output stays deterministic.
+func (o *Observation) WriteChromeTraceRuntime(w io.Writer, rep *rt.Report) error {
+	return obs.WriteChromeTraceWith(w, o.rec.Events(), func(emit func(format string, args ...any)) {
+		rt.EmitChrome(rep, emit)
+	})
 }
 
 // WriteMetricsJSON exports the metrics registry as indented JSON.
@@ -78,6 +118,9 @@ func SimulateObserved(w Workload, p Protocol, s System, opt TraceOptions) (*Resu
 	sys := proto.NewSystem(s.Seed, nc, s.mode())
 	sys.Workers = s.SimWorkers
 	sys.Observe(rec)
+	if opt.Runtime != nil {
+		sys.AttachRuntime(opt.Runtime)
+	}
 	run, err := proto.Exec(sys, b, cores, progs)
 	if err != nil {
 		return nil, nil, err
