@@ -12,6 +12,7 @@ import (
 	"cord/internal/proto"
 	"cord/internal/sim"
 	"cord/internal/workload"
+	"cord/internal/workload/kvsvc"
 )
 
 // kernelResult is one row of BENCH_kernel.json: how fast the event kernel
@@ -53,6 +54,21 @@ type parallelResult struct {
 	Dominant    string  `json:"dominant_loss"`
 }
 
+// kvResult is one row of the KV-service sweep: how fast the kernel pushes
+// service requests through a reactive (pull-based) op source, wall-clock, and
+// what each request costs in allocations. SimP99Ns is the simulated tail for
+// cross-checking against the cordsim curve, not a kernel-speed figure.
+type kvResult struct {
+	Scheme       string  `json:"scheme"`
+	Hosts        int     `json:"hosts"`
+	Requests     uint64  `json:"requests"`
+	Events       uint64  `json:"events"`
+	WallMs       float64 `json:"wall_ms"`
+	ReqPerSec    float64 `json:"requests_per_sec"`
+	AllocsPerReq float64 `json:"allocs_per_request"`
+	SimP99Ns     float64 `json:"sim_p99_ns"`
+}
+
 // kernelReport is the machine-readable benchmark artifact committed as
 // BENCH_kernel.json so the kernel's performance trajectory is recorded in
 // the repo rather than in CI logs.
@@ -63,6 +79,7 @@ type kernelReport struct {
 	NumCPU      int              `json:"num_cpu"`
 	Scheduler   kernelResult     `json:"scheduler"`
 	Protocols   []kernelResult   `json:"protocols"`
+	KV          []kvResult       `json:"kv"`
 	Parallel    []parallelResult `json:"parallel"`
 }
 
@@ -149,6 +166,45 @@ func benchProtocol(s exp.Scheme, ic exp.Interconnect) (kernelResult, error) {
 	}, nil
 }
 
+// benchKV runs the sharded KV service under one scheme on the Table 1 CXL
+// topology and reports wall-clock request throughput and per-request
+// allocation cost — the service-workload counterpart of benchProtocol. The
+// source steady state is allocation-free; the per-request figure amortizes
+// system and service construction.
+func benchKV(s exp.Scheme) (kvResult, error) {
+	cfg := kvsvc.Default()
+	cfg.Clients = 64
+	cfg.Requests = 64
+	nc := exp.NetConfig(exp.CXL)
+	svc, err := cfg.Build(nc)
+	if err != nil {
+		return kvResult{}, err
+	}
+	sys := proto.NewSystem(42, nc, proto.RC)
+	runtime.GC()
+	var m0, m1 runtime.MemStats
+	runtime.ReadMemStats(&m0)
+	start := time.Now()
+	if _, err := proto.ExecSources(sys, exp.Builder(s), svc.Cores(), svc.Sources()); err != nil {
+		return kvResult{}, err
+	}
+	wall := time.Since(start)
+	runtime.ReadMemStats(&m1)
+	st := svc.Stats()
+	n := st.Total()
+	d := st.Overall()
+	return kvResult{
+		Scheme:       string(s),
+		Hosts:        nc.Hosts,
+		Requests:     n,
+		Events:       sys.Executed(),
+		WallMs:       float64(wall.Nanoseconds()) / 1e6,
+		ReqPerSec:    float64(n) / wall.Seconds(),
+		AllocsPerReq: float64(m1.Mallocs-m0.Mallocs) / float64(n),
+		SimP99Ns:     sim.Nanos(d.Quantile(0.99)),
+	}, nil
+}
+
 // benchParallel runs one CORD workload on a hosts-host CXL topology at the
 // given worker count and reports partitioned-engine throughput. The workload
 // scales with the host count (every host participates), so per-window
@@ -206,6 +262,15 @@ func kernelBench(path string) error {
 			fmt.Fprintf(os.Stderr, "kernel: %-4s %-3s %8d events  %6.1f ns/event  %5.2f Mevents/s  %.3f allocs/event\n",
 				r.Scheme, r.Fabric, r.Events, r.NsPerEvent, r.EventsPerSec/1e6, r.AllocsPerEvnt)
 		}
+	}
+	for _, s := range exp.Schemes() {
+		r, err := benchKV(s)
+		if err != nil {
+			return err
+		}
+		rep.KV = append(rep.KV, r)
+		fmt.Fprintf(os.Stderr, "kv: %-4s %3d hosts %7d requests  %6.2f Mreq/s  %.3f allocs/request  sim p99 %.0f ns\n",
+			r.Scheme, r.Hosts, r.Requests, r.ReqPerSec/1e6, r.AllocsPerReq, r.SimP99Ns)
 	}
 	for _, hosts := range []int{8, 64} {
 		var base float64

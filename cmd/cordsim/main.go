@@ -25,25 +25,35 @@ import (
 
 func main() {
 	var (
-		name    = flag.String("workload", "micro", "application name (PR, SSSP, PAD, TQH, HSTI, TRNS, MOCFE, CMC-2D, BigFFT, CR, ATA) or 'micro'")
-		protoF  = flag.String("proto", "CORD", "protocol: CORD, SO, MP, WB")
-		fabric  = flag.String("fabric", "CXL", "interconnect: CXL or UPI")
-		tso     = flag.Bool("tso", false, "enforce TSO instead of release consistency")
-		compare = flag.Bool("compare", false, "run all protocols and print a comparison")
-		store   = flag.Int("store", 64, "micro: relaxed store granularity (bytes)")
-		sync    = flag.Int("sync", 4096, "micro: synchronization granularity (bytes)")
-		fanout  = flag.Int("fanout", 1, "micro: communication fan-out (hosts)")
-		rounds  = flag.Int("rounds", 100, "micro/ATA: rounds; graph: iterations")
-		verts   = flag.Int("vertices", 4096, "graph-pr/graph-sssp: vertex count")
-		degree  = flag.Int("degree", 8, "graph-pr/graph-sssp: average out-degree")
-		seed    = flag.Int64("seed", 42, "simulation seed")
-		hosts   = flag.Int("hosts", 0, "override the host count (0 = Table 1 default of 8; validated up to 256)")
-		cores   = flag.Int("cores", 0, "override the cores per host (0 = Table 1 default of 8)")
-		mesh    = flag.Int("mesh", 0, "override the intra-host mesh columns (0 = Table 1 default of 4)")
-		workers = flag.Int("sim-workers", 0, "host shards advanced concurrently by the partitioned engine (<=1 serial; results identical for any value)")
-		dump    = flag.String("dump-trace", "", "write the workload's trace to this file and exit")
-		from    = flag.String("from-trace", "", "replay a cordtrace file instead of a named workload")
-		char    = flag.Bool("characterize", false, "print Table 2-style workload statistics and exit")
+		name      = flag.String("workload", "micro", "application name (PR, SSSP, PAD, TQH, HSTI, TRNS, MOCFE, CMC-2D, BigFFT, CR, ATA), 'micro', or 'kvsvc'")
+		protoF    = flag.String("proto", "CORD", "protocol: CORD, SO, MP, WB")
+		fabric    = flag.String("fabric", "CXL", "interconnect: CXL or UPI")
+		tso       = flag.Bool("tso", false, "enforce TSO instead of release consistency")
+		compare   = flag.Bool("compare", false, "run all protocols and print a comparison")
+		store     = flag.Int("store", 64, "micro: relaxed store granularity (bytes)")
+		sync      = flag.Int("sync", 4096, "micro: synchronization granularity (bytes)")
+		fanout    = flag.Int("fanout", 1, "micro: communication fan-out (hosts)")
+		rounds    = flag.Int("rounds", 100, "micro/ATA: rounds; graph: iterations")
+		verts     = flag.Int("vertices", 4096, "graph-pr/graph-sssp: vertex count")
+		degree    = flag.Int("degree", 8, "graph-pr/graph-sssp: average out-degree")
+		seed      = flag.Int64("seed", 42, "simulation seed")
+		hosts     = flag.Int("hosts", 0, "override the host count (0 = Table 1 default of 8; validated up to 256)")
+		cores     = flag.Int("cores", 0, "override the cores per host (0 = Table 1 default of 8)")
+		mesh      = flag.Int("mesh", 0, "override the intra-host mesh columns (0 = Table 1 default of 4)")
+		workers   = flag.Int("sim-workers", 0, "host shards advanced concurrently by the partitioned engine (<=1 serial; results identical for any value)")
+		kvClients = flag.Int("kv-clients", 32, "kvsvc: client sessions per server core")
+		kvReqs    = flag.Int("kv-requests", 24, "kvsvc: requests per client session")
+		kvGetPct  = flag.Int("kv-get-pct", 50, "kvsvc: percentage of requests that are gets (0-100)")
+		kvValue   = flag.Int("kv-value-bytes", 256, "kvsvc: value payload size (bytes)")
+		kvShards  = flag.Int("kv-shards", 4, "kvsvc: KV shards per server core")
+		kvServers = flag.Int("kv-servers", 2, "kvsvc: server cores per host")
+		kvThink   = flag.Float64("kv-think", 2000, "kvsvc: mean closed-loop think time (cycles)")
+		kvArrival = flag.Float64("kv-arrival", 0, "kvsvc: mean open-loop inter-arrival time per client (cycles); > 0 switches from closed to open loop")
+		kvLoads   = flag.String("kv-loads", "0.5,1,2,4", "kvsvc: comma-separated offered-load multipliers for the curve")
+
+		dump = flag.String("dump-trace", "", "write the workload's trace to this file and exit")
+		from = flag.String("from-trace", "", "replay a cordtrace file instead of a named workload")
+		char = flag.Bool("characterize", false, "print Table 2-style workload statistics and exit")
 
 		traceOut    = flag.String("trace-out", "", "write a Chrome trace_event JSON (Perfetto-loadable) of protocol events to this file, plus a .jsonl event stream alongside")
 		traceSample = flag.Int("trace-sample", 1, "record 1-in-N traced transactions (deterministic; metrics stay complete)")
@@ -74,6 +84,15 @@ func main() {
 	if k := strings.ToLower(*name); k == "graph-pr" || k == "graph-sssp" {
 		runGraph(k, *verts, *degree, *rounds, *seed,
 			cord.Protocol(strings.ToUpper(*protoF)), sys, *char)
+		return
+	}
+	if strings.ToLower(*name) == "kvsvc" {
+		runKV(kvFlags{
+			clients: *kvClients, requests: *kvReqs, getPct: *kvGetPct,
+			valueBytes: *kvValue, shards: *kvShards, servers: *kvServers,
+			think: *kvThink, arrival: *kvArrival, loads: *kvLoads,
+		}, cord.Protocol(strings.ToUpper(*protoF)), sys, *compare, *seed,
+			*traceOut, *metricsOut, *traceSample)
 		return
 	}
 

@@ -9,6 +9,8 @@
 //	top       [-k 10] trace.jsonl     slowest releases with per-segment latency
 //	diff      a.jsonl b.jsonl         per-class traffic delta between two runs
 //	breakdown trace.jsonl...          Fig. 2-style breakdown row per trace
+//	requests  trace.jsonl             service-level request latency per class
+//	                                  (kvsvc runs; aggregates req-done events)
 //	scaling   report.json             parallel-efficiency attribution of a
 //	                                  cordsim -runtime-report snapshot
 //
@@ -36,6 +38,7 @@ commands:
   top       trace.jsonl        slowest releases on the critical path (-k N)
   diff      a.jsonl b.jsonl    per-class traffic delta between two traces
   breakdown trace.jsonl...     compute/stall/traffic breakdown per trace
+  requests  trace.jsonl        service-level request latency per class (kvsvc)
   scaling   report.json        parallel efficiency + lost-speedup attribution
                                from a cordsim -runtime-report snapshot
 
@@ -61,6 +64,8 @@ func main() {
 		err = cmdDiff(args)
 	case "breakdown":
 		err = cmdBreakdown(args)
+	case "requests":
+		err = cmdRequests(args)
 	case "scaling":
 		err = cmdScaling(args)
 	case "-h", "--help", "help":

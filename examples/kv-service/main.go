@@ -1,0 +1,45 @@
+// KV service: run the sharded, replicated key-value service under all four
+// protocols at increasing offered load, and print the throughput and tail
+// latency each one sustains — the service-level view of what directory
+// ordering buys. CORD pipelines the replication releases, so its put path
+// barely stalls; SO serializes them, and the stall surfaces directly as
+// request p99.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"cord"
+)
+
+func main() {
+	// A closed-loop service: 16 client sessions per server core, each issuing
+	// 16 requests (50% gets) with ~2000 cycles of think time between them.
+	// Every put replicates its value to a mirror host before completing, and
+	// every get of a replicated version waits until it is visible locally.
+	w := cord.KVServiceDefault()
+	w.Clients = 16
+	w.Requests = 16
+
+	sys := cord.CXLSystem()
+	sys.Hosts = 4
+
+	fmt.Println("sharded KV service, 4 hosts, CXL (150ns links)")
+	fmt.Printf("%-6s %6s %14s %10s %10s %10s\n",
+		"proto", "load", "achieved(r/s)", "p50(ns)", "p99(ns)", "put-p99")
+	for _, p := range []cord.Protocol{cord.CORD, cord.SO, cord.MP, cord.WB} {
+		for _, mult := range []float64{1, 4} {
+			cfg := w
+			cfg.ThinkCycles = w.ThinkCycles / mult // shorter think = higher load
+			r, err := cord.SimulateKV(cfg, p, sys)
+			if err != nil {
+				log.Fatal(err)
+			}
+			_, p50, _, p99 := r.LatencyNanos()
+			_, putP99 := r.GetPutP99Nanos()
+			fmt.Printf("%-6s %6.0fx %14.0f %10.0f %10.0f %10.0f\n",
+				p, mult, r.RequestsPerSecond(), p50, p99, putP99)
+		}
+	}
+}

@@ -1,0 +1,83 @@
+package exp
+
+import (
+	"reflect"
+	"testing"
+
+	"cord/internal/workload/kvsvc"
+)
+
+func kvTestConfig() kvsvc.Config {
+	cfg := kvsvc.Default()
+	cfg.Clients = 3
+	cfg.Requests = 4
+	cfg.ThinkCycles = 500
+	return cfg
+}
+
+func TestKVCurveShape(t *testing.T) {
+	nc := NetConfig(CXL)
+	nc.Hosts = 2
+	loads := []float64{1, 2}
+	schemes := []Scheme{SchemeCORD, SchemeSO}
+	pts, err := KVCurve(kvTestConfig(), nc, loads, schemes, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pts) != len(schemes)*len(loads) {
+		t.Fatalf("points = %d, want %d", len(pts), len(schemes)*len(loads))
+	}
+	for i, pt := range pts {
+		// Scheme-major, load-minor ordering.
+		if want := schemes[i/len(loads)]; pt.Scheme != want {
+			t.Fatalf("point %d scheme = %s, want %s", i, pt.Scheme, want)
+		}
+		if want := loads[i%len(loads)]; pt.LoadMult != want {
+			t.Fatalf("point %d load = %v, want %v", i, pt.LoadMult, want)
+		}
+		if pt.Completed == 0 {
+			t.Fatalf("point %d completed no requests", i)
+		}
+		if pt.OfferedRPS <= 0 || pt.AchievedRPS <= 0 {
+			t.Fatalf("point %d rates: offered %v achieved %v", i, pt.OfferedRPS, pt.AchievedRPS)
+		}
+		if pt.P99Ns < pt.P50Ns {
+			t.Fatalf("point %d p99 %v < p50 %v", i, pt.P99Ns, pt.P50Ns)
+		}
+	}
+	// Every client on every server completes the same request count at every
+	// load multiplier — the census must not depend on the scheme or the load.
+	for _, pt := range pts[1:] {
+		if pt.Completed != pts[0].Completed {
+			t.Fatalf("census varies across points: %d vs %d", pt.Completed, pts[0].Completed)
+		}
+	}
+	// Higher offered load (shorter think) must not report lower offered RPS.
+	if pts[1].OfferedRPS <= pts[0].OfferedRPS {
+		t.Fatalf("offered RPS not increasing with load: %v then %v", pts[0].OfferedRPS, pts[1].OfferedRPS)
+	}
+}
+
+func TestKVCurveDeterministic(t *testing.T) {
+	nc := NetConfig(CXL)
+	nc.Hosts = 2
+	run := func() []KVPoint {
+		pts, err := KVCurve(kvTestConfig(), nc, []float64{1, 2}, []Scheme{SchemeCORD, SchemeMP}, 7)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return pts
+	}
+	a, b := run(), run()
+	if !reflect.DeepEqual(a, b) {
+		t.Fatalf("curve not deterministic:\n a: %+v\n b: %+v", a, b)
+	}
+}
+
+func TestKVCurveRejectsBadLoad(t *testing.T) {
+	nc := NetConfig(CXL)
+	nc.Hosts = 2
+	if _, err := KVCurve(kvTestConfig(), nc, []float64{0}, []Scheme{SchemeCORD}, 1); err == nil {
+		t.Fatal("zero load multiplier accepted")
+	}
+}

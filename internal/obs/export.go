@@ -36,11 +36,12 @@ func writeEventJSON(w *bufio.Writer, ev *Event) error {
 	switch ev.Kind {
 	case KSend, KLink, KDeliver, KRetry:
 		fmt.Fprintf(w, `,"class":%q,"bytes":%d`, ev.Class.String(), ev.Bytes)
-	case KOpIssue, KOpDone:
+	case KOpIssue, KOpDone, KReqDone:
 		fmt.Fprintf(w, `,"op":%d,"ord":%d`, ev.Op, ev.Ord)
 	}
 	if ev.Seq != 0 || ev.Kind == KOpIssue || ev.Kind == KOpDone ||
-		ev.Kind == KOrdered || ev.Kind == KRelCommit || ev.Kind == KRelAck {
+		ev.Kind == KOrdered || ev.Kind == KRelCommit || ev.Kind == KRelAck ||
+		ev.Kind == KReqDone {
 		fmt.Fprintf(w, `,"seq":%d`, ev.Seq)
 	}
 	if ev.Addr != 0 {
@@ -163,6 +164,10 @@ func WriteChromeTraceWith(w io.Writer, events []Event, extra func(emit func(form
 				emit(`{"ph":"X","name":"compute","cat":"op","pid":%d,"tid":%d,"ts":%.3f,"dur":%.3f,"args":{"seq":%d}}`,
 					ev.Src.Host, tid(ev.Src), tsMicros(ev.At), tsMicros(ev.Dur), ev.Seq)
 			}
+		case KReqDone:
+			emit(`{"ph":"X","name":"req:%s","cat":"req","pid":%d,"tid":%d,"ts":%.3f,"dur":%.3f,"args":{"seq":%d}}`,
+				ReqKindName(int(ev.Op)), ev.Src.Host, tid(ev.Src),
+				tsMicros(ev.At-ev.Dur), tsMicros(ev.Dur), ev.Seq)
 		case KDeliver, KRetry, KOrdered, KRelCommit, KRelAck, KCommit, KNotify,
 			KStallBegin, KLink:
 			emit(`{"ph":"i","s":"t","name":%q,"cat":"proto","pid":%d,"tid":%d,"ts":%.3f,"args":{"seq":%d}}`,

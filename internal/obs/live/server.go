@@ -266,6 +266,50 @@ func writePrometheus(w http.ResponseWriter, m *obs.Metrics) {
 	}
 	fmt.Fprintf(w, "# TYPE cord_dir_queue_peak gauge\ncord_dir_queue_peak %d\n", m.DirQueuePeak)
 	fmt.Fprintf(w, "# TYPE cord_engine_queue_peak gauge\ncord_engine_queue_peak %d\n", m.EngineQueuePeak)
+
+	// Service-level request latency (pull-based workload sources). Families
+	// appear only when a service workload ran, so scrapes of pure trace
+	// replays are unchanged.
+	anyReq := false
+	for k := 0; k < obs.NumReqKinds; k++ {
+		if m.ReqLatency[k].Count() > 0 {
+			anyReq = true
+		}
+	}
+	if !anyReq {
+		return
+	}
+	fmt.Fprint(w, "# HELP cord_request_latency_cycles service request arrival-to-completion latency\n"+
+		"# TYPE cord_request_latency_cycles summary\n")
+	for k := 0; k < obs.NumReqKinds; k++ {
+		d := &m.ReqLatency[k]
+		if d.Count() == 0 {
+			continue
+		}
+		op := obs.ReqKindName(k)
+		for _, q := range []float64{0.5, 0.95, 0.99} {
+			fmt.Fprintf(w, "cord_request_latency_cycles{op=%q,quantile=\"%g\"} %d\n",
+				op, q, uint64(d.Quantile(q)))
+		}
+		fmt.Fprintf(w, "cord_request_latency_cycles_sum{op=%q} %.0f\n", op, d.Mean()*float64(d.Count()))
+		fmt.Fprintf(w, "cord_request_latency_cycles_count{op=%q} %d\n", op, d.Count())
+	}
+	fmt.Fprint(w, "# HELP cord_request_latency_cycles_bucket cumulative request latency histogram "+
+		"(log-linear buckets; use histogram_quantile over le)\n"+
+		"# TYPE cord_request_latency_cycles_bucket counter\n")
+	for k := 0; k < obs.NumReqKinds; k++ {
+		d := &m.ReqLatency[k]
+		if d.Count() == 0 {
+			continue
+		}
+		op := obs.ReqKindName(k)
+		d.ForBuckets(func(le sim.Time, cum uint64) {
+			fmt.Fprintf(w, "cord_request_latency_cycles_bucket{op=%q,le=\"%d\"} %d\n",
+				op, uint64(le), cum)
+		})
+		fmt.Fprintf(w, "cord_request_latency_cycles_bucket{op=%q,le=\"+Inf\"} %d\n",
+			op, d.Count())
+	}
 }
 
 // writeRuntimePrometheus renders the simulator-runtime telemetry families.

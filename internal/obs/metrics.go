@@ -35,6 +35,13 @@ type Metrics struct {
 	DirQueuePeak int
 	// EngineQueuePeak is the deepest the discrete-event queue got.
 	EngineQueuePeak int
+
+	// ReqLatency holds service-level request latency per request class
+	// (ReqGet/ReqPut), fed by pull-based workload sources via ObserveRequest.
+	// High-resolution (log-linear) because the throughput-latency curves the
+	// service experiments plot need sub-octave p99 fidelity. Empty unless a
+	// service workload ran, so pre-existing exports are unchanged.
+	ReqLatency [NumReqKinds]stats.HDist
 }
 
 // NewMetrics returns an empty registry.
@@ -88,6 +95,19 @@ func (r *Recorder) AddStall(kind stats.StallKind, d sim.Time) {
 	r.m.StallCount[kind]++
 }
 
+// ObserveRequest records one completed service-level request of the given
+// class (ReqGet/ReqPut) with its arrival-to-completion latency.
+func (r *Recorder) ObserveRequest(kind int, d sim.Time) {
+	if r == nil || r.m == nil {
+		return
+	}
+	if r.mu != nil {
+		r.mu.Lock()
+		defer r.mu.Unlock()
+	}
+	r.m.ReqLatency[kind].Add(d)
+}
+
 // DirDepth tracks the peak directory recycle-buffer depth.
 func (r *Recorder) DirDepth(depth int) {
 	if r == nil || r.m == nil {
@@ -139,6 +159,9 @@ func (m *Metrics) Merge(other *Metrics) {
 	if other.EngineQueuePeak > m.EngineQueuePeak {
 		m.EngineQueuePeak = other.EngineQueuePeak
 	}
+	for k := 0; k < NumReqKinds; k++ {
+		m.ReqLatency[k].Merge(&other.ReqLatency[k])
+	}
 }
 
 // TotalBytes sums both scopes for one class (the figure stats.Traffic
@@ -169,11 +192,23 @@ type stallJSON struct {
 	Count  uint64 `json:"count"`
 }
 
+// requestJSON is one request class's exported row (service workloads only).
+type requestJSON struct {
+	Kind       string  `json:"kind"`
+	Count      uint64  `json:"count"`
+	LatMeanCyc float64 `json:"latency_mean_cycles"`
+	LatP50Cyc  uint64  `json:"latency_p50_cycles"`
+	LatP95Cyc  uint64  `json:"latency_p95_cycles"`
+	LatP99Cyc  uint64  `json:"latency_p99_cycles"`
+	LatMaxCyc  uint64  `json:"latency_max_cycles"`
+}
+
 type metricsJSON struct {
-	Classes         []classJSON `json:"classes"`
-	Stalls          []stallJSON `json:"stalls"`
-	DirQueuePeak    int         `json:"dir_queue_peak"`
-	EngineQueuePeak int         `json:"engine_queue_peak"`
+	Classes         []classJSON   `json:"classes"`
+	Stalls          []stallJSON   `json:"stalls"`
+	Requests        []requestJSON `json:"requests,omitempty"`
+	DirQueuePeak    int           `json:"dir_queue_peak"`
+	EngineQueuePeak int           `json:"engine_queue_peak"`
 }
 
 // Doc returns the registry as the plain-data document the JSON export and
@@ -210,6 +245,21 @@ func (m *Metrics) Doc() any {
 			Kind:   stats.StallKind(k).String(),
 			Cycles: uint64(m.StallCycles[k]),
 			Count:  m.StallCount[k],
+		})
+	}
+	for k := 0; k < NumReqKinds; k++ {
+		d := &m.ReqLatency[k]
+		if d.Count() == 0 {
+			continue
+		}
+		out.Requests = append(out.Requests, requestJSON{
+			Kind:       ReqKindName(k),
+			Count:      d.Count(),
+			LatMeanCyc: d.Mean(),
+			LatP50Cyc:  uint64(d.Quantile(0.5)),
+			LatP95Cyc:  uint64(d.Quantile(0.95)),
+			LatP99Cyc:  uint64(d.Quantile(0.99)),
+			LatMaxCyc:  uint64(d.Max()),
 		})
 	}
 	return out

@@ -69,13 +69,36 @@ const (
 	// KNotify: a CORD inter-directory notification (or an MP flush response)
 	// was forwarded. Seq is the epoch/tag.
 	KNotify
+	// KReqDone: a service-level request completed at the core serving it
+	// (emitted by pull-based workload sources, not by protocols). Seq is the
+	// core-local request id, Op the request class (ReqGet/ReqPut), Dur the
+	// arrival-to-completion latency in cycles.
+	KReqDone
 	numKinds
 )
 
 var kindNames = [numKinds]string{
 	"send", "link", "deliver", "retry", "stall-begin", "stall-end",
 	"op-issue", "op-done", "ordered", "rel-commit", "rel-ack", "commit",
-	"notify",
+	"notify", "req-done",
+}
+
+// Service-level request classes (Event.Op of a KReqDone event, and the index
+// into Metrics.ReqLatency).
+const (
+	ReqGet = iota
+	ReqPut
+	NumReqKinds
+)
+
+var reqKindNames = [NumReqKinds]string{"get", "put"}
+
+// ReqKindName names a request class ("get"/"put").
+func ReqKindName(k int) string {
+	if k < 0 || k >= NumReqKinds {
+		return fmt.Sprintf("req(%d)", k)
+	}
+	return reqKindNames[k]
 }
 
 func (k Kind) String() string {

@@ -33,9 +33,12 @@ type LoadResp struct {
 // pipeline issues at most one operation per cycle.
 const IssueCycles = 1
 
-// ProcBase sequences a core's program: it executes Compute and Acquire ops
-// itself and delegates stores and barriers to the owning protocol through
-// Exec. Protocol processor types embed it.
+// ProcBase sequences a core's operation stream: it executes Compute and
+// Acquire ops itself and delegates stores and barriers to the owning protocol
+// through Exec. Ops are pulled one at a time from an OpSource — a static
+// Program is just the trivial source — so the stream may be produced
+// reactively, at simulated time, by a workload that decides each op only once
+// the previous one retired. Protocol processor types embed it.
 type ProcBase struct {
 	Sys *System
 	ID  noc.NodeID
@@ -50,11 +53,13 @@ type ProcBase struct {
 	// proceed to the following op in program order. The protocol sets it.
 	Exec func(op Op, next func())
 
-	prog     Program
-	pc       int
-	done     bool
-	nextTag  uint64
-	acquires map[uint64]func()
+	src        OpSource
+	pending    Op
+	hasPending bool
+	seq        uint64
+	done       bool
+	nextTag    uint64
+	acquires   map[uint64]func()
 }
 
 // InitBase prepares the embedded fields.
@@ -67,34 +72,53 @@ func (p *ProcBase) InitBase(sys *System, id noc.NodeID, ps *stats.ProcStats) {
 	p.acquires = make(map[uint64]func())
 }
 
-// Start begins program execution.
-func (p *ProcBase) Start(prog Program) {
-	p.prog = prog
-	p.pc = 0
-	p.done = len(prog) == 0
-	if p.done {
+// Start begins executing a static program (the trivial OpSource).
+func (p *ProcBase) Start(prog Program) { p.StartSource(prog.Source()) }
+
+// StartSource begins pulling and executing ops from src. The first op is
+// pulled eagerly: an immediately-exhausted source retires the core without
+// scheduling any engine event, exactly as an empty Program always has.
+func (p *ProcBase) StartSource(src OpSource) {
+	p.src = src
+	p.seq = 0
+	p.hasPending = false
+	p.done = false
+	if a, ok := src.(CoreAttachable); ok {
+		a.AttachCore(p.ID, p.Eng, p.Obs)
+	}
+	op, ok := src.Next(p.Eng.Now())
+	if !ok {
+		p.done = true
 		p.PS.Finished = p.Eng.Now()
 		return
 	}
+	p.pending, p.hasPending = op, true
 	p.Eng.Schedule(0, p.Step)
 }
 
-// Done reports whether the program has retired.
+// Done reports whether the operation stream has retired.
 func (p *ProcBase) Done() bool { return p.done }
 
-// Step executes the op at pc. The protocol's Exec (or the base's own
-// handling) calls back to advance.
+// Step executes the next op — the one stashed by StartSource, or freshly
+// pulled from the source now that the previous op has retired. The protocol's
+// Exec (or the base's own handling) calls back to advance.
 func (p *ProcBase) Step() {
-	if p.pc >= len(p.prog) {
-		if !p.done {
-			p.done = true
-			p.PS.Finished = p.Eng.Now()
+	var op Op
+	if p.hasPending {
+		op, p.hasPending = p.pending, false
+	} else {
+		var ok bool
+		op, ok = p.src.Next(p.Eng.Now())
+		if !ok {
+			if !p.done {
+				p.done = true
+				p.PS.Finished = p.Eng.Now()
+			}
+			return
 		}
-		return
 	}
-	op := p.prog[p.pc]
-	opSeq := uint64(p.pc)
-	p.pc++
+	opSeq := p.seq
+	p.seq++
 	p.PS.Ops++
 	next := func() { p.Eng.Schedule(IssueCycles, p.Step) }
 	if rec := p.Obs; rec.Take() {

@@ -1,0 +1,164 @@
+package proto
+
+import (
+	"bytes"
+	"encoding/json"
+	"testing"
+
+	"cord/internal/memsys"
+	"cord/internal/noc"
+	"cord/internal/obs"
+	"cord/internal/sim"
+)
+
+func testProgram() Program {
+	a := memsys.Compose(1, 0, 0)
+	return Program{
+		Compute(10),
+		StoreRelaxed(a, 64),
+		StoreRelaxed(a+64, 32),
+		StoreRelease(a+128, 8, 1),
+		Compute(25),
+	}
+}
+
+func TestProgramSourceYieldsProgramInOrder(t *testing.T) {
+	prog := testProgram()
+	src := prog.Source()
+	for i, want := range prog {
+		op, ok := src.Next(sim.Time(i))
+		if !ok {
+			t.Fatalf("op %d: stream ended early", i)
+		}
+		if op != want {
+			t.Fatalf("op %d = %v, want %v", i, op, want)
+		}
+	}
+	// Ended is permanent: cores may re-poll a finished source.
+	for i := 0; i < 3; i++ {
+		if _, ok := src.Next(0); ok {
+			t.Fatal("finished source yielded another op")
+		}
+	}
+}
+
+// TestProgramSourceZeroAlloc pins the OpSource contract's hot-path promise
+// for the trivial source: replaying a program through Next never allocates.
+func TestProgramSourceZeroAlloc(t *testing.T) {
+	prog := testProgram()
+	const runs = 10
+	srcs := make([]OpSource, runs+1)
+	for i := range srcs {
+		srcs[i] = prog.Source()
+	}
+	i := 0
+	allocs := testing.AllocsPerRun(runs, func() {
+		src := srcs[i]
+		i++
+		for {
+			if _, ok := src.Next(0); !ok {
+				return
+			}
+		}
+	})
+	if allocs != 0 {
+		t.Fatalf("programSource.Next allocated %.1f times per drain, want 0", allocs)
+	}
+}
+
+// TestExecSourcesMatchesExec is the refactor's equivalence gate at the driver
+// level: running programs through Exec and running the same programs as pull
+// sources through ExecSources must produce identical run statistics.
+func TestExecSourcesMatchesExec(t *testing.T) {
+	flag := memsys.Compose(1, 0, 0)
+	progs := []Program{
+		{Compute(500), StoreRelaxed(flag+64, 64), StoreRelease(flag, 8, 1)},
+		{AcquireLoad(flag, 1), Compute(40)},
+	}
+	cores := []noc.NodeID{noc.CoreID(0, 0), noc.CoreID(1, 0)}
+
+	sysA := NewSystem(7, smallConfig(), RC)
+	runA, err := Exec(sysA, nullProto{}, cores, progs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sysB := NewSystem(7, smallConfig(), RC)
+	srcs := make([]OpSource, len(progs))
+	for i, p := range progs {
+		srcs[i] = p.Source()
+	}
+	runB, err := ExecSources(sysB, nullProto{}, cores, srcs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ja, _ := json.Marshal(runA)
+	jb, _ := json.Marshal(runB)
+	if !bytes.Equal(ja, jb) {
+		t.Fatalf("Exec and ExecSources stats diverge:\n exec:    %s\n sources: %s", ja, jb)
+	}
+}
+
+func TestExecSourcesRejectsBadInput(t *testing.T) {
+	sys := NewSystem(1, smallConfig(), RC)
+	cores := []noc.NodeID{noc.CoreID(0, 0)}
+	if _, err := ExecSources(sys, nullProto{}, cores, nil); err == nil {
+		t.Fatal("length mismatch accepted")
+	}
+	if _, err := ExecSources(sys, nullProto{}, cores, []OpSource{nil}); err == nil {
+		t.Fatal("nil source accepted")
+	}
+}
+
+// TestEmptySourceFinishesImmediately: a source that is exhausted on its very
+// first pull retires the core at its start time, with no ops executed.
+func TestEmptySourceFinishesImmediately(t *testing.T) {
+	sys := NewSystem(1, smallConfig(), RC)
+	cores := []noc.NodeID{noc.CoreID(0, 0)}
+	run, err := ExecSources(sys, nullProto{}, cores, []OpSource{Program{}.Source()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if run.Time != 0 || run.Procs[0].Ops != 0 {
+		t.Fatalf("empty source: Time=%d Ops=%d, want 0/0", run.Time, run.Procs[0].Ops)
+	}
+}
+
+// attachSpy records the AttachCore invocation.
+type attachSpy struct {
+	programSource
+	core     noc.NodeID
+	eng      *sim.Engine
+	rec      *obs.Recorder
+	attached int
+}
+
+func (a *attachSpy) AttachCore(core noc.NodeID, eng *sim.Engine, rec *obs.Recorder) {
+	a.core, a.eng, a.rec = core, eng, rec
+	a.attached++
+}
+
+// TestCoreAttachableReceivesIdentity: StartSource hands an attachable source
+// its core's identity, host-shard engine, and recorder exactly once, before
+// the first pull.
+func TestCoreAttachableReceivesIdentity(t *testing.T) {
+	sys := NewSystem(1, smallConfig(), RC)
+	rec := obs.New()
+	sys.Observe(rec)
+	core := noc.CoreID(1, 2)
+	spy := &attachSpy{programSource: programSource{prog: Program{Compute(5)}}}
+	if _, err := ExecSources(sys, nullProto{}, []noc.NodeID{core}, []OpSource{spy}); err != nil {
+		t.Fatal(err)
+	}
+	if spy.attached != 1 {
+		t.Fatalf("AttachCore called %d times, want 1", spy.attached)
+	}
+	if spy.core != core {
+		t.Fatalf("attached core = %v, want %v", spy.core, core)
+	}
+	if spy.eng != sys.EngOf(core.Host) {
+		t.Fatal("attached engine is not the core's host-shard engine")
+	}
+	if spy.rec != sys.ObsOf(core.Host) {
+		t.Fatal("attached recorder is not the core's host-shard recorder")
+	}
+}

@@ -228,8 +228,12 @@ type CPU interface {
 	// Start begins executing prog; completion is observable via Done and the
 	// per-core stats' Finished time.
 	Start(prog Program)
-	// Done reports whether the program has fully retired (including any
-	// protocol-level draining the processor is responsible for).
+	// StartSource begins pulling and executing ops from src (Start is the
+	// special case src == prog.Source()); completion is observable via Done
+	// and the per-core stats' Finished time.
+	StartSource(src OpSource)
+	// Done reports whether the operation stream has fully retired (including
+	// any protocol-level draining the processor is responsible for).
 	Done() bool
 }
 
@@ -254,13 +258,44 @@ func Exec(sys *System, b Builder, cores []noc.NodeID, progs []Program) (*stats.R
 			return nil, fmt.Errorf("proto: program %d: %w", i, err)
 		}
 	}
+	return run(sys, b, cores,
+		func(c CPU, i int) { c.Start(progs[i]) },
+		func(i int) string {
+			return fmt.Sprintf("pc stuck, %d/%d ops", sys.Run.Procs[i].Ops, len(progs[i]))
+		})
+}
+
+// ExecSources is Exec for pull-based operation streams: cores[i] pulls its
+// ops from srcs[i] at simulated time. Unlike programs, sources cannot be
+// validated up front — they are expected to yield well-formed ops (record a
+// run through trace.Capture and replay it when in doubt).
+func ExecSources(sys *System, b Builder, cores []noc.NodeID, srcs []OpSource) (*stats.Run, error) {
+	if len(cores) != len(srcs) {
+		return nil, fmt.Errorf("proto: %d cores but %d op sources", len(cores), len(srcs))
+	}
+	for i, s := range srcs {
+		if s == nil {
+			return nil, fmt.Errorf("proto: op source %d is nil", i)
+		}
+	}
+	return run(sys, b, cores,
+		func(c CPU, i int) { c.StartSource(srcs[i]) },
+		func(i int) string {
+			return fmt.Sprintf("source stalled after %d ops", sys.Run.Procs[i].Ops)
+		})
+}
+
+// run is the shared Exec/ExecSources driver: build the protocol, start every
+// core, advance the engine (or the partitioned cluster) to quiescence, fold
+// per-shard state, and collect completion.
+func run(sys *System, b Builder, cores []noc.NodeID, start func(CPU, int), stuck func(int) string) (*stats.Run, error) {
 	sys.Run.Procs = make([]stats.ProcStats, len(cores))
 	cpus := b.Build(sys, cores)
 	if len(cpus) != len(cores) {
 		return nil, fmt.Errorf("proto: builder %s produced %d CPUs for %d cores", b.Name(), len(cpus), len(cores))
 	}
 	for i, c := range cpus {
-		c.Start(progs[i])
+		start(c, i)
 	}
 	if sys.Cluster == nil {
 		if err := sys.Eng.Run(); err != nil {
@@ -281,8 +316,8 @@ func Exec(sys *System, b Builder, cores []noc.NodeID, progs []Program) (*stats.R
 	var finish sim.Time
 	for i, c := range cpus {
 		if !c.Done() {
-			return nil, fmt.Errorf("proto: %s: core %v deadlocked (pc stuck, %d/%d ops)",
-				b.Name(), cores[i], sys.Run.Procs[i].Ops, len(progs[i]))
+			return nil, fmt.Errorf("proto: %s: core %v deadlocked (%s)",
+				b.Name(), cores[i], stuck(i))
 		}
 		if f := sys.Run.Procs[i].Finished; f > finish {
 			finish = f

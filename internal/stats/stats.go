@@ -5,6 +5,7 @@ package stats
 
 import (
 	"fmt"
+	"math/bits"
 	"slices"
 	"strings"
 
@@ -436,6 +437,146 @@ func (d *Dist) ForBuckets(f func(le sim.Time, cumulative uint64)) {
 
 // Merge folds other into d.
 func (d *Dist) Merge(other *Dist) {
+	for i, n := range other.buckets {
+		d.buckets[i] += n
+	}
+	d.count += other.count
+	d.sum += other.sum
+	if other.max > d.max {
+		d.max = other.max
+	}
+}
+
+// hdistSub is HDist's resolution: each power-of-two octave is split into
+// 2^hdistSub linear sub-buckets, bounding relative quantile error by
+// 2^-hdistSub (12.5%). Values below 2^(hdistSub+1) are recorded exactly.
+const (
+	hdistSub     = 3
+	hdistExact   = 1 << (hdistSub + 1)                      // 16 exact buckets
+	hdistBuckets = hdistExact + (63-hdistSub)*(1<<hdistSub) // 496
+)
+
+// HDist is a high-resolution log-linear latency distribution (HDR-histogram
+// shape: power-of-two octaves split into 8 linear sub-buckets each, ~12.5%
+// worst-case quantile error over the full sim.Time range). The coarser Dist
+// is fine for protocol-internal latencies plotted on log axes; service-level
+// request tails (p95/p99 on a throughput-latency curve) need sub-octave
+// resolution or the hockey stick quantizes into factor-of-two steps.
+// The zero value is ready to use; Merge is commutative, so per-core shards
+// fold deterministically.
+type HDist struct {
+	buckets [hdistBuckets]uint64
+	count   uint64
+	sum     uint64
+	max     sim.Time
+}
+
+// hbucketOf maps v to its bucket index: exact below hdistExact, then octave
+// msb with the next hdistSub bits selecting the linear sub-bucket.
+func hbucketOf(v sim.Time) int {
+	if v < hdistExact {
+		return int(v)
+	}
+	msb := 63 - bits.LeadingZeros64(uint64(v))
+	sub := int(uint64(v)>>(msb-hdistSub)) & (1<<hdistSub - 1)
+	return hdistExact + (msb-hdistSub-1)*(1<<hdistSub) + sub
+}
+
+// hbucketBounds returns the inclusive value range bucket idx covers.
+func hbucketBounds(idx int) (lo, hi sim.Time) {
+	if idx < hdistExact {
+		return sim.Time(idx), sim.Time(idx)
+	}
+	rel := idx - hdistExact
+	msb := rel/(1<<hdistSub) + hdistSub + 1
+	sub := rel % (1 << hdistSub)
+	lo = sim.Time(1)<<msb + sim.Time(sub)<<(msb-hdistSub)
+	return lo, lo + sim.Time(1)<<(msb-hdistSub) - 1
+}
+
+// Add records one sample.
+func (d *HDist) Add(v sim.Time) {
+	d.buckets[hbucketOf(v)]++
+	d.count++
+	d.sum += uint64(v)
+	if v > d.max {
+		d.max = v
+	}
+}
+
+// Count returns the number of samples.
+func (d *HDist) Count() uint64 { return d.count }
+
+// Mean returns the mean sample in cycles.
+func (d *HDist) Mean() float64 {
+	if d.count == 0 {
+		return 0
+	}
+	return float64(d.sum) / float64(d.count)
+}
+
+// Max returns the largest sample.
+func (d *HDist) Max() sim.Time { return d.max }
+
+// Quantile returns the q-quantile (q in [0,1]), linearly interpolated within
+// the bucket that holds it and capped at the observed max.
+func (d *HDist) Quantile(q float64) sim.Time {
+	if d.count == 0 {
+		return 0
+	}
+	if q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	target := uint64(q * float64(d.count))
+	if target >= d.count {
+		target = d.count - 1
+	}
+	var seen uint64
+	for b, n := range d.buckets {
+		if n == 0 {
+			continue
+		}
+		if seen+n > target {
+			lo, hi := hbucketBounds(b)
+			if hi > d.max {
+				hi = d.max
+			}
+			frac := (float64(target-seen) + 0.5) / float64(n)
+			return lo + sim.Time(frac*float64(hi-lo))
+		}
+		seen += n
+	}
+	return d.max
+}
+
+// ForBuckets walks the non-empty tail of the distribution cumulatively, like
+// Dist.ForBuckets but over the log-linear buckets: f sees each occupied
+// bucket's inclusive upper bound and the cumulative count at or below it
+// (empty buckets are skipped — Prometheus histograms only need monotone
+// cumulative pairs, not a dense grid).
+func (d *HDist) ForBuckets(f func(le sim.Time, cumulative uint64)) {
+	if d.count == 0 {
+		return
+	}
+	var cum uint64
+	for b, n := range d.buckets {
+		if n == 0 {
+			continue
+		}
+		cum += n
+		_, hi := hbucketBounds(b)
+		f(hi, cum)
+		if cum == d.count {
+			return
+		}
+	}
+}
+
+// Merge folds other into d.
+func (d *HDist) Merge(other *HDist) {
 	for i, n := range other.buckets {
 		d.buckets[i] += n
 	}

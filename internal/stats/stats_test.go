@@ -245,3 +245,129 @@ func TestDistForBuckets(t *testing.T) {
 		t.Fatalf("last cumulative %d != count %d", got[len(got)-1].cum, d.Count())
 	}
 }
+
+func TestHDistBucketRoundTrip(t *testing.T) {
+	// Every value must land in a bucket whose bounds contain it, and bucket
+	// index must be monotone in the value.
+	vals := []sim.Time{0, 1, 7, 15, 16, 17, 100, 1000, 4095, 4096, 1 << 20, 1<<40 + 12345}
+	prev := -1
+	for _, v := range vals {
+		b := hbucketOf(v)
+		lo, hi := hbucketBounds(b)
+		if v < lo || v > hi {
+			t.Fatalf("value %d in bucket %d with bounds [%d,%d]", v, b, lo, hi)
+		}
+		if b < prev {
+			t.Fatalf("bucket index not monotone at %d", v)
+		}
+		prev = b
+	}
+}
+
+func TestHDistBucketMonotoneProperty(t *testing.T) {
+	f := func(a, b uint32) bool {
+		x, y := sim.Time(a), sim.Time(b)
+		if x > y {
+			x, y = y, x
+		}
+		return hbucketOf(x) <= hbucketOf(y)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestHDistQuantileResolution(t *testing.T) {
+	// 100 evenly spread samples: quantiles must come out within the 12.5%
+	// bucket resolution, far tighter than Dist's factor-of-two buckets.
+	var d HDist
+	for i := 1; i <= 100; i++ {
+		d.Add(sim.Time(i * 100))
+	}
+	for _, tc := range []struct {
+		q    float64
+		want sim.Time
+	}{{0.5, 5000}, {0.95, 9500}, {0.99, 9900}} {
+		got := d.Quantile(tc.q)
+		lo := tc.want - tc.want/8
+		hi := tc.want + tc.want/8
+		if got < lo || got > hi {
+			t.Fatalf("q%.2f = %d, want within 12.5%% of %d", tc.q, got, tc.want)
+		}
+	}
+	if d.Quantile(1) > d.Max() {
+		t.Fatalf("p100 %d exceeds max %d", d.Quantile(1), d.Max())
+	}
+}
+
+func TestHDistQuantileMonotone(t *testing.T) {
+	f := func(vals []uint16) bool {
+		var d HDist
+		for _, v := range vals {
+			d.Add(sim.Time(v))
+		}
+		last := sim.Time(0)
+		for _, q := range []float64{0, 0.25, 0.5, 0.75, 0.9, 0.99, 1} {
+			cur := d.Quantile(q)
+			if cur < last {
+				return false
+			}
+			last = cur
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestHDistMergeCommutes(t *testing.T) {
+	var a, b, ab, ba HDist
+	for i := 0; i < 50; i++ {
+		a.Add(sim.Time(i * 37))
+		b.Add(sim.Time(i * 101))
+	}
+	ab = a
+	ab.Merge(&b)
+	ba = b
+	ba.Merge(&a)
+	if ab != ba {
+		t.Fatal("HDist.Merge is not commutative")
+	}
+	if ab.Count() != 100 {
+		t.Fatalf("merged count = %d", ab.Count())
+	}
+	for _, q := range []float64{0.5, 0.99} {
+		if ab.Quantile(q) != ba.Quantile(q) {
+			t.Fatalf("quantile %v differs across merge order", q)
+		}
+	}
+}
+
+func TestHDistForBucketsCumulative(t *testing.T) {
+	var d HDist
+	calls := 0
+	d.ForBuckets(func(sim.Time, uint64) { calls++ })
+	if calls != 0 {
+		t.Fatal("empty HDist walked buckets")
+	}
+	for _, v := range []sim.Time{0, 5, 5, 300, 70000} {
+		d.Add(v)
+	}
+	var lastLe sim.Time
+	var lastCum uint64
+	first := true
+	d.ForBuckets(func(le sim.Time, cum uint64) {
+		if !first && le <= lastLe {
+			t.Fatalf("bucket bounds not increasing: %d after %d", le, lastLe)
+		}
+		first = false
+		if cum <= lastCum {
+			t.Fatalf("cumulative count not increasing: %d after %d", cum, lastCum)
+		}
+		lastLe, lastCum = le, cum
+	})
+	if lastCum != d.Count() {
+		t.Fatalf("final cumulative %d != count %d", lastCum, d.Count())
+	}
+}

@@ -1,0 +1,72 @@
+package trace
+
+import (
+	"fmt"
+
+	"cord/internal/noc"
+	"cord/internal/obs"
+	"cord/internal/proto"
+	"cord/internal/sim"
+)
+
+// Capture wraps an OpSource and records every operation it yields, so a
+// reactive run — a closed-loop service whose op stream depends on simulated
+// time — can be written out as a static trace and replayed later (through
+// Exec or any other consumer) with the exact same op sequence. The wrapper is
+// transparent: it forwards AttachCore to the inner source when that source
+// wants its core identity, and adds nothing to the stream.
+//
+// Capturing allocates (the recorded program grows), so wrap sources for
+// record runs only — measurement runs should execute the source directly, or
+// replay the captured trace.
+type Capture struct {
+	src proto.OpSource
+	// Prog is the operation sequence pulled so far.
+	Prog proto.Program
+}
+
+// NewCapture wraps src.
+func NewCapture(src proto.OpSource) *Capture { return &Capture{src: src} }
+
+// Next implements proto.OpSource.
+func (c *Capture) Next(now sim.Time) (proto.Op, bool) {
+	op, ok := c.src.Next(now)
+	if ok {
+		c.Prog = append(c.Prog, op)
+	}
+	return op, ok
+}
+
+// AttachCore implements proto.CoreAttachable by forwarding to the inner
+// source when it is attachable.
+func (c *Capture) AttachCore(core noc.NodeID, eng *sim.Engine, rec *obs.Recorder) {
+	if a, ok := c.src.(proto.CoreAttachable); ok {
+		a.AttachCore(core, eng, rec)
+	}
+}
+
+// CaptureSources wraps every source, returning the wrappers both as concrete
+// captures (for FromCaptures) and as the []proto.OpSource ExecSources takes.
+func CaptureSources(srcs []proto.OpSource) ([]*Capture, []proto.OpSource) {
+	caps := make([]*Capture, len(srcs))
+	out := make([]proto.OpSource, len(srcs))
+	for i, s := range srcs {
+		caps[i] = NewCapture(s)
+		out[i] = caps[i]
+	}
+	return caps, out
+}
+
+// FromCaptures assembles the recorded programs into a trace (run the captures
+// to completion first). The result round-trips through Write/Read like any
+// other trace.
+func FromCaptures(cores []noc.NodeID, caps []*Capture) (*Trace, error) {
+	if len(cores) != len(caps) {
+		return nil, fmt.Errorf("trace: %d cores but %d captures", len(cores), len(caps))
+	}
+	t := &Trace{Cores: cores, Progs: make([]proto.Program, len(caps))}
+	for i, c := range caps {
+		t.Progs[i] = c.Prog
+	}
+	return t, nil
+}

@@ -1,0 +1,110 @@
+package trace
+
+import (
+	"bytes"
+	"encoding/json"
+	"testing"
+
+	"cord/internal/noc"
+	"cord/internal/proto"
+	"cord/internal/proto/cord"
+	"cord/internal/workload/kvsvc"
+)
+
+func TestCaptureRecordsStream(t *testing.T) {
+	prog := proto.Program{
+		proto.Compute(10),
+		proto.StoreRelaxed(0x40, 64),
+		proto.StoreRelease(0x80, 8, 3),
+	}
+	cap := NewCapture(prog.Source())
+	n := 0
+	for {
+		op, ok := cap.Next(0)
+		if !ok {
+			break
+		}
+		if op != prog[n] {
+			t.Fatalf("op %d = %v, want %v", n, op, prog[n])
+		}
+		n++
+	}
+	if len(cap.Prog) != len(prog) {
+		t.Fatalf("captured %d ops, want %d", len(cap.Prog), len(prog))
+	}
+	tr, err := FromCaptures([]noc.NodeID{noc.CoreID(0, 0)}, []*Capture{cap})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := Write(&buf, tr); err != nil {
+		t.Fatal(err)
+	}
+	back, err := Read(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(back.Progs[0]) != len(prog) {
+		t.Fatalf("round trip kept %d ops, want %d", len(back.Progs[0]), len(prog))
+	}
+}
+
+func TestFromCapturesRejectsMismatch(t *testing.T) {
+	if _, err := FromCaptures([]noc.NodeID{noc.CoreID(0, 0)}, nil); err == nil {
+		t.Fatal("length mismatch accepted")
+	}
+}
+
+// TestCaptureKVServiceReplayMatches is the record/replay gate for reactive
+// sources: a closed-loop KV run recorded through Capture, then replayed as
+// static programs through Exec, must reproduce the original run statistics
+// exactly — proving the captured trace carries everything the live source
+// decided at simulated time.
+func TestCaptureKVServiceReplayMatches(t *testing.T) {
+	nc := noc.CXLConfig()
+	nc.Hosts = 2
+	cfg := kvsvc.Default()
+	cfg.Clients = 3
+	cfg.Requests = 4
+
+	svc, err := cfg.Build(nc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	caps, srcs := CaptureSources(svc.Sources())
+	sysA := proto.NewSystem(42, nc, proto.RC)
+	runA, err := proto.ExecSources(sysA, cord.New(), svc.Cores(), srcs)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	tr, err := FromCaptures(svc.Cores(), caps)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, p := range tr.Progs {
+		if err := p.Validate(); err != nil {
+			t.Fatalf("captured program %d invalid: %v", i, err)
+		}
+	}
+	// Round-trip through the text format before replaying, so the gate also
+	// covers serialization of the captured ops.
+	var buf bytes.Buffer
+	if err := Write(&buf, tr); err != nil {
+		t.Fatal(err)
+	}
+	back, err := Read(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sysB := proto.NewSystem(42, nc, proto.RC)
+	runB, err := proto.Exec(sysB, cord.New(), back.Cores, back.Progs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ja, _ := json.Marshal(runA)
+	jb, _ := json.Marshal(runB)
+	if !bytes.Equal(ja, jb) {
+		t.Fatalf("replay diverges from live run:\n live:   %s\n replay: %s", ja, jb)
+	}
+}

@@ -150,6 +150,63 @@ func TestCharacterizeMatchesTable2(t *testing.T) {
 	}
 }
 
+// TestFromWorkloadMultiRank materializes a RanksPerHost > 1 pattern: the
+// trace must hold one section per rank (hosts x ranks), on distinct tiles,
+// and every program must validate.
+func TestFromWorkloadMultiRank(t *testing.T) {
+	p := workload.ATA(4, 2)
+	p.RanksPerHost = 3
+	nc := noc.CXLConfig()
+	nc.Hosts = 4
+	tr, err := FromWorkload(p, nc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := p.Hosts * 3; len(tr.Cores) != want {
+		t.Fatalf("trace has %d cores, want %d (hosts x ranks)", len(tr.Cores), want)
+	}
+	tiles := map[noc.NodeID]bool{}
+	for i, c := range tr.Cores {
+		if tiles[c] {
+			t.Fatalf("core %v appears twice", c)
+		}
+		tiles[c] = true
+		if err := tr.Progs[i].Validate(); err != nil {
+			t.Fatalf("program %d: %v", i, err)
+		}
+		if len(tr.Progs[i]) == 0 {
+			t.Fatalf("program %d is empty", i)
+		}
+	}
+}
+
+// TestFromWorkloadSyncSamplingDeterministic pins the log-uniform SyncBytes
+// sampler: the same seed must materialize identical traces (byte-for-byte
+// through the writer), and a different seed must not.
+func TestFromWorkloadSyncSamplingDeterministic(t *testing.T) {
+	gen := func(seed int64) []byte {
+		p := workload.Micro(64, 256, 1, 6)
+		p.SyncBytesMax = 64 * 1024 // log-uniform range, sampled per round
+		p.Seed = seed
+		tr, err := FromWorkload(p, noc.CXLConfig())
+		if err != nil {
+			t.Fatal(err)
+		}
+		var buf bytes.Buffer
+		if err := Write(&buf, tr); err != nil {
+			t.Fatal(err)
+		}
+		return buf.Bytes()
+	}
+	a, b := gen(7), gen(7)
+	if !bytes.Equal(a, b) {
+		t.Fatal("same seed produced different traces")
+	}
+	if c := gen(8); bytes.Equal(a, c) {
+		t.Fatal("different seeds produced identical traces — sampler ignores the seed")
+	}
+}
+
 func TestCharacterizeCounts(t *testing.T) {
 	s := Characterize(sampleTrace())
 	if s.Cores != 2 || s.Releases != 2 || s.Acquires != 1 || s.Barriers != 2 {
@@ -161,11 +218,4 @@ func TestCharacterizeCounts(t *testing.T) {
 	if s.ComputeCycles != 100 {
 		t.Fatalf("compute = %d", s.ComputeCycles)
 	}
-}
-
-func max(a, b int) int {
-	if a > b {
-		return a
-	}
-	return b
 }

@@ -100,9 +100,18 @@ func (p Pattern) Validate() error {
 		return fmt.Errorf("workload %s: LineUtil %d below store granularity", p.Name, p.LineUtil)
 	case p.RanksPerHost < 0 || p.RanksPerHost > 8:
 		return fmt.Errorf("workload %s: RanksPerHost = %d out of range", p.Name, p.RanksPerHost)
+	case p.ComputeCycles > maxComputeCycles:
+		return fmt.Errorf("workload %s: ComputeCycles = %d out of range (a negative value converted to sim.Time wraps here)",
+			p.Name, p.ComputeCycles)
 	}
 	return nil
 }
+
+// maxComputeCycles bounds per-round compute. sim.Time is unsigned, so a
+// negative int converted into the field lands far above this — the bound is
+// what lets Validate reject such wrap-arounds instead of simulating for 2^63
+// cycles.
+const maxComputeCycles = sim.Time(1) << 62
 
 // ranksPerHost resolves the default.
 func (p Pattern) ranksPerHost() int {

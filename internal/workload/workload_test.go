@@ -6,6 +6,7 @@ import (
 	"cord/internal/memsys"
 	"cord/internal/noc"
 	"cord/internal/proto"
+	"cord/internal/sim"
 )
 
 func nc() noc.Config {
@@ -238,6 +239,40 @@ func TestValidateRejectsBadPatterns(t *testing.T) {
 	for i, p := range bad {
 		if p.Validate() == nil {
 			t.Errorf("case %d: accepted invalid pattern", i)
+		}
+	}
+}
+
+// TestValidateArms covers each Validate arm with a named mutation of one
+// known-good pattern, so a new arm without a row here stands out.
+func TestValidateArms(t *testing.T) {
+	good := func() Pattern {
+		return Pattern{Name: "x", Hosts: 4, Rounds: 1, RelaxedBytes: 8,
+			SyncBytes: 8, Fanout: 1, Rewrite: 1, LineUtil: 64}
+	}
+	if err := good().Validate(); err != nil {
+		t.Fatalf("base pattern invalid: %v", err)
+	}
+	cases := []struct {
+		name   string
+		mutate func(*Pattern)
+		ok     bool
+	}{
+		{"SyncBytesMax below SyncBytes", func(p *Pattern) { p.SyncBytes, p.SyncBytesMax = 64, 8 }, false},
+		{"SyncBytesMax equal to SyncBytes", func(p *Pattern) { p.SyncBytes, p.SyncBytesMax = 64, 64 }, true},
+		{"SyncBytesMax zero means fixed size", func(p *Pattern) { p.SyncBytesMax = 0 }, true},
+		{"RanksPerHost negative", func(p *Pattern) { p.RanksPerHost = -1 }, false},
+		{"RanksPerHost above table partition", func(p *Pattern) { p.RanksPerHost = 9 }, false},
+		{"RanksPerHost at bound", func(p *Pattern) { p.RanksPerHost = 8 }, true},
+		{"RanksPerHost zero defaults to one", func(p *Pattern) { p.RanksPerHost = 0 }, true},
+		{"ComputeCycles wrapped negative", func(p *Pattern) { p.ComputeCycles = sim.Time(uint64(1<<63) + 100) }, false},
+		{"ComputeCycles at bound", func(p *Pattern) { p.ComputeCycles = maxComputeCycles }, true},
+	}
+	for _, tc := range cases {
+		p := good()
+		tc.mutate(&p)
+		if err := p.Validate(); (err == nil) != tc.ok {
+			t.Errorf("%s: Validate() = %v, want ok=%v", tc.name, err, tc.ok)
 		}
 	}
 }

@@ -1,0 +1,114 @@
+package cord
+
+import (
+	"bytes"
+	"testing"
+
+	"cord/internal/obs"
+)
+
+func kvTestService() KVService {
+	w := KVServiceDefault()
+	w.Clients = 4
+	w.Requests = 6
+	w.ThinkCycles = 500
+	return w
+}
+
+func TestSimulateKVQuickstart(t *testing.T) {
+	r, err := SimulateKV(kvTestService(), CORD, fastSystem())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Requests() == 0 {
+		t.Fatal("no requests completed")
+	}
+	if r.RequestsPerSecond() <= 0 {
+		t.Fatalf("rps = %v", r.RequestsPerSecond())
+	}
+	mean, p50, p95, p99 := r.LatencyNanos()
+	if mean <= 0 || p50 <= 0 || p95 < p50 || p99 < p95 {
+		t.Fatalf("latency order violated: mean %v p50 %v p95 %v p99 %v", mean, p50, p95, p99)
+	}
+	g, p := r.GetPutP99Nanos()
+	if g <= 0 || p <= 0 {
+		t.Fatalf("per-class p99: get %v put %v", g, p)
+	}
+	if r.InterHostBytes() == 0 {
+		t.Fatal("a replicated service must move inter-host bytes")
+	}
+	if r.Raw() == nil {
+		t.Fatal("Raw returned nil")
+	}
+}
+
+func TestSimulateKVAllProtocols(t *testing.T) {
+	var base uint64
+	for i, p := range []Protocol{CORD, SO, MP, WB} {
+		r, err := SimulateKV(kvTestService(), p, fastSystem())
+		if err != nil {
+			t.Fatalf("%s: %v", p, err)
+		}
+		if i == 0 {
+			base = r.Requests()
+		} else if r.Requests() != base {
+			t.Fatalf("%s completed %d requests, want %d — the census is protocol-independent", p, r.Requests(), base)
+		}
+	}
+}
+
+// TestSimulateKVObservedEmitsRequests checks the observability wiring end to
+// end: req-done events in the stream, request-latency histograms in metrics.
+func TestSimulateKVObservedEmitsRequests(t *testing.T) {
+	r, o, err := SimulateKVObserved(kvTestService(), CORD, fastSystem(), TraceOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var reqDone uint64
+	for _, e := range o.Events() {
+		if e.Kind == obs.KReqDone {
+			reqDone++
+		}
+	}
+	if reqDone != r.Requests() {
+		t.Fatalf("req-done events = %d, want %d", reqDone, r.Requests())
+	}
+	var buf bytes.Buffer
+	if err := o.WriteMetricsJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Contains(buf.Bytes(), []byte(`"requests"`)) {
+		t.Fatal("metrics JSON missing request-latency rows")
+	}
+}
+
+// TestSimulateKVMatchesObserved pins the tracing-never-perturbs contract for
+// the reactive path: tracing must not change the simulated outcome.
+func TestSimulateKVMatchesObserved(t *testing.T) {
+	a, err := SimulateKV(kvTestService(), SO, fastSystem())
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, _, err := SimulateKVObserved(kvTestService(), SO, fastSystem(), TraceOptions{MetricsOnly: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.ExecNanos() != b.ExecNanos() || a.Requests() != b.Requests() || a.InterHostBytes() != b.InterHostBytes() {
+		t.Fatalf("tracing perturbed the run: %v/%d/%d vs %v/%d/%d",
+			a.ExecNanos(), a.Requests(), a.InterHostBytes(),
+			b.ExecNanos(), b.Requests(), b.InterHostBytes())
+	}
+}
+
+func TestSimulateKVRejectsBadConfig(t *testing.T) {
+	w := kvTestService()
+	w.GetPct = 150
+	if _, err := SimulateKV(w, CORD, fastSystem()); err == nil {
+		t.Fatal("GetPct=150 accepted")
+	}
+	s := fastSystem()
+	s.Hosts = 1
+	if _, err := SimulateKV(kvTestService(), CORD, s); err == nil {
+		t.Fatal("single-host system accepted — replication needs a remote host")
+	}
+}
