@@ -8,13 +8,20 @@
 //	cordcheck -quick               # canonical placements only
 //	cordcheck -workers 8           # explicit parallelism (default GOMAXPROCS)
 //	cordcheck -exact               # full state keys + collision audit
+//	cordcheck -symmetry -por       # canonicalize up to test automorphisms,
+//	                               # expand ample sets (DESIGN.md §14)
+//	cordcheck -extended            # append the 4-processor / overflow-width /
+//	                               # table-pressure matrix
+//	cordcheck -verify-reduction 50 # rerun ~50 instances unreduced and require
+//	                               # identical verdicts and outcome sets (-1 = all)
 //	cordcheck -progress            # live ETA / states-per-second on stderr
 //	cordcheck -report out.json     # machine-readable per-instance verdicts
+//	cordcheck -diff-reports a b    # compare two checkreports; exit 1 on
+//	                               # verdict drift or >10% state drift
 //	cordcheck -mem-limit 2048      # abort beyond ~2 GiB of retained state
 package main
 
 import (
-	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -25,19 +32,6 @@ import (
 	"cord/internal/obs/live"
 )
 
-// report is the checkreport.json envelope: run parameters, aggregate
-// verdicts, and the per-instance rows.
-type report struct {
-	Workers    int                     `json:"workers"`
-	Exact      bool                    `json:"exact"`
-	Total      int                     `json:"total"`
-	Passed     int                     `json:"passed"`
-	States     int64                   `json:"states"`
-	Collisions int64                   `json:"collisions"`
-	WallMS     float64                 `json:"wall_ms"`
-	Instances  []litmus.InstanceReport `json:"instances"`
-}
-
 func main() {
 	var (
 		only     = flag.String("test", "", "restrict to one base shape")
@@ -45,11 +39,20 @@ func main() {
 		verb     = flag.Bool("v", false, "print per-test results")
 		workers  = flag.Int("workers", 0, "total exploration parallelism (0 = GOMAXPROCS)")
 		exact    = flag.Bool("exact", false, "keep full state keys and audit fingerprint collisions")
+		symmetry = flag.Bool("symmetry", false, "canonicalize states up to each test's automorphism group")
+		por      = flag.Bool("por", false, "ample-set partial-order reduction over independent transitions")
+		extended = flag.Bool("extended", false, "append the 4-processor and stress-configuration matrix")
+		verifyN  = flag.Int("verify-reduction", 0, "rerun N instances unreduced and compare verdicts (-1 = all)")
 		memLimit = flag.Int("mem-limit", 0, "approximate retained-state budget in MiB (0 = unlimited)")
 		progress = flag.Bool("progress", false, "print live progress with ETA and states/sec to stderr")
 		repOut   = flag.String("report", "", "write machine-readable checkreport JSON to this path")
+		diff     = flag.Bool("diff-reports", false, "compare two checkreport files (prev cur) instead of checking")
 	)
 	flag.Parse()
+
+	if *diff {
+		os.Exit(diffReports(flag.Args()))
+	}
 
 	var shapes []litmus.Test
 	for _, b := range litmus.BaseTests() {
@@ -71,6 +74,9 @@ func main() {
 	}
 
 	insts := litmus.FullMatrix(suite)
+	if *extended && *only == "" {
+		insts = append(insts, litmus.ExtendedMatrix()...)
+	}
 
 	w := *workers
 	if w <= 0 {
@@ -107,6 +113,9 @@ func main() {
 		InstanceWorkers: iw,
 		StateWorkers:    sw,
 		Exact:           *exact,
+		Symmetry:        *symmetry,
+		POR:             *por,
+		VerifyReduction: *verifyN,
 		MemBudget:       budget,
 		OnInstance: func(r litmus.InstanceReport) {
 			if pr != nil {
@@ -120,11 +129,18 @@ func main() {
 		stopProgress()
 	}
 
-	rep := summarize(reports, w, *exact, wall)
+	rep := litmus.Summarize(reports)
+	rep.GoVersion = runtime.Version()
+	rep.Workers = w
+	rep.Exact = *exact
+	rep.Symmetry = *symmetry
+	rep.POR = *por
+	rep.Extended = *extended
+	rep.WallMS = float64(wall.Microseconds()) / 1000
 	failed := printSummary(reports, rep, *verb)
 
 	if *repOut != "" {
-		if werr := writeReport(*repOut, rep); werr != nil {
+		if werr := litmus.WriteReport(*repOut, rep); werr != nil {
 			fmt.Fprintln(os.Stderr, "cordcheck:", werr)
 			os.Exit(1)
 		}
@@ -140,29 +156,43 @@ func main() {
 	fmt.Println("all litmus checks passed; CORD enforces release consistency and is deadlock-free")
 }
 
-// summarize folds per-instance reports into the checkreport envelope.
-func summarize(reports []litmus.InstanceReport, workers int, exact bool, wall time.Duration) report {
-	rep := report{
-		Workers:   workers,
-		Exact:     exact,
-		WallMS:    float64(wall.Microseconds()) / 1000,
-		Instances: reports,
+// diffReports implements -diff-reports prev cur: verdict drift or
+// unexplained >10% canonical-state drift on a common row is fatal; added or
+// removed rows and explained shifts are printed as notes.
+func diffReports(paths []string) int {
+	if len(paths) != 2 {
+		fmt.Fprintln(os.Stderr, "cordcheck: -diff-reports needs exactly two report paths (prev cur)")
+		return 2
 	}
-	for i := range reports {
-		rep.Total++
-		if reports[i].Pass {
-			rep.Passed++
-		}
-		rep.States += int64(reports[i].States)
-		rep.Collisions += int64(reports[i].Collisions)
+	prev, err := litmus.ReadReport(paths[0])
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "cordcheck:", err)
+		return 2
 	}
-	return rep
+	cur, err := litmus.ReadReport(paths[1])
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "cordcheck:", err)
+		return 2
+	}
+	failures, notes := litmus.DiffReports(prev, cur)
+	for _, n := range notes {
+		fmt.Println("note:", n)
+	}
+	for _, f := range failures {
+		fmt.Println("FAIL:", f)
+	}
+	fmt.Printf("diff: %d rows vs %d rows, %d failures, %d notes\n",
+		len(prev.Instances), len(cur.Instances), len(failures), len(notes))
+	if len(failures) > 0 {
+		return 1
+	}
+	return 0
 }
 
 // printSummary renders the per-config lines (matching the historical
 // cordcheck output: the mp-demo demonstration is reported separately and
 // excluded from the instance/state totals) and returns the failure count.
-func printSummary(reports []litmus.InstanceReport, rep report, verbose bool) int {
+func printSummary(reports []litmus.InstanceReport, rep litmus.CheckReport, verbose bool) int {
 	type agg struct {
 		name          string
 		passed, total int
@@ -204,6 +234,9 @@ func printSummary(reports []litmus.InstanceReport, rep report, verbose bool) int
 				}
 				fmt.Printf("  FAIL %s (forbidden=%t deadlock=%t window=%t reached=%t)\n",
 					f.Test, f.Forbidden, f.Deadlock, f.WindowViolated, f.Reached)
+				if f.Error != "" {
+					fmt.Printf("    error: %s\n", f.Error)
+				}
 				for _, s := range f.Trace {
 					fmt.Println("    ", s)
 				}
@@ -225,15 +258,10 @@ func printSummary(reports []litmus.InstanceReport, rep report, verbose bool) int
 	if rep.Exact {
 		fmt.Printf(", %d fingerprint collisions", rep.Collisions)
 	}
+	if rep.Verified > 0 {
+		fmt.Printf("\nverify-reduction: %d instances reran unreduced, %d raw states, %.2fx reduction",
+			rep.Verified, rep.StatesRaw, rep.ReductionRatio)
+	}
 	fmt.Printf(" (%.1fs, %d workers)\n", rep.WallMS/1000, rep.Workers)
 	return failed
-}
-
-// writeReport marshals the checkreport envelope.
-func writeReport(path string, rep report) error {
-	data, err := json.MarshalIndent(rep, "", " ")
-	if err != nil {
-		return err
-	}
-	return os.WriteFile(path, append(data, '\n'), 0o644)
 }

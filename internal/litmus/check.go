@@ -10,11 +10,17 @@ import (
 
 // checker binds a test and configuration during exploration. cp is the
 // config resolved into the shared core-rule parameters — the same struct
-// the simulator's cord adapter resolves its Config into.
+// the simulator's cord adapter resolves its Config into. group is the
+// test's automorphism group when symmetry reduction is on (symmetry.go);
+// por enables ample-set reduction (por.go).
 type checker struct {
 	t   Test
 	cfg Config
 	cp  core.CordParams
+
+	group      []perm
+	por        bool
+	porUnsound bool
 }
 
 // CheckOpts tunes exploration. The zero value is a serial, fingerprint-mode
@@ -24,15 +30,32 @@ type CheckOpts struct {
 	// Verdicts are identical at any worker count: exploration is exhaustive
 	// over the same canonically-deduplicated state space, so the reachable
 	// outcome set, the violation flags and the visited-state count do not
-	// depend on the schedule (DESIGN.md §10).
+	// depend on the schedule (DESIGN.md §10). This stays true under Symmetry
+	// and POR: canonical keys quotient the schedule out of the visited set,
+	// and ample choices are functions of the state class (DESIGN.md §14).
 	Workers int
 	// Exact keeps every full canonical state key alongside the 64-bit
 	// fingerprints, deciding membership by key and auditing fingerprint
 	// collisions (Result.Collisions).
 	Exact bool
+	// Symmetry canonicalizes states up to the test's verified automorphisms
+	// (processor/address/value/directory relabelings that map the programs,
+	// placement and predicates onto themselves) before fingerprinting, so
+	// each orbit costs one visited entry. Verdicts are unchanged; reported
+	// outcome sets are expanded back over the orbit.
+	Symmetry bool
+	// POR prunes commuting interleavings with singleton ample sets over
+	// provably-independent transitions. Verdicts, outcome sets, deadlocks
+	// and window violations are preserved exactly (por.go).
+	POR bool
 	// MemBudget, when non-nil, bounds the approximate bytes retained across
 	// every Check sharing it; exceeding it aborts with an error.
 	MemBudget *MemBudget
+
+	// porUnsound (tests only) breaks the independence relation on purpose,
+	// treating racing posted-store deliveries as commuting; por_test.go uses
+	// it to show unsound independence loses real forbidden outcomes.
+	porUnsound bool
 }
 
 // MemBudget is a byte budget shared across concurrent checks (cordcheck
@@ -86,8 +109,13 @@ func CheckWith(t Test, cfg Config, opts CheckOpts) (Result, error) {
 	if workers < 1 {
 		workers = 1
 	}
+	c := &checker{t: t, cfg: cfg, cp: cfg.cordParams(),
+		por: opts.POR, porUnsound: opts.porUnsound}
+	if opts.Symmetry {
+		c.group = symmetryGroup(t, cfg)
+	}
 	e := &explorer{
-		c:         &checker{t: t, cfg: cfg, cp: cfg.cordParams()},
+		c:         c,
 		visited:   newVisitedSet(workers, opts.Exact),
 		exact:     opts.Exact,
 		maxStates: maxStates,
@@ -97,7 +125,7 @@ func CheckWith(t Test, cfg Config, opts CheckOpts) (Result, error) {
 	e.cond = sync.NewCond(&e.mu)
 
 	root := newWorld(t, cfg)
-	key := root.appendKey(nil)
+	key := c.key(root, &kbuf{})
 	e.visited.Add(core.Hash64(key), key)
 	if !e.budget.charge(e.stateCost(len(key))) {
 		return Result{Test: t, Config: cfg}, fmt.Errorf("litmus %s: memory budget exceeded", t.Name)
@@ -120,6 +148,7 @@ func CheckWith(t Test, cfg Config, opts CheckOpts) (Result, error) {
 		Config:         cfg,
 		States:         int(e.states.Load()),
 		Collisions:     int(e.collisions.Load()),
+		PeakFrontier:   int(e.peak.Load()),
 		Outcomes:       e.outcomes,
 		Forbidden:      e.forbidden,
 		Deadlock:       e.deadlock,
@@ -140,7 +169,7 @@ func CheckWith(t Test, cfg Config, opts CheckOpts) (Result, error) {
 		}
 		// Confirm before reporting: the trace must re-execute through the
 		// core rules to the same violating state.
-		if err := cx.confirm(t, cfg); err != nil {
+		if err := cx.confirm(e.c); err != nil {
 			return res, err
 		}
 		res.Counterexample = cx
@@ -160,6 +189,7 @@ type explorer struct {
 	states     atomic.Int64
 	collisions atomic.Int64
 	pending    atomic.Int64 // enqueued-but-unfinished states
+	peak       atomic.Int64 // high-water mark of pending (schedule-dependent)
 	aborted    atomic.Bool
 
 	mu     sync.Mutex
@@ -204,7 +234,7 @@ func (e *explorer) stateCost(keyLen int) int64 {
 // pool when dry, expand, and hand off surplus work.
 func (e *explorer) run() {
 	var local []*world
-	var buf []byte
+	k := &kbuf{}
 	for {
 		if e.aborted.Load() {
 			return
@@ -217,7 +247,7 @@ func (e *explorer) run() {
 		} else if w = e.take(&local); w == nil {
 			return
 		}
-		buf = e.expand(w, &local, buf)
+		e.expand(w, &local, k)
 		if e.pending.Add(-1) == 0 {
 			e.finish(nil)
 			return
@@ -285,51 +315,88 @@ func (e *explorer) finish(err error) {
 }
 
 // expand processes one state: safety checks, terminal classification, and
-// successor generation with visited-set deduplication. buf is the worker's
-// reusable encoding scratch buffer.
-func (e *explorer) expand(w *world, local *[]*world, buf []byte) []byte {
+// successor generation with visited-set deduplication over canonical
+// (symmetry-quotiented) keys. Under POR the state's maximal chain of ample
+// singletons is walked in place first (statement merging): intermediate
+// states of the chain are safety-checked but never stored or counted, so
+// only branching states — states with no safe transition — enter the
+// visited set and the frontier. The chain is finite (the transition graph
+// is acyclic, por.go) and a deterministic function of the state, so the
+// stored set stays schedule-independent. k is the worker's reusable pair of
+// encoding buffers.
+func (e *explorer) expand(w *world, local *[]*world, k *kbuf) {
 	if e.states.Add(1) > e.maxStates {
 		e.finish(fmt.Errorf("litmus %s: state budget %d exceeded", e.c.t.Name, e.maxStates))
-		return buf
+		return
 	}
 	if e.c.windowViolated(w) {
-		buf = e.noteViolation(CxWindowViolation, w, buf)
+		e.noteViolation(CxWindowViolation, w, k)
+	}
+	if e.c.por {
+		for {
+			s := e.c.ample(w, k)
+			if s == nil {
+				break
+			}
+			if e.c.windowViolated(s) {
+				e.noteViolation(CxWindowViolation, s, k)
+			}
+			w = s
+		}
 	}
 	succ := e.c.successors(w)
 	if len(succ) == 0 {
 		if e.c.terminal(w) {
-			buf = e.noteTerminal(w, buf)
+			e.noteTerminal(w, k)
 		} else {
-			buf = e.noteViolation(CxDeadlock, w, buf)
+			e.noteViolation(CxDeadlock, w, k)
 		}
-		return buf
+		return
 	}
 	for _, s := range succ {
-		buf = s.appendKey(buf[:0])
-		added, collision := e.visited.Add(core.Hash64(buf), buf)
+		key := e.c.key(s, k)
+		added, collision := e.visited.Add(core.Hash64(key), key)
 		if collision {
 			e.collisions.Add(1)
 		}
 		if !added {
 			continue
 		}
-		if !e.budget.charge(e.stateCost(len(buf))) {
+		if !e.budget.charge(e.stateCost(len(key))) {
 			e.finish(fmt.Errorf("litmus %s: memory budget exceeded", e.c.t.Name))
-			return buf
+			return
 		}
-		e.pending.Add(1)
+		e.notePeak(e.pending.Add(1))
 		*local = append(*local, s)
 	}
-	return buf
 }
 
-// noteTerminal records a terminal outcome and its verdict flags.
-func (e *explorer) noteTerminal(w *world, buf []byte) []byte {
+// notePeak lifts the pending high-water mark (Result.PeakFrontier). The
+// value depends on scheduling — it is a capacity diagnostic, not a verdict —
+// so report diffing and equivalence tests ignore it.
+func (e *explorer) notePeak(v int64) {
+	for {
+		cur := e.peak.Load()
+		if v <= cur || e.peak.CompareAndSwap(cur, v) {
+			return
+		}
+	}
+}
+
+// noteTerminal records a terminal outcome and its verdict flags. Under
+// symmetry the outcome is expanded back over the automorphism orbit, so the
+// reported outcome set matches unreduced exploration exactly (the predicates
+// are orbit-invariant, so the flags need no re-check).
+func (e *explorer) noteTerminal(w *world, k *kbuf) {
 	out := e.c.outcomeOf(w)
 	forbidden := e.c.t.Forbidden(out)
 	reached := e.c.t.MustReach != nil && e.c.t.MustReach(out)
 	e.mu.Lock()
 	e.outcomes[out.String()] = out
+	for i := range e.c.group {
+		po := permuteOutcome(out, &e.c.group[i])
+		e.outcomes[po.String()] = po
+	}
 	if forbidden {
 		e.forbidden = true
 	}
@@ -338,15 +405,15 @@ func (e *explorer) noteTerminal(w *world, buf []byte) []byte {
 	}
 	e.mu.Unlock()
 	if forbidden {
-		buf = e.noteViolation(CxForbidden, w, buf)
+		e.noteViolation(CxForbidden, w, k)
 	}
-	return buf
 }
 
 // noteViolation offers w as the counterexample candidate; the canonically
-// smallest (kind, state key) wins so selection is schedule-independent.
-func (e *explorer) noteViolation(kind CounterexampleKind, w *world, buf []byte) []byte {
-	buf = w.appendKey(buf[:0])
+// smallest (kind, canonical state key) wins so selection is schedule- and
+// representative-independent.
+func (e *explorer) noteViolation(kind CounterexampleKind, w *world, k *kbuf) {
+	key := e.c.key(w, k)
 	e.mu.Lock()
 	switch kind {
 	case CxWindowViolation:
@@ -355,13 +422,12 @@ func (e *explorer) noteViolation(kind CounterexampleKind, w *world, buf []byte) 
 		e.deadlock = true
 	}
 	if e.bad == nil || kind < e.badKind ||
-		(kind == e.badKind && string(buf) < e.badKey) {
+		(kind == e.badKind && string(key) < e.badKey) {
 		e.bad = w
 		e.badKind = kind
-		e.badKey = string(buf)
+		e.badKey = string(key)
 	}
 	e.mu.Unlock()
-	return buf
 }
 
 // terminal: all programs retired, no in-flight or buffered work.

@@ -349,6 +349,10 @@ type Result struct {
 	// outside exact mode (collisions are then undetectable — and, at 64
 	// bits, vanishingly unlikely; DESIGN.md §10).
 	Collisions int
+	// PeakFrontier is the high-water mark of enqueued-but-unexpanded states.
+	// Unlike States it depends on scheduling — it is a memory-capacity
+	// diagnostic, excluded from determinism comparisons.
+	PeakFrontier int
 	// Counterexample, when a violation was found, is the replay-confirmed
 	// step trace to the canonically-selected violating state.
 	Counterexample *Counterexample

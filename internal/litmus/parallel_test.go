@@ -8,12 +8,14 @@ import (
 	"cord/internal/proto/core"
 )
 
-// equivalentReports strips the timing field, the only one allowed to differ
-// between runs of the same instance.
+// stripTiming zeroes the schedule-dependent fields — wall time and the
+// frontier high-water mark — the only ones allowed to differ between runs
+// of the same instance.
 func stripTiming(reps []InstanceReport) []InstanceReport {
 	out := append([]InstanceReport(nil), reps...)
 	for i := range out {
 		out[i].WallMS = 0
+		out[i].PeakFrontier = 0
 	}
 	return out
 }

@@ -1,0 +1,192 @@
+package litmus
+
+import (
+	"testing"
+)
+
+// TestReductionPreservesVerdicts samples the full matrix (every 23rd
+// instance, plus the extended stress configurations) and requires the
+// symmetry+POR run to report exactly the unreduced run's observables —
+// verdict flags and the complete terminal outcome set — while cycling the
+// worker count through 1..8. This is the ship-blocking equivalence the CI
+// spot-check gate enforces on every PR.
+func TestReductionPreservesVerdicts(t *testing.T) {
+	var suite []Test
+	for _, b := range BaseTests() {
+		suite = append(suite, Variants(b)...)
+	}
+	insts := FullMatrix(suite)
+	insts = append(insts, ExtendedMatrix()...)
+	checked := 0
+	for i := 0; i < len(insts); i += 23 {
+		in := insts[i]
+		raw, err := CheckWith(in.Test, in.Cfg, CheckOpts{Workers: 2})
+		if err != nil {
+			t.Fatalf("%s/%s raw: %v", in.Config, in.Test.Name, err)
+		}
+		red, err := CheckWith(in.Test, in.Cfg, CheckOpts{
+			Workers: 1 + i%8, Symmetry: true, POR: true,
+		})
+		if err != nil {
+			t.Fatalf("%s/%s reduced: %v", in.Config, in.Test.Name, err)
+		}
+		if d := diffResults(red, raw); d != "" {
+			t.Fatalf("%s/%s: reduction changed observables: %s", in.Config, in.Test.Name, d)
+		}
+		if red.States > raw.States {
+			t.Fatalf("%s/%s: reduction grew the state space (%d > %d)",
+				in.Config, in.Test.Name, red.States, raw.States)
+		}
+		checked++
+	}
+	if checked < 50 {
+		t.Fatalf("only %d instances sampled, want >= 50", checked)
+	}
+}
+
+// TestReducedStateCountScheduleIndependent: the reduced graph must be a pure
+// function of the state space — ample choice by minimal canonical successor
+// key, no visited-order proviso — so the canonical state count cannot move
+// with the worker count. The nightly diff gate depends on this.
+func TestReducedStateCountScheduleIndependent(t *testing.T) {
+	for _, bt := range BaseTests() {
+		var ref Result
+		for workers := 1; workers <= 8; workers++ {
+			r, err := CheckWith(bt, DefaultConfig(), CheckOpts{
+				Workers: workers, Symmetry: true, POR: true, Exact: true,
+			})
+			if err != nil {
+				t.Fatalf("%s workers=%d: %v", bt.Name, workers, err)
+			}
+			if workers == 1 {
+				ref = r
+				continue
+			}
+			if r.States != ref.States || r.Collisions != ref.Collisions {
+				t.Fatalf("%s workers=%d: %d states (%d collisions), serial found %d (%d)",
+					bt.Name, workers, r.States, r.Collisions, ref.States, ref.Collisions)
+			}
+			if d := diffResults(r, ref); d != "" {
+				t.Fatalf("%s workers=%d: %s", bt.Name, workers, d)
+			}
+		}
+	}
+}
+
+// TestPORCounterexampleReplays plants the broken-window bug and requires the
+// fully reduced checker to (a) still catch the violation, (b) report a trace
+// that replays through the core rules to the same violating state, and (c)
+// target the identical bad state at every worker count 1..8.
+func TestPORCounterexampleReplays(t *testing.T) {
+	bt := relChain(t)
+	cfg := brokenWindowConfig()
+	var refFP uint64
+	for workers := 1; workers <= 8; workers++ {
+		r, err := CheckWith(bt, cfg, CheckOpts{Workers: workers, Symmetry: true, POR: true})
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		if !r.WindowViolated || r.Counterexample == nil {
+			t.Fatalf("workers=%d: reduced run missed the window violation", workers)
+		}
+		cx := r.Counterexample
+		if workers == 1 {
+			refFP = cx.StateFP
+		} else if cx.StateFP != refFP {
+			t.Fatalf("workers=%d: counterexample targets %#x, serial targeted %#x",
+				workers, cx.StateFP, refFP)
+		}
+		rr, err := Replay(bt, cfg, cx.Steps)
+		if err != nil {
+			t.Fatalf("workers=%d: replay: %v", workers, err)
+		}
+		if !rr.WindowViolated {
+			t.Fatalf("workers=%d: replayed trace does not violate the window", workers)
+		}
+	}
+}
+
+// TestPORForbiddenDemoReplays: the §3.2 message-passing demonstration must
+// survive full reduction — the forbidden ISA2 outcome is still reached and
+// the counterexample trace still replays to a forbidden terminal state.
+func TestPORForbiddenDemoReplays(t *testing.T) {
+	var isa2 Test
+	for _, bt := range BaseTests() {
+		if bt.Name == "ISA2" {
+			isa2 = bt
+		}
+	}
+	cfg := DefaultConfig()
+	cfg.Protos = []ProtoKind{MPP}
+	r, err := CheckWith(isa2, cfg, CheckOpts{Workers: 4, Symmetry: true, POR: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !r.Forbidden || r.Counterexample == nil {
+		t.Fatal("reduced MP run did not demonstrate the ISA2 violation")
+	}
+	rr, err := Replay(isa2, cfg, r.Counterexample.Steps)
+	if err != nil {
+		t.Fatalf("replay: %v", err)
+	}
+	if !rr.Terminal || !rr.Forbidden || rr.Outcome != r.Counterexample.Outcome {
+		t.Fatalf("replay terminal=%t forbidden=%t outcome=%v, want the counterexample's",
+			rr.Terminal, rr.Forbidden, rr.Outcome)
+	}
+}
+
+// TestUnsoundIndependenceLosesOutcomes gives the soundness argument teeth:
+// two message-passing processors race posted stores to one address, whose
+// final value records the commit order at the ordering point. Full
+// exploration reaches both orders. The deliberately broken independence
+// relation (porUnsound treats racing MMPStore deliveries as commuting) picks
+// one order and silently loses the other — including the forbidden outcome
+// when the predicate names the lost value — while the sound relation keeps
+// the outcome set intact.
+func TestUnsoundIndependenceLosesOutcomes(t *testing.T) {
+	mk := func(forbidden func(Outcome) bool) Test {
+		return Test{
+			Name:      "MPRace",
+			Progs:     [][]Op{{St(0, 1)}, {St(0, 2)}},
+			Home:      []int{0},
+			Forbidden: forbidden,
+		}
+	}
+	cfg := DefaultConfig()
+	cfg.Protos = []ProtoKind{MPP}
+
+	race := mk(func(o Outcome) bool { return false })
+	full, err := Check(race, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(full.Outcomes) != 2 {
+		t.Fatalf("full exploration found %d outcomes, want both commit orders", len(full.Outcomes))
+	}
+	unsound, err := CheckWith(race, cfg, CheckOpts{POR: true, porUnsound: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(unsound.Outcomes) >= len(full.Outcomes) {
+		t.Fatalf("unsound independence still found %d outcomes; the hook has lost its teeth",
+			len(unsound.Outcomes))
+	}
+	// Name the value the unsound run lost as the forbidden outcome: full
+	// exploration must flag it, the unsound reduction must miss it.
+	lost := 0
+	for k, o := range full.Outcomes {
+		if _, ok := unsound.Outcomes[k]; !ok {
+			lost = o.Mem[0]
+		}
+	}
+	probe := mk(func(o Outcome) bool { return o.Mem[0] == lost })
+	if r, err := Check(probe, cfg); err != nil || !r.Forbidden {
+		t.Fatalf("full exploration: forbidden=%t err=%v, want the lost outcome flagged", r.Forbidden, err)
+	}
+	if r, err := CheckWith(probe, cfg, CheckOpts{POR: true, porUnsound: true}); err != nil || r.Forbidden {
+		t.Fatalf("unsound reduction: forbidden=%t err=%v, want the violation missed", r.Forbidden, err)
+	}
+	if r, err := CheckWith(probe, cfg, CheckOpts{POR: true}); err != nil || !r.Forbidden {
+		t.Fatalf("sound reduction: forbidden=%t err=%v, want the violation found", r.Forbidden, err)
+	}
+}

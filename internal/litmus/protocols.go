@@ -14,19 +14,45 @@ import (
 // home returns the directory owning an address under the test's placement.
 func (c *checker) home(a Addr) int { return c.t.Home[a] }
 
+// stepKind classifies a processor step for the partial-order reduction
+// (por.go): whether firing it eagerly, without exploring its interleavings
+// against other transitions, is sound.
+type stepKind uint8
+
+const (
+	// stepUnsafe steps mutate property-visible state (a CORD release,
+	// barrier or overflow flush advances Ep and grows Unacked — the fields
+	// the epoch-window invariant reads) and must interleave fully.
+	stepUnsafe stepKind = iota
+	// stepSafe steps touch only the issuing processor's private state and
+	// append messages to the network: they commute with every transition of
+	// every other component and are never disabled once enabled.
+	stepSafe
+	// stepLoad is a load: safe exactly when its address is write-cold (no
+	// in-flight, buffered or still-to-be-issued writer), because then the
+	// value read is the same on every interleaving.
+	stepLoad
+)
+
 // stepProc attempts to execute processor p's next action and returns the
 // successor state, or nil if p is done or blocked (stalled on protocol
 // conditions — it unblocks via a future delivery transition).
 func (c *checker) stepProc(w *world, p int) *world {
+	s, _ := c.stepProcKind(w, p)
+	return s
+}
+
+// stepProcKind is stepProc plus the step's reduction class.
+func (c *checker) stepProcKind(w *world, p int) (*world, stepKind) {
 	ps := &w.procs[p]
 	if ps.flushWait >= 0 {
-		return nil // stalled on an injected overflow flush
+		return nil, stepUnsafe // stalled on an injected overflow flush
 	}
 	if ps.atomWait {
-		return nil // blocked on a far atomic's value response
+		return nil, stepUnsafe // blocked on a far atomic's value response
 	}
 	if ps.pc >= len(c.t.Progs[p]) {
-		return nil
+		return nil, stepUnsafe
 	}
 	op := c.t.Progs[p][ps.pc]
 	if op.Kind == OpLd {
@@ -36,7 +62,7 @@ func (c *checker) stepProc(w *world, p int) *world {
 		s := w.clone()
 		s.procs[p].regs[op.Reg] = s.dirs[c.home(op.Addr)].mem[op.Addr]
 		s.procs[p].pc++
-		return s
+		return s, stepLoad
 	}
 	switch c.cfg.protoFor(p) {
 	case CORDP:
@@ -53,7 +79,7 @@ func (c *checker) stepProc(w *world, p int) *world {
 
 // --- CORD processor (Alg. 1 via core.CordProc) ---
 
-func (c *checker) cordOp(w *world, p int, op Op) *world {
+func (c *checker) cordOp(w *world, p int, op Op) (*world, stepKind) {
 	ps := &w.procs[p]
 	switch op.Kind {
 	case OpBar:
@@ -63,17 +89,21 @@ func (c *checker) cordOp(w *world, p int, op Op) *world {
 			s := w.clone()
 			msgs, ok, _ := s.procs[p].cord.IssueBarrier(c.cp, -1, p, nil)
 			if !ok {
-				return nil // under-provisioned: wait for acks
+				return nil, stepUnsafe // under-provisioned: wait for acks
 			}
 			s.net = append(s.net, msgs...)
-			return s // pc unchanged; completion is the next attempt
+			// pc unchanged; completion is the next attempt. With no unacked
+			// epochs the broadcast is chain-head-safe (see cordRelease).
+			return s, chainHeadKind(ps, c, s)
 		}
 		if len(ps.cord.Unacked) > 0 {
-			return nil
+			return nil, stepUnsafe
 		}
 		s := w.clone()
 		s.procs[p].pc++
-		return s
+		// Unacked is empty, so no MAck for p is in flight: the completion
+		// guard can never be racing a disable and the step only bumps pc.
+		return s, stepSafe
 	case OpSt, OpAt:
 		rel := core.Msg{Src: p, Addr: uint64(op.Addr), Val: uint64(op.Val)}
 		if op.Kind == OpAt {
@@ -91,20 +121,22 @@ func (c *checker) cordOp(w *world, p int, op Op) *world {
 // cordRelaxed posts a directory-ordered relaxed store (or relaxed far
 // atomic), stall-flushing first if the store counter would overflow or the
 // counter table has no free slot (§4.3).
-func (c *checker) cordRelaxed(w *world, p, d int, st core.Msg) *world {
+func (c *checker) cordRelaxed(w *world, p, d int, st core.Msg) (*world, stepKind) {
 	ps := &w.procs[p]
 	if ps.cord.RelaxedAdmit(c.cp, d) != core.AdmitOK {
 		// Inject an empty release to d through the full release path
 		// (ReqNotify fan-out included), stall until it acks, then retry.
 		if !ps.cord.Provisioned(c.cp, d) {
-			return nil
+			return nil, stepUnsafe
 		}
 		s := w.clone()
 		sp := &s.procs[p]
 		ep := sp.cord.Ep
 		s.net = append(s.net, sp.cord.IssueRelease(d, core.Msg{Src: p, Barrier: true}, nil)...)
 		sp.flushWait = int64(ep)
-		return s // pc unchanged
+		// pc unchanged; chain-head-safe under the same conditions as a
+		// release issue (the flush stall only blocks p itself).
+		return s, chainHeadKind(ps, c, s)
 	}
 	s := w.clone()
 	sp := &s.procs[p]
@@ -117,12 +149,15 @@ func (c *checker) cordRelaxed(w *world, p, d int, st core.Msg) *world {
 	}
 	s.net = append(s.net, st)
 	sp.pc++
-	return s
+	// Admission only bumps p's private counters (Cnt/CntLive) and appends a
+	// message; it cannot be disabled (AdmitOK is monotone under other
+	// components' transitions) and touches neither memory nor the window.
+	return s, stepSafe
 }
 
 // cordRelease issues a release store (or release far atomic) to directory d
 // with its notification-request fan-out.
-func (c *checker) cordRelease(w *world, p, d int, rel core.Msg) *world {
+func (c *checker) cordRelease(w *world, p, d int, rel core.Msg) (*world, stepKind) {
 	ps := &w.procs[p]
 	if c.cp.NoNotifications {
 		// Ablated §4.2: fall back to source ordering across directories —
@@ -132,17 +167,18 @@ func (c *checker) cordRelease(w *world, p, d int, rel core.Msg) *world {
 			s := w.clone()
 			msgs, ok, _ := s.procs[p].cord.IssueBarrier(c.cp, d, p, nil)
 			if !ok {
-				return nil
+				return nil, stepUnsafe
 			}
 			s.net = append(s.net, msgs...)
-			return s // pc unchanged; the release follows after the drain
+			// pc unchanged; the release follows after the drain.
+			return s, chainHeadKind(ps, c, s)
 		}
 		if ps.cord.UnackedOutside(d) {
-			return nil
+			return nil, stepUnsafe
 		}
 	}
 	if !ps.cord.Provisioned(c.cp, d) {
-		return nil
+		return nil, stepUnsafe
 	}
 	s := w.clone()
 	sp := &s.procs[p]
@@ -151,23 +187,45 @@ func (c *checker) cordRelease(w *world, p, d int, rel core.Msg) *world {
 		sp.atomWait = true
 	}
 	sp.pc++
-	return s
+	// A release advances Ep and appends to Unacked — the epoch-window
+	// observables — and its ReqNotify fan-out reads ByDir/lastUnackedFor, so
+	// it generally conflicts with p's in-flight MAcks. At the head of a chain
+	// the conflict vanishes: see chainHeadKind.
+	return s, chainHeadKind(ps, c, s)
+}
+
+// chainHeadKind classifies a just-applied release/barrier/flush issue from a
+// processor whose pre-state ps had no unacknowledged epochs. With Unacked
+// empty there is no MAck in flight for the processor, so nothing can race
+// the issue's guard or change the ReqNotify fan-out it computed (Cnt and
+// ByDir are processor-private); the post-state's window distance is at most
+// one, so the epoch-window predicate cannot flip unless it already reads
+// true elsewhere (checked on the built successor, belt and braces). Such a
+// chain-head issue commutes with every co-enabled transition and is safe;
+// issues under an open ack chain stay fully interleaved.
+func chainHeadKind(ps *procState, c *checker, s *world) stepKind {
+	if len(ps.cord.Unacked) == 0 && !c.windowViolated(s) {
+		return stepSafe
+	}
+	return stepUnsafe
 }
 
 // --- SO processor (source ordering via core.SOProc) ---
 
-func (c *checker) soOp(w *world, p int, op Op) *world {
+func (c *checker) soOp(w *world, p int, op Op) (*world, stepKind) {
 	ps := &w.procs[p]
 	if op.Kind == OpBar {
 		if !ps.so.Drained() {
-			return nil
+			return nil, stepUnsafe
 		}
+		// Drained means no MSOAck for p is in flight, so the guard cannot be
+		// racing anything; the step only bumps pc.
 		s := w.clone()
 		s.procs[p].pc++
-		return s
+		return s, stepSafe
 	}
 	if op.Ord == Rel && !ps.so.CanIssueOrdered() {
-		return nil // a release waits for every prior store's ack
+		return nil, stepUnsafe // a release waits for every prior store's ack
 	}
 	s := w.clone()
 	sp := &s.procs[p]
@@ -181,12 +239,14 @@ func (c *checker) soOp(w *world, p int, op Op) *world {
 	}
 	s.net = append(s.net, m)
 	sp.pc++
-	return s
+	// Issue touches only p's ack counter and the network. If the release
+	// guard held it holds in every interleaving (acks only drain it).
+	return s, stepSafe
 }
 
 // --- MP processor (posted writes via core.MPProc) ---
 
-func (c *checker) mpOp(w *world, p int, op Op) *world {
+func (c *checker) mpOp(w *world, p int, op Op) (*world, stepKind) {
 	ps := &w.procs[p]
 	if op.Kind == OpBar {
 		// A barrier is a flushing read to every posted-to ordering domain
@@ -199,15 +259,19 @@ func (c *checker) mpOp(w *world, p int, op Op) *world {
 			s.net = append(s.net, msgs...)
 			sp.mpFlushPending = len(msgs)
 			sp.barIssued = true
-			return s
+			// Only p's flush bookkeeping and the network change; the flush
+			// markers order behind already-posted stores wherever they land.
+			return s, stepSafe
 		}
 		if ps.mpFlushPending > 0 {
-			return nil
+			return nil, stepUnsafe
 		}
 		s := w.clone()
 		s.procs[p].barIssued = false
 		s.procs[p].pc++
-		return s
+		// mpFlushPending reached zero: every flush response arrived, nothing
+		// can re-disable the completion guard.
+		return s, stepSafe
 	}
 	d := c.home(op.Addr)
 	s := w.clone()
@@ -222,19 +286,19 @@ func (c *checker) mpOp(w *world, p int, op Op) *world {
 	}
 	s.net = append(s.net, m)
 	sp.pc++
-	return s
+	return s, stepSafe
 }
 
 // --- WB processor (write-back ownership via core.WBProc) ---
 
-func (c *checker) wbOp(w *world, p int, op Op) *world {
+func (c *checker) wbOp(w *world, p int, op Op) (*world, stepKind) {
 	ps := &w.procs[p]
 	ordered := op.Ord == Rel || op.Kind == OpBar
 	if ordered {
 		// Release discipline: drain MSHRs, write every dirty line back,
 		// drain the acknowledgments, then perform the op proper.
 		if !ps.wb.CanFlush() {
-			return nil
+			return nil, stepUnsafe
 		}
 		if len(ps.wb.Dirty) > 0 {
 			s := w.clone()
@@ -245,15 +309,17 @@ func (c *checker) wbOp(w *world, p int, op Op) *world {
 						Dir: c.home(Addr(a)), Addr: a, Val: v})
 				}
 			})
-			return s // pc unchanged; the op follows once acks drain
+			// Moves p's dirty table onto the wire; CanFlush held (no fills
+			// in flight) so no concurrent transition touches the same state.
+			return s, stepSafe // pc unchanged; the op follows once acks drain
 		}
 		if !ps.wb.Drained() {
-			return nil
+			return nil, stepUnsafe
 		}
 		if op.Kind == OpBar {
 			s := w.clone()
 			s.procs[p].pc++
-			return s
+			return s, stepSafe
 		}
 	}
 	if op.Kind == OpAt || op.Ord == Rel {
@@ -271,19 +337,19 @@ func (c *checker) wbOp(w *world, p int, op Op) *world {
 		}
 		s.net = append(s.net, m)
 		sp.pc++
-		return s
+		return s, stepSafe
 	}
 	// Relaxed store: allocate ownership of the line (one line per model
 	// address) and merge into the dirty table.
 	line := uint64(op.Addr)
 	switch ps.wb.StoreAdmit(c.cfg.wbMSHRs(), line) {
 	case core.WBMSHRFull:
-		return nil
+		return nil, stepUnsafe
 	case core.WBHit:
 		s := w.clone()
 		s.procs[p].wb.RecordDirty(line, uint64(op.Addr), uint64(op.Val))
 		s.procs[p].pc++
-		return s
+		return s, stepSafe
 	default: // WBMiss
 		s := w.clone()
 		sp := &s.procs[p]
@@ -292,7 +358,7 @@ func (c *checker) wbOp(w *world, p int, op Op) *world {
 		s.net = append(s.net, core.Msg{Kind: core.MWBGetM, Src: p,
 			Dir: c.home(op.Addr), Addr: line})
 		sp.pc++
-		return s
+		return s, stepSafe
 	}
 }
 

@@ -1,0 +1,149 @@
+package litmus
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"sort"
+)
+
+// CheckReport is the checkreport.json envelope cordcheck writes: run
+// parameters, aggregate verdicts and reduction statistics, and the
+// per-instance rows. It lives in the litmus package so report producers
+// (cordcheck) and consumers (the nightly diff gate) share one schema.
+type CheckReport struct {
+	GoVersion string `json:"go_version,omitempty"`
+	Workers   int    `json:"workers"`
+	Exact     bool   `json:"exact,omitempty"`
+	Symmetry  bool   `json:"symmetry,omitempty"`
+	POR       bool   `json:"por,omitempty"`
+	// Extended reports that the enlarged matrix (ExtendedMatrix) was
+	// appended to the base matrix.
+	Extended bool  `json:"extended,omitempty"`
+	Total    int   `json:"total"`
+	Passed   int   `json:"passed"`
+	States   int64 `json:"states"`
+	// StatesRaw sums the unreduced state counts of the instances that ran
+	// the verify-reduction rerun; ReductionRatio is its ratio against those
+	// same instances' reduced counts (not against States, which also covers
+	// unverified rows).
+	StatesRaw      int64            `json:"states_raw,omitempty"`
+	ReductionRatio float64          `json:"reduction_ratio,omitempty"`
+	Verified       int              `json:"verified,omitempty"`
+	Collisions     int64            `json:"collisions,omitempty"`
+	WallMS         float64          `json:"wall_ms"`
+	PeakFrontier   int              `json:"peak_frontier,omitempty"`
+	Instances      []InstanceReport `json:"instances"`
+}
+
+// Summarize folds per-instance reports into a CheckReport envelope. The
+// caller stamps run parameters (GoVersion, Workers, flags, WallMS) itself.
+func Summarize(reports []InstanceReport) CheckReport {
+	var rep CheckReport
+	rep.Instances = reports
+	var reducedVerified int64
+	for i := range reports {
+		r := &reports[i]
+		rep.Total++
+		if r.Pass {
+			rep.Passed++
+		}
+		rep.States += int64(r.States)
+		rep.Collisions += int64(r.Collisions)
+		if r.PeakFrontier > rep.PeakFrontier {
+			rep.PeakFrontier = r.PeakFrontier
+		}
+		if r.StatesRaw > 0 {
+			rep.Verified++
+			rep.StatesRaw += int64(r.StatesRaw)
+			reducedVerified += int64(r.States)
+		}
+	}
+	if reducedVerified > 0 {
+		rep.ReductionRatio = float64(rep.StatesRaw) / float64(reducedVerified)
+	}
+	return rep
+}
+
+// ReadReport loads a checkreport.json file.
+func ReadReport(path string) (CheckReport, error) {
+	var rep CheckReport
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return rep, err
+	}
+	if err := json.Unmarshal(data, &rep); err != nil {
+		return rep, fmt.Errorf("%s: %w", path, err)
+	}
+	return rep, nil
+}
+
+// WriteReport marshals a checkreport envelope to path.
+func WriteReport(path string, rep CheckReport) error {
+	data, err := json.MarshalIndent(rep, "", " ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}
+
+// DiffReports compares two checkreports row-by-row, keyed on
+// (config, test). It returns hard failures — verdict drift on a common row,
+// or a canonical state count moving more than 10% without the run
+// parameters that legitimately change it (exact/symmetry/POR) differing —
+// and informational notes (added or removed rows, parameter changes,
+// explained state shifts). Wall-clock and frontier fields never count:
+// they are schedule-dependent by design.
+func DiffReports(prev, cur CheckReport) (failures, notes []string) {
+	paramsChanged := prev.Exact != cur.Exact || prev.Symmetry != cur.Symmetry ||
+		prev.POR != cur.POR
+	if paramsChanged {
+		notes = append(notes, fmt.Sprintf(
+			"run parameters changed (exact %t->%t symmetry %t->%t por %t->%t); state-count drift is expected",
+			prev.Exact, cur.Exact, prev.Symmetry, cur.Symmetry, prev.POR, cur.POR))
+	}
+	key := func(r InstanceReport) string { return r.Config + "/" + r.Test }
+	prevRows := make(map[string]InstanceReport, len(prev.Instances))
+	for _, r := range prev.Instances {
+		prevRows[key(r)] = r
+	}
+	seen := make(map[string]bool, len(cur.Instances))
+	for _, c := range cur.Instances {
+		k := key(c)
+		seen[k] = true
+		p, ok := prevRows[k]
+		if !ok {
+			notes = append(notes, fmt.Sprintf("new instance %s", k))
+			continue
+		}
+		if p.Pass != c.Pass || p.Forbidden != c.Forbidden || p.Deadlock != c.Deadlock ||
+			p.WindowViolated != c.WindowViolated || p.Reached != c.Reached {
+			failures = append(failures, fmt.Sprintf(
+				"%s: verdict drift (pass %t->%t forbidden %t->%t deadlock %t->%t window %t->%t reached %t->%t)",
+				k, p.Pass, c.Pass, p.Forbidden, c.Forbidden, p.Deadlock, c.Deadlock,
+				p.WindowViolated, c.WindowViolated, p.Reached, c.Reached))
+			continue
+		}
+		if p.States > 0 && c.States != p.States {
+			drift := float64(c.States-p.States) / float64(p.States)
+			if drift < 0 {
+				drift = -drift
+			}
+			msg := fmt.Sprintf("%s: canonical states %d -> %d (%+.1f%%)",
+				k, p.States, c.States, 100*float64(c.States-p.States)/float64(p.States))
+			if drift > 0.10 && !paramsChanged {
+				failures = append(failures, msg)
+			} else {
+				notes = append(notes, msg)
+			}
+		}
+	}
+	for k := range prevRows {
+		if !seen[k] {
+			notes = append(notes, fmt.Sprintf("instance removed: %s", k))
+		}
+	}
+	sort.Strings(failures)
+	sort.Strings(notes)
+	return failures, notes
+}

@@ -1,0 +1,113 @@
+package litmus
+
+import (
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func sampleReports() []InstanceReport {
+	return []InstanceReport{
+		{Config: "default", Test: "MP place[0 1]", Pass: true, States: 100,
+			StatesRaw: 500, PeakFrontier: 7, WallMS: 3},
+		{Config: "default", Test: "SB place[0 1]", Pass: true, States: 40, WallMS: 1},
+		{Config: "tiny", Test: "MP place[0 1]", Pass: false, Forbidden: true,
+			States: 60, StatesRaw: 120, Collisions: 2, PeakFrontier: 9},
+	}
+}
+
+func TestSummarizeAggregates(t *testing.T) {
+	rep := Summarize(sampleReports())
+	if rep.Total != 3 || rep.Passed != 2 {
+		t.Fatalf("total=%d passed=%d, want 3/2", rep.Total, rep.Passed)
+	}
+	if rep.States != 200 || rep.Collisions != 2 || rep.PeakFrontier != 9 {
+		t.Fatalf("states=%d collisions=%d peak=%d", rep.States, rep.Collisions, rep.PeakFrontier)
+	}
+	// Reduction ratio covers only the verified rows: (500+120)/(100+60).
+	if rep.Verified != 2 || rep.StatesRaw != 620 {
+		t.Fatalf("verified=%d statesRaw=%d", rep.Verified, rep.StatesRaw)
+	}
+	if got, want := rep.ReductionRatio, 620.0/160.0; got != want {
+		t.Fatalf("reduction ratio %v, want %v", got, want)
+	}
+}
+
+func TestReportRoundTrip(t *testing.T) {
+	rep := Summarize(sampleReports())
+	rep.GoVersion, rep.Workers, rep.Symmetry, rep.POR = "go1.24", 8, true, true
+	path := filepath.Join(t.TempDir(), "checkreport.json")
+	if err := WriteReport(path, rep); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadReport(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.GoVersion != "go1.24" || !got.Symmetry || !got.POR || got.Workers != 8 {
+		t.Fatalf("round trip lost run parameters: %+v", got)
+	}
+	if len(got.Instances) != 3 || got.States != rep.States {
+		t.Fatalf("round trip lost instances: %d rows, %d states", len(got.Instances), got.States)
+	}
+	if _, err := ReadReport(filepath.Join(t.TempDir(), "missing.json")); err == nil {
+		t.Fatal("reading a missing report did not fail")
+	}
+}
+
+// TestDiffReports drives the nightly gate's comparison: verdict drift and
+// unexplained >10% state drift are failures; added/removed rows, parameter
+// changes and small or explained shifts are notes.
+func TestDiffReports(t *testing.T) {
+	base := CheckReport{Symmetry: true, POR: true, Instances: []InstanceReport{
+		{Config: "default", Test: "MP", Pass: true, States: 100},
+		{Config: "default", Test: "SB", Pass: true, States: 40},
+		{Config: "tiny", Test: "MP", Pass: true, States: 60},
+	}}
+
+	same := base
+	if failures, notes := DiffReports(base, same); len(failures) != 0 || len(notes) != 0 {
+		t.Fatalf("identical reports: %d failures %d notes", len(failures), len(notes))
+	}
+
+	drift := CheckReport{Symmetry: true, POR: true, Instances: []InstanceReport{
+		{Config: "default", Test: "MP", Pass: false, Forbidden: true, States: 100}, // verdict flip
+		{Config: "default", Test: "SB", Pass: true, States: 44},                    // +10%: note
+		{Config: "tiny", Test: "MP", Pass: true, States: 90},                       // +50%: failure
+		{Config: "tiny", Test: "SB", Pass: true, States: 10},                       // added row: note
+	}}
+	failures, notes := DiffReports(base, drift)
+	if len(failures) != 2 {
+		t.Fatalf("failures = %v, want verdict drift + state drift", failures)
+	}
+	if !strings.Contains(failures[0]+failures[1], "verdict drift") ||
+		!strings.Contains(failures[0]+failures[1], "canonical states") {
+		t.Fatalf("failures = %v", failures)
+	}
+	if len(notes) != 2 {
+		t.Fatalf("notes = %v, want small shift + added row", notes)
+	}
+
+	// The same 50% shift with changed run parameters is explained: note only.
+	plain := drift
+	plain.Symmetry, plain.POR = false, false
+	plain.Instances = []InstanceReport{
+		{Config: "default", Test: "MP", Pass: true, States: 100},
+		{Config: "default", Test: "SB", Pass: true, States: 40},
+		{Config: "tiny", Test: "MP", Pass: true, States: 90},
+	}
+	failures, notes = DiffReports(base, plain)
+	if len(failures) != 0 {
+		t.Fatalf("parameter-explained drift still failed: %v", failures)
+	}
+	if len(notes) == 0 {
+		t.Fatal("parameter change produced no notes")
+	}
+
+	// A removed row is a note, never silent.
+	removed := CheckReport{Symmetry: true, POR: true, Instances: base.Instances[:2]}
+	failures, notes = DiffReports(base, removed)
+	if len(failures) != 0 || len(notes) != 1 || !strings.Contains(notes[0], "removed") {
+		t.Fatalf("removed row: failures=%v notes=%v", failures, notes)
+	}
+}

@@ -299,6 +299,130 @@ func CordConfigs() []ConfigVariant {
 	}
 }
 
+// ExtendedTests returns the four-processor litmus shapes the enlarged
+// matrix adds once symmetry and partial-order reduction pay for them. Each
+// ships one fixed canonical placement — the placement product that Variants
+// applies to the base shapes would square an already-larger state space.
+func ExtendedTests() []Test {
+	return []Test{
+		{
+			// MP with three symmetric readers: the shape symmetry reduction
+			// profits from most — the readers are interchangeable, so the
+			// reachable states collapse by nearly the reader-permutation
+			// count.
+			Name: "MP+3R",
+			Progs: [][]Op{
+				{St(X, 1), StRel(Y, 1)},
+				{LdAcq(Y, 0), Ld(X, 1)},
+				{LdAcq(Y, 0), Ld(X, 1)},
+				{LdAcq(Y, 0), Ld(X, 1)},
+			},
+			Home: []int{0, 1},
+			Forbidden: func(o Outcome) bool {
+				for p := 1; p <= 3; p++ {
+					if o.Regs[p][0] == 1 && o.Regs[p][1] == 0 {
+						return true
+					}
+				}
+				return false
+			},
+		},
+		{
+			// ISA2 stretched to a four-processor transitive chain: each hop
+			// releases to a different directory, so cumulativity must hold
+			// across three synchronization edges.
+			Name: "ISA2+4",
+			Progs: [][]Op{
+				{St(X, 1), StRel(Y, 1)},
+				{LdAcq(Y, 0), StRel(Z, 1)},
+				{LdAcq(Z, 0), StRel(W, 1)},
+				{LdAcq(W, 0), Ld(X, 1)},
+			},
+			Home: []int{0, 1, 2, 0},
+			Forbidden: func(o Outcome) bool {
+				return o.Regs[1][0] == 1 && o.Regs[2][0] == 1 &&
+					o.Regs[3][0] == 1 && o.Regs[3][1] == 0
+			},
+		},
+		{
+			// WRC extended with a fourth relay: write-to-read causality must
+			// survive two intermediate observers.
+			Name: "WRC+W",
+			Progs: [][]Op{
+				{StRel(X, 1)},
+				{LdAcq(X, 0), StRel(Y, 1)},
+				{LdAcq(Y, 0), StRel(Z, 1)},
+				{LdAcq(Z, 0), Ld(X, 1)},
+			},
+			Home: []int{0, 1, 2},
+			Forbidden: func(o Outcome) bool {
+				return o.Regs[1][0] == 1 && o.Regs[2][0] == 1 &&
+					o.Regs[3][0] == 1 && o.Regs[3][1] == 0
+			},
+		},
+		{
+			// SB4: four-way store buffering ring. All-stale is allowed under
+			// release consistency — the checker must still reach it in the
+			// bigger configuration (guards against over-synchronization).
+			Name: "SB4",
+			Progs: [][]Op{
+				{StRel(X, 1), LdAcq(Y, 0)},
+				{StRel(Y, 1), LdAcq(Z, 0)},
+				{StRel(Z, 1), LdAcq(W, 0)},
+				{StRel(W, 1), LdAcq(X, 0)},
+			},
+			Home:      []int{0, 1, 2, 0},
+			Forbidden: func(o Outcome) bool { return false },
+			MustReach: func(o Outcome) bool {
+				return o.Regs[0][0] == 0 && o.Regs[1][0] == 0 &&
+					o.Regs[2][0] == 0 && o.Regs[3][0] == 0
+			},
+		},
+	}
+}
+
+// ExtendedConfigs returns the stress configurations the enlarged matrix
+// adds: counter-overflow widths (3-bit epochs with near-saturating store
+// counters, forcing wrap handling under load) and table pressure (deployed
+// widths but single-entry directory tables, forcing the recycle/stall paths
+// on every contended access).
+func ExtendedConfigs() []ConfigVariant {
+	overflow := DefaultConfig()
+	overflow.EpochBits = 3
+	overflow.CntMax = 2
+	overflow.ProcUnackedCap = 2
+	overflow.ProcCntCap = 2
+	overflow.DirCapPerProc = 2
+	pressure := DefaultConfig()
+	pressure.ProcUnackedCap = 2
+	pressure.ProcCntCap = 1
+	pressure.DirCapPerProc = 1
+	return []ConfigVariant{
+		{Name: "overflow-width", Cfg: overflow},
+		{Name: "table-pressure", Cfg: pressure},
+	}
+}
+
+// ExtendedMatrix returns the instances the enlarged per-PR gate appends to
+// FullMatrix: every extended (4-processor) shape under the default and both
+// stress configurations, plus the stress configurations over the base
+// shapes at canonical placement.
+func ExtendedMatrix() []SuiteInstance {
+	var out []SuiteInstance
+	cfgs := append([]ConfigVariant{{Name: "default", Cfg: DefaultConfig()}}, ExtendedConfigs()...)
+	for _, cv := range cfgs {
+		for _, t := range ExtendedTests() {
+			out = append(out, SuiteInstance{Config: cv.Name, Cfg: cv.Cfg, Test: t})
+		}
+	}
+	for _, cv := range ExtendedConfigs() {
+		for _, t := range BaseTests() {
+			out = append(out, SuiteInstance{Config: cv.Name, Cfg: cv.Cfg, Test: t})
+		}
+	}
+	return out
+}
+
 // SuiteResult summarizes a suite run.
 type SuiteResult struct {
 	Total  int
@@ -379,19 +503,27 @@ func FullMatrix(suite []Test) []SuiteInstance {
 // InstanceReport is one instance's machine-readable verdict (the rows of
 // cordcheck's checkreport.json).
 type InstanceReport struct {
-	Config          string   `json:"config"`
-	Test            string   `json:"test"`
-	Pass            bool     `json:"pass"`
-	ExpectForbidden bool     `json:"expect_forbidden,omitempty"`
-	States          int      `json:"states"`
-	Collisions      int      `json:"collisions,omitempty"`
-	WallMS          float64  `json:"wall_ms"`
-	Forbidden       bool     `json:"forbidden,omitempty"`
-	Deadlock        bool     `json:"deadlock,omitempty"`
-	WindowViolated  bool     `json:"window_violated,omitempty"`
-	Reached         bool     `json:"reached,omitempty"`
-	Trace           []string `json:"trace,omitempty"`
-	Error           string   `json:"error,omitempty"`
+	Config          string `json:"config"`
+	Test            string `json:"test"`
+	Pass            bool   `json:"pass"`
+	ExpectForbidden bool   `json:"expect_forbidden,omitempty"`
+	States          int    `json:"states"`
+	// StatesRaw is the unreduced state count, populated only on instances
+	// selected for reduced-vs-unreduced verification (VerifyReduction).
+	StatesRaw int `json:"states_raw,omitempty"`
+	// ReductionRatio is StatesRaw/States for verified instances.
+	ReductionRatio float64 `json:"reduction_ratio,omitempty"`
+	Collisions     int     `json:"collisions,omitempty"`
+	WallMS         float64 `json:"wall_ms"`
+	// PeakFrontier is the instance's high-water frontier size — a memory
+	// diagnostic that varies with scheduling, excluded from report diffs.
+	PeakFrontier   int      `json:"peak_frontier,omitempty"`
+	Forbidden      bool     `json:"forbidden,omitempty"`
+	Deadlock       bool     `json:"deadlock,omitempty"`
+	WindowViolated bool     `json:"window_violated,omitempty"`
+	Reached        bool     `json:"reached,omitempty"`
+	Trace          []string `json:"trace,omitempty"`
+	Error          string   `json:"error,omitempty"`
 }
 
 // SuiteOpts tunes a matrix run. InstanceWorkers instances explore
@@ -401,6 +533,16 @@ type SuiteOpts struct {
 	InstanceWorkers int
 	StateWorkers    int
 	Exact           bool
+	// Symmetry canonicalizes states up to the test's automorphism group.
+	Symmetry bool
+	// POR expands singleton ample sets where a safe transition is enabled.
+	POR bool
+	// VerifyReduction re-runs selected instances without Symmetry/POR and
+	// requires identical verdicts and outcome sets: 0 verifies none, N>0
+	// verifies ~N instances chosen by a deterministic stride, -1 verifies
+	// all. Verified instances report StatesRaw and ReductionRatio; any
+	// reduced-vs-unreduced divergence becomes the instance's Error.
+	VerifyReduction int
 	// MemBudget, when non-nil, bounds approximate retained bytes across the
 	// whole matrix run.
 	MemBudget *MemBudget
@@ -423,6 +565,18 @@ func RunMatrix(insts []SuiteInstance, opts SuiteOpts) ([]InstanceReport, error) 
 	if iw > len(insts) {
 		iw = len(insts)
 	}
+	// Verification sampling: a deterministic stride over instance indexes,
+	// so the same matrix and VerifyReduction always verify the same cells.
+	stride := 0
+	switch {
+	case opts.VerifyReduction < 0:
+		stride = 1
+	case opts.VerifyReduction > 0:
+		stride = len(insts) / opts.VerifyReduction
+		if stride < 1 {
+			stride = 1
+		}
+	}
 	reports := make([]InstanceReport, len(insts))
 	var next atomic.Int64
 	var wg sync.WaitGroup
@@ -435,7 +589,8 @@ func RunMatrix(insts []SuiteInstance, opts SuiteOpts) ([]InstanceReport, error) 
 				if i >= len(insts) {
 					return
 				}
-				reports[i] = runInstance(insts[i], opts)
+				verify := stride > 0 && i%stride == 0
+				reports[i] = runInstance(insts[i], opts, verify)
 				if opts.OnInstance != nil {
 					opts.OnInstance(reports[i])
 				}
@@ -453,7 +608,10 @@ func RunMatrix(insts []SuiteInstance, opts SuiteOpts) ([]InstanceReport, error) 
 }
 
 // runInstance checks one matrix cell and reduces the result to a report.
-func runInstance(in SuiteInstance, opts SuiteOpts) InstanceReport {
+// With verify set it re-runs the cell without symmetry or POR and requires
+// the unreduced run to agree on every verdict field and on the exact set of
+// terminal outcomes; divergence is recorded as the instance's Error.
+func runInstance(in SuiteInstance, opts SuiteOpts, verify bool) InstanceReport {
 	sw := opts.StateWorkers
 	if sw < 1 {
 		sw = 1
@@ -462,6 +620,8 @@ func runInstance(in SuiteInstance, opts SuiteOpts) InstanceReport {
 	r, err := CheckWith(in.Test, in.Cfg, CheckOpts{
 		Workers:   sw,
 		Exact:     opts.Exact,
+		Symmetry:  opts.Symmetry,
+		POR:       opts.POR,
 		MemBudget: opts.MemBudget,
 	})
 	rep := InstanceReport{
@@ -471,6 +631,7 @@ func runInstance(in SuiteInstance, opts SuiteOpts) InstanceReport {
 		States:          r.States,
 		Collisions:      r.Collisions,
 		WallMS:          float64(time.Since(start).Microseconds()) / 1000,
+		PeakFrontier:    r.PeakFrontier,
 		Forbidden:       r.Forbidden,
 		Deadlock:        r.Deadlock,
 		WindowViolated:  r.WindowViolated,
@@ -490,5 +651,52 @@ func runInstance(in SuiteInstance, opts SuiteOpts) InstanceReport {
 			rep.Trace = append(rep.Trace, s.String())
 		}
 	}
+	if verify && (opts.Symmetry || opts.POR) {
+		raw, rerr := CheckWith(in.Test, in.Cfg, CheckOpts{
+			Workers:   sw,
+			Exact:     opts.Exact,
+			MemBudget: opts.MemBudget,
+		})
+		if rerr != nil {
+			rep.Error = fmt.Sprintf("verify-reduction rerun: %v", rerr)
+			return rep
+		}
+		rep.StatesRaw = raw.States
+		if r.States > 0 {
+			rep.ReductionRatio = float64(raw.States) / float64(r.States)
+		}
+		if d := diffResults(r, raw); d != "" {
+			rep.Error = "reduced vs unreduced divergence: " + d
+			rep.Pass = false
+		}
+	}
 	return rep
+}
+
+// diffResults compares the verdict-bearing fields of a reduced and an
+// unreduced Result; an empty string means they agree. Symmetry orbit-expands
+// terminal outcomes and POR preserves terminal states exactly, so the
+// Outcomes sets must match key-for-key, not just the derived booleans.
+func diffResults(red, raw Result) string {
+	switch {
+	case red.Forbidden != raw.Forbidden:
+		return fmt.Sprintf("forbidden %t vs %t", red.Forbidden, raw.Forbidden)
+	case red.Deadlock != raw.Deadlock:
+		return fmt.Sprintf("deadlock %t vs %t", red.Deadlock, raw.Deadlock)
+	case red.WindowViolated != raw.WindowViolated:
+		return fmt.Sprintf("window %t vs %t", red.WindowViolated, raw.WindowViolated)
+	case red.Reached != raw.Reached:
+		return fmt.Sprintf("reached %t vs %t", red.Reached, raw.Reached)
+	}
+	for k := range raw.Outcomes {
+		if _, ok := red.Outcomes[k]; !ok {
+			return fmt.Sprintf("reduced run missed outcome %s", k)
+		}
+	}
+	for k := range red.Outcomes {
+		if _, ok := raw.Outcomes[k]; !ok {
+			return fmt.Sprintf("reduced run invented outcome %s", k)
+		}
+	}
+	return ""
 }

@@ -95,11 +95,19 @@ type ReplayResult struct {
 // step is enabled. It is how counterexamples are confirmed: the trace is
 // data, the protocol behaviour is recomputed.
 func Replay(t Test, cfg Config, steps []Step) (ReplayResult, error) {
-	var rr ReplayResult
 	if err := t.Validate(); err != nil {
-		return rr, err
+		return ReplayResult{}, err
 	}
 	c := &checker{t: t, cfg: cfg, cp: cfg.cordParams()}
+	rr, _, err := c.replay(steps)
+	return rr, err
+}
+
+// replay is Replay's core, also exposing the final world so confirm can
+// compare canonical (symmetry-quotiented) encodings.
+func (c *checker) replay(steps []Step) (ReplayResult, *world, error) {
+	var rr ReplayResult
+	t, cfg := c.t, c.cfg
 	w := newWorld(t, cfg)
 	if c.windowViolated(w) {
 		rr.WindowViolated = true
@@ -115,7 +123,7 @@ func Replay(t Test, cfg Config, steps []Step) (ReplayResult, error) {
 				}
 			}
 			if idx < 0 {
-				return rr, fmt.Errorf("litmus %s: replay step %d: message %s not in flight",
+				return rr, nil, fmt.Errorf("litmus %s: replay step %d: message %s not in flight",
 					t.Name, i, msgString(st.Msg))
 			}
 			s := w.clone()
@@ -124,12 +132,12 @@ func Replay(t Test, cfg Config, steps []Step) (ReplayResult, error) {
 			next = s
 		} else {
 			if st.Proc < 0 || st.Proc >= len(w.procs) {
-				return rr, fmt.Errorf("litmus %s: replay step %d: processor %d out of range",
+				return rr, nil, fmt.Errorf("litmus %s: replay step %d: processor %d out of range",
 					t.Name, i, st.Proc)
 			}
 			next = c.stepProc(w, st.Proc)
 			if next == nil {
-				return rr, fmt.Errorf("litmus %s: replay step %d: processor %d cannot step",
+				return rr, nil, fmt.Errorf("litmus %s: replay step %d: processor %d cannot step",
 					t.Name, i, st.Proc)
 			}
 		}
@@ -148,7 +156,7 @@ func Replay(t Test, cfg Config, steps []Step) (ReplayResult, error) {
 			rr.Deadlock = true
 		}
 	}
-	return rr, nil
+	return rr, w, nil
 }
 
 // trace reconstructs the step sequence from the initial state to w by
@@ -168,15 +176,19 @@ func (w *world) trace() []Step {
 
 // confirm replays a selected counterexample and verifies the violation
 // recurs; a failure means the explorer and the rules disagree, which is a
-// checker bug worth surfacing loudly.
-func (cx *Counterexample) confirm(t Test, cfg Config) error {
-	rr, err := Replay(t, cfg, cx.Steps)
+// checker bug worth surfacing loudly. The fingerprint comparison uses the
+// checker's canonical encoding: under symmetry the recorded StateFP hashes
+// the orbit minimum, and the replayed concrete state must land in that
+// orbit (with an empty group this degenerates to the raw encoding).
+func (cx *Counterexample) confirm(c *checker) error {
+	t := c.t
+	rr, final, err := c.replay(cx.Steps)
 	if err != nil {
 		return fmt.Errorf("counterexample replay: %w", err)
 	}
-	if rr.Fingerprint != cx.StateFP {
+	if fp := core.Hash64(c.key(final, &kbuf{})); fp != cx.StateFP {
 		return fmt.Errorf("litmus %s: counterexample replayed to a different state (fp %#x, want %#x)",
-			t.Name, rr.Fingerprint, cx.StateFP)
+			t.Name, fp, cx.StateFP)
 	}
 	switch cx.Kind {
 	case CxForbidden:
